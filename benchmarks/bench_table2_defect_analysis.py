@@ -1,0 +1,23 @@
+"""Table 2: real-time defect analysis round-trip task times."""
+from __future__ import annotations
+
+from benchmarks.conftest import full_sweeps
+from benchmarks.conftest import print_table
+from repro.harness.table2 import run_table2
+
+
+def test_table2_defect_analysis(benchmark):
+    repeats = 10 if full_sweeps() else 3
+    table = benchmark.pedantic(
+        lambda: run_table2(repeats=repeats, image_side=512), rounds=1, iterations=1,
+    )
+    print_table(table)
+    # Proxying task inputs yields >30 % improvements for FileStore and >15 %
+    # for EndpointStore (the paper reports 30-37 %), and proxying the outputs
+    # as well never makes things worse by more than a few percent.
+    file_inputs = table.value('improvement_pct', configuration='FileStore (inputs)')
+    endpoint_inputs = table.value('improvement_pct', configuration='EndpointStore (inputs)')
+    assert file_inputs > 30.0
+    assert endpoint_inputs > 15.0
+    file_both = table.value('improvement_pct', configuration='FileStore (inputs/outputs)')
+    assert file_both > file_inputs - 5.0

@@ -1,0 +1,39 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper by calling the
+corresponding ``repro.harness`` function under ``pytest-benchmark`` and then
+printing the resulting rows/series (captured with ``-s`` or in the pytest
+summary output).  Set ``REPRO_BENCH_FULL=1`` to run the full parameter sweeps
+used in EXPERIMENTS.md instead of the quicker default sweeps.
+"""
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_sweeps() -> bool:
+    """Whether to run the paper-scale parameter sweeps (slower)."""
+    return os.environ.get('REPRO_BENCH_FULL', '0') not in ('0', '', 'false')
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_state():
+    """Benchmarks share the process: keep registries isolated between them."""
+    yield
+    from repro.dim import reset_nodes
+    from repro.endpoint.endpoint import reset_endpoint_registry
+    from repro.globus_sim import reset_transfer_service
+    from repro.store import unregister_all
+
+    unregister_all()
+    reset_nodes()
+    reset_endpoint_registry()
+    reset_transfer_service()
+
+
+def print_table(table) -> None:
+    """Print a harness result table below the benchmark output."""
+    print()
+    print(table)

@@ -1,0 +1,37 @@
+"""repro: a reproduction of ProxyStore (SC 2023).
+
+ProxyStore decouples control flow from data flow in distributed and federated
+Python applications via lazy transparent object proxies.  The top-level
+package re-exports the most commonly used pieces of the public API; see
+``README.md`` for a tour and ``DESIGN.md`` for the full system inventory.
+"""
+from repro.proxy import Factory
+from repro.proxy import Proxy
+from repro.proxy import extract
+from repro.proxy import is_resolved
+from repro.proxy import resolve
+from repro.proxy import resolve_async
+from repro.store import Store
+from repro.store import StoreConfig
+from repro.store import StoreFactory
+from repro.store import get_store
+from repro.store import register_store
+from repro.store import unregister_store
+
+__version__ = '1.0.0'
+
+__all__ = [
+    'Factory',
+    'Proxy',
+    'Store',
+    'StoreConfig',
+    'StoreFactory',
+    'extract',
+    'get_store',
+    'is_resolved',
+    'register_store',
+    'resolve',
+    'resolve_async',
+    'unregister_store',
+    '__version__',
+]

@@ -1,0 +1,67 @@
+"""Redis on the target site reached through a (modelled) SSH tunnel.
+
+The paper's Figure 9 baseline hosts a Redis server at the target site and
+opens a manually-created SSH tunnel to it from the client site.  Functionally
+this is just a key-value client whose connection happens to traverse the
+tunnel; the fragility the paper mentions (tunnels must be created and
+re-authenticated by hand) is represented by the explicit ``open_tunnel`` step
+that must precede any operation.
+"""
+from __future__ import annotations
+
+from repro.exceptions import ConnectorError
+from repro.kvserver.client import KVClient
+from repro.kvserver.server import KVServer
+
+__all__ = ['SSHTunnelRedis']
+
+
+class SSHTunnelRedis:
+    """A SimKV (Redis stand-in) client used through an SSH tunnel.
+
+    Args:
+        server: the key-value server hosted at the target site.
+        local_port_label: purely descriptive label of the local tunnel port,
+            to mirror how users configure ``ssh -L`` forwarding.
+    """
+
+    def __init__(self, server: KVServer, *, local_port_label: int = 6379) -> None:
+        self.server = server
+        self.local_port_label = local_port_label
+        self._client: KVClient | None = None
+        self.tunnel_open = False
+
+    # -- tunnel lifecycle ---------------------------------------------------- #
+    def open_tunnel(self) -> None:
+        """Manually open the SSH tunnel (must be done before any operation)."""
+        if self.server.port is None:
+            raise ConnectorError('target Redis server is not running')
+        self._client = KVClient(self.server.host, self.server.port)
+        self.tunnel_open = True
+
+    def close_tunnel(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+        self.tunnel_open = False
+
+    def _require_tunnel(self) -> KVClient:
+        if not self.tunnel_open or self._client is None:
+            raise ConnectorError(
+                'SSH tunnel is not open; call open_tunnel() first (tunnels '
+                'must be created and maintained manually)',
+            )
+        return self._client
+
+    # -- operations ----------------------------------------------------------- #
+    def set(self, key: str, value: bytes) -> None:
+        self._require_tunnel().set(key, value)
+
+    def get(self, key: str) -> bytes | None:
+        return self._require_tunnel().get(key)
+
+    def exists(self, key: str) -> bool:
+        return self._require_tunnel().exists(key)
+
+    def delete(self, key: str) -> bool:
+        return self._require_tunnel().delete(key)

@@ -1,0 +1,5 @@
+"""Caching utilities used by stores to avoid repeated gets and deserializations."""
+from repro.cache.lru import CacheStats
+from repro.cache.lru import LRUCache
+
+__all__ = ['CacheStats', 'LRUCache']

@@ -1,0 +1,107 @@
+"""A small, thread-safe LRU cache.
+
+The :class:`~repro.store.Store` caches *deserialized* objects keyed by
+connector key so that repeatedly resolving proxies of the same object in one
+process performs neither communication nor deserialization (Section 3.5 of
+the paper).  The cache is deliberately simple: a bounded ordered dict with a
+lock, plus hit/miss statistics used by the Store metrics and the ablation
+benchmarks.
+"""
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+from typing import Hashable
+from typing import Iterator
+
+__all__ = ['LRUCache', 'CacheStats']
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Counters describing cache effectiveness."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses served from the cache (0.0 when unused)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class LRUCache:
+    """Least-recently-used cache with a fixed maximum number of entries.
+
+    Args:
+        maxsize: maximum number of entries; ``0`` disables caching entirely
+            (every lookup misses) while keeping the same interface.
+    """
+
+    def __init__(self, maxsize: int = 16) -> None:
+        if maxsize < 0:
+            raise ValueError('maxsize must be non-negative')
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value for ``key`` or ``default``; counts a hit/miss."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.stats.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def exists(self, key: Hashable) -> bool:
+        """Return ``True`` if ``key`` is cached (does not update recency/stats)."""
+        with self._lock:
+            return key in self._data
+
+    def set(self, key: Hashable, value: Any) -> None:
+        """Insert or update ``key``; evicts the least recently used entry if full."""
+        if self.maxsize == 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
+
+    def evict(self, key: Hashable) -> bool:
+        """Remove ``key`` from the cache; returns whether it was present."""
+        with self._lock:
+            return self._data.pop(key, _MISSING) is not _MISSING
+
+    def clear(self) -> None:
+        """Remove every cached entry (statistics are preserved)."""
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: object) -> bool:
+        return self.exists(key)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        with self._lock:
+            return iter(list(self._data.keys()))

@@ -1,0 +1,64 @@
+"""Connector implementations (mediated communication channels).
+
+Summary (mirrors Table 1 of the paper):
+
+==============  =========  ==========  ==========  ===========
+Connector       Storage    Intra-site  Inter-site  Persistence
+==============  =========  ==========  ==========  ===========
+LocalConnector  memory     --          --          --
+FileConnector   disk       yes         --          yes
+RedisConnector  hybrid     yes         --          yes
+MargoConnector  memory     yes         --          --
+UCXConnector    memory     yes         --          --
+ZMQConnector    memory     yes         --          --
+GlobusConnector disk       yes         yes         yes
+EndpointConn.   hybrid     yes         yes         yes
+MultiConnector  (varies)   (varies)    (varies)    (varies)
+==============  =========  ==========  ==========  ===========
+"""
+from repro.connectors.protocol import Connector
+from repro.connectors.protocol import ConnectorCapabilities
+from repro.connectors.protocol import ConnectorKey
+from repro.connectors.protocol import connector_from_path
+from repro.connectors.protocol import connector_path
+from repro.connectors.local import LocalConnector
+from repro.connectors.file import FileConnector
+from repro.connectors.redis import RedisConnector
+from repro.connectors.margo import MargoConnector
+from repro.connectors.ucx import UCXConnector
+from repro.connectors.zmq import ZMQConnector
+from repro.connectors.globus import GlobusConnector
+from repro.connectors.endpoint import EndpointConnector
+from repro.connectors.multi import MultiConnector
+from repro.connectors.policy import Policy
+
+__all__ = [
+    'Connector',
+    'ConnectorCapabilities',
+    'ConnectorKey',
+    'EndpointConnector',
+    'FileConnector',
+    'GlobusConnector',
+    'LocalConnector',
+    'MargoConnector',
+    'MultiConnector',
+    'Policy',
+    'RedisConnector',
+    'UCXConnector',
+    'ZMQConnector',
+    'connector_from_path',
+    'connector_path',
+]
+
+#: Capability matrix used to regenerate Table 1 of the paper.
+ALL_CONNECTOR_CLASSES = (
+    LocalConnector,
+    FileConnector,
+    RedisConnector,
+    MargoConnector,
+    UCXConnector,
+    ZMQConnector,
+    GlobusConnector,
+    EndpointConnector,
+    MultiConnector,
+)

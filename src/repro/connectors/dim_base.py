@@ -1,0 +1,74 @@
+"""Shared implementation of the distributed in-memory connectors.
+
+The Margo, UCX and ZMQ connectors of the paper differ only in the transport
+library used to reach the per-node storage servers; the connector logic —
+spawn a server on first use, address objects by ``(object_id, node)``, fetch
+from whichever node holds the object — is identical.  This module hosts that
+shared logic; the concrete connectors below it select the transport and
+capability tags.
+"""
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from repro.connectors.protocol import Connector
+from repro.connectors.protocol import ConnectorCapabilities
+from repro.dim.client import DIMClient
+from repro.dim.node import DIMKey
+
+__all__ = ['DIMConnectorBase']
+
+
+def _default_node_id() -> str:
+    """Logical node identity: hostname (one storage server per node)."""
+    return socket.gethostname()
+
+
+class DIMConnectorBase(Connector):
+    """Base class for distributed in-memory store connectors.
+
+    Args:
+        node_id: logical node name; defaults to the local hostname so that
+            all connectors in one process share the node's storage server.
+        transport: ``'memory'`` (RDMA stand-in) or ``'tcp'``.
+    """
+
+    connector_name = 'dim'
+    transport = 'memory'
+    capabilities = ConnectorCapabilities(
+        storage='memory',
+        intra_site=True,
+        inter_site=False,
+        persistence=False,
+        tags=('distributed-memory',),
+    )
+
+    def __init__(self, node_id: str | None = None) -> None:
+        self.node_id = node_id if node_id is not None else _default_node_id()
+        self._client = DIMClient(self.node_id, self.transport)
+
+    def __repr__(self) -> str:
+        return f'{type(self).__name__}(node_id={self.node_id!r})'
+
+    # -- primary operations --------------------------------------------- #
+    def put(self, data: bytes) -> DIMKey:
+        return self._client.put(data)
+
+    def get(self, key: DIMKey) -> bytes | None:
+        return self._client.get(key)
+
+    def exists(self, key: DIMKey) -> bool:
+        return self._client.exists(key)
+
+    def evict(self, key: DIMKey) -> None:
+        self._client.evict(key)
+
+    # -- configuration / lifecycle ---------------------------------------- #
+    def config(self) -> dict[str, Any]:
+        return {'node_id': self.node_id}
+
+    def close(self, clear: bool = False) -> None:
+        if clear:
+            self._client.local_node.close()
+        self._client.close()

@@ -1,0 +1,90 @@
+"""In-process connector backed by a plain dictionary.
+
+``LocalConnector`` keeps objects in the memory of the creating process.  It
+is the cheapest possible mediated channel and is used pervasively in tests,
+examples, and as the default low-priority fallback in MultiConnector
+configurations.  Because the backing dictionary can optionally be shared
+(passed in), several LocalConnector instances within a process can present a
+single logical store — which is how the simulated multi-process substrates
+model "same host" communication.
+"""
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.connectors.protocol import Connector
+from repro.connectors.protocol import ConnectorCapabilities
+from repro.connectors.protocol import ConnectorKey
+from repro.connectors.protocol import new_object_id
+
+__all__ = ['LocalConnector']
+
+# Named in-process stores so that a connector re-created from its config in
+# the *same* process (the common test situation) sees the same data.
+_GLOBAL_STORES: dict[str, dict[ConnectorKey, bytes]] = {}
+_GLOBAL_LOCK = threading.Lock()
+
+
+class LocalConnector(Connector):
+    """Connector storing objects in process-local memory.
+
+    Args:
+        store_id: optional name of a process-global dictionary to use.  Two
+            LocalConnectors created with the same ``store_id`` share data.
+            When omitted a fresh anonymous dictionary is used (and a random
+            ``store_id`` is generated so ``config()`` round-trips within the
+            process).
+    """
+
+    connector_name = 'local'
+    capabilities = ConnectorCapabilities(
+        storage='memory',
+        intra_site=False,
+        inter_site=False,
+        persistence=False,
+        tags=('local', 'testing'),
+    )
+
+    def __init__(self, store_id: str | None = None) -> None:
+        self.store_id = store_id if store_id is not None else new_object_id()
+        with _GLOBAL_LOCK:
+            self._store = _GLOBAL_STORES.setdefault(self.store_id, {})
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:
+        return f'LocalConnector(store_id={self.store_id!r})'
+
+    # -- primary operations --------------------------------------------- #
+    def put(self, data: bytes) -> ConnectorKey:
+        key = ConnectorKey(object_id=new_object_id(), connector=self.connector_name)
+        with self._lock:
+            self._store[key] = bytes(data)
+        return key
+
+    def get(self, key: ConnectorKey) -> bytes | None:
+        with self._lock:
+            return self._store.get(key)
+
+    def exists(self, key: ConnectorKey) -> bool:
+        with self._lock:
+            return key in self._store
+
+    def evict(self, key: ConnectorKey) -> None:
+        with self._lock:
+            self._store.pop(key, None)
+
+    # -- configuration / lifecycle --------------------------------------- #
+    def config(self) -> dict[str, Any]:
+        return {'store_id': self.store_id}
+
+    def close(self, clear: bool = False) -> None:
+        if clear:
+            with _GLOBAL_LOCK:
+                _GLOBAL_STORES.pop(self.store_id, None)
+            with self._lock:
+                self._store = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)

@@ -1,0 +1,153 @@
+"""MultiConnector: policy-based routing over several connectors (Section 4.3).
+
+Applications with multiple communication patterns register several connectors
+each with a :class:`~repro.connectors.policy.Policy`; every ``put`` is routed
+to the highest-priority connector whose policy matches the object's size and
+the operation's tag constraints.  Keys remember which connector stored the
+object so ``get``/``exists``/``evict`` route straight back to it, and the
+whole construction is expressible as a plain config dict so proxies created
+through a MultiConnector-backed store remain self-contained.
+"""
+from __future__ import annotations
+
+from typing import Any
+from typing import Iterable
+from typing import NamedTuple
+from typing import Sequence
+
+from repro.connectors.policy import Policy
+from repro.connectors.protocol import Connector
+from repro.connectors.protocol import ConnectorCapabilities
+from repro.connectors.protocol import connector_from_path
+from repro.connectors.protocol import connector_path
+from repro.exceptions import NoPolicyMatchError
+
+__all__ = ['MultiConnector', 'MultiKey']
+
+
+class MultiKey(NamedTuple):
+    """Key of an object stored through a MultiConnector."""
+
+    connector_label: str
+    inner_key: Any
+
+
+class MultiConnector(Connector):
+    """Connector routing operations across several managed connectors.
+
+    Args:
+        connectors: mapping of label to ``(connector, policy)`` pairs.  Labels
+            are embedded in keys, so they must be stable across processes.
+    """
+
+    connector_name = 'multi'
+    capabilities = ConnectorCapabilities(
+        storage='hybrid',
+        intra_site=True,
+        inter_site=True,
+        persistence=False,
+        tags=('multi', 'policy-routing'),
+    )
+
+    def __init__(self, connectors: dict[str, tuple[Connector, Policy]]) -> None:
+        if not connectors:
+            raise ValueError('MultiConnector requires at least one managed connector')
+        self.connectors = dict(connectors)
+
+    def __repr__(self) -> str:
+        return f'MultiConnector(labels={sorted(self.connectors)!r})'
+
+    # -- routing ------------------------------------------------------------ #
+    def _select(
+        self,
+        size_bytes: int,
+        subset_tags: Iterable[str],
+        superset_tags: Iterable[str],
+    ) -> tuple[str, Connector]:
+        matches: list[tuple[int, str, Connector]] = []
+        for label, (connector, policy) in self.connectors.items():
+            if policy.is_valid(
+                size_bytes=size_bytes,
+                subset_tags=subset_tags,
+                superset_tags=superset_tags,
+            ):
+                matches.append((policy.priority, label, connector))
+        if not matches:
+            raise NoPolicyMatchError(
+                f'no connector policy matches object of {size_bytes} bytes with '
+                f'subset_tags={sorted(subset_tags)!r}, '
+                f'superset_tags={sorted(superset_tags)!r}',
+            )
+        matches.sort(key=lambda item: item[0], reverse=True)
+        _, label, connector = matches[0]
+        return label, connector
+
+    def connector_for(self, label: str) -> Connector:
+        """Return the managed connector registered under ``label``."""
+        return self.connectors[label][0]
+
+    def policy_for(self, label: str) -> Policy:
+        """Return the policy registered under ``label``."""
+        return self.connectors[label][1]
+
+    # -- primary operations --------------------------------------------- #
+    def put(
+        self,
+        data: bytes,
+        *,
+        subset_tags: Iterable[str] = (),
+        superset_tags: Iterable[str] = (),
+    ) -> MultiKey:
+        label, connector = self._select(len(data), subset_tags, superset_tags)
+        inner_key = connector.put(data)
+        return MultiKey(connector_label=label, inner_key=inner_key)
+
+    def put_batch(
+        self,
+        datas: Sequence[bytes],
+        *,
+        subset_tags: Iterable[str] = (),
+        superset_tags: Iterable[str] = (),
+    ) -> list[MultiKey]:
+        return [
+            self.put(data, subset_tags=subset_tags, superset_tags=superset_tags)
+            for data in datas
+        ]
+
+    def get(self, key: MultiKey) -> bytes | None:
+        connector = self.connector_for(key.connector_label)
+        return connector.get(key.inner_key)
+
+    def exists(self, key: MultiKey) -> bool:
+        connector = self.connector_for(key.connector_label)
+        return connector.exists(key.inner_key)
+
+    def evict(self, key: MultiKey) -> None:
+        connector = self.connector_for(key.connector_label)
+        connector.evict(key.inner_key)
+
+    # -- configuration / lifecycle --------------------------------------- #
+    def config(self) -> dict[str, Any]:
+        return {
+            'connectors': {
+                label: {
+                    'connector': connector_path(connector),
+                    'connector_config': connector.config(),
+                    'policy': policy.as_dict(),
+                }
+                for label, (connector, policy) in self.connectors.items()
+            },
+        }
+
+    @classmethod
+    def from_config(cls, config: dict[str, Any]) -> 'MultiConnector':
+        connectors: dict[str, tuple[Connector, Policy]] = {}
+        for label, entry in config['connectors'].items():
+            connector = connector_from_path(entry['connector'], entry['connector_config'])
+            policy = Policy.from_dict(entry['policy'])
+            connectors[label] = (connector, policy)
+        return cls(connectors)
+
+    def close(self, clear: bool = False) -> None:
+        for connector, _policy in self.connectors.values():
+            connector.close(clear=clear)

@@ -1,0 +1,86 @@
+"""Policies governing which connector a MultiConnector routes an object to.
+
+A :class:`Policy` describes the conditions under which a managed connector is
+suitable for an object (Section 4.3 of the paper): minimum/maximum object
+sizes (its ideal operating range), tags describing where the connector is
+accessible (e.g. only within one cluster, or at multiple sites), and a
+priority for breaking ties when several connectors are suitable.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from dataclasses import field
+from typing import Any
+from typing import Iterable
+
+__all__ = ['Policy']
+
+
+@dataclass(frozen=True)
+class Policy:
+    """Constraints describing when a connector should be used.
+
+    Attributes:
+        min_size_bytes: smallest object (serialized size) this connector
+            should handle.
+        max_size_bytes: largest object this connector should handle
+            (``None`` means unbounded).
+        subset_tags: tags this connector supports; an operation requesting
+            ``subset_tags`` matches only if the requested tags are a subset
+            of these.
+        superset_tags: tags this connector *requires*; an operation matches
+            only if it supplies a superset of these (e.g. a connector only
+            reachable from hosts tagged ``'cluster-a'``).
+        priority: higher wins among all matching connectors.
+    """
+
+    min_size_bytes: int = 0
+    max_size_bytes: int | None = None
+    subset_tags: tuple[str, ...] = field(default_factory=tuple)
+    superset_tags: tuple[str, ...] = field(default_factory=tuple)
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.min_size_bytes < 0:
+            raise ValueError('min_size_bytes must be non-negative')
+        if self.max_size_bytes is not None and self.max_size_bytes < self.min_size_bytes:
+            raise ValueError('max_size_bytes must be >= min_size_bytes')
+
+    def is_valid(
+        self,
+        *,
+        size_bytes: int | None = None,
+        subset_tags: Iterable[str] = (),
+        superset_tags: Iterable[str] = (),
+    ) -> bool:
+        """Return whether an object with the given constraints matches this policy."""
+        if size_bytes is not None:
+            if size_bytes < self.min_size_bytes:
+                return False
+            if self.max_size_bytes is not None and size_bytes > self.max_size_bytes:
+                return False
+        if not set(subset_tags) <= set(self.subset_tags):
+            return False
+        if not set(self.superset_tags) <= set(superset_tags):
+            return False
+        return True
+
+    # -- serialization ------------------------------------------------------ #
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            'min_size_bytes': self.min_size_bytes,
+            'max_size_bytes': self.max_size_bytes,
+            'subset_tags': list(self.subset_tags),
+            'superset_tags': list(self.superset_tags),
+            'priority': self.priority,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> 'Policy':
+        return cls(
+            min_size_bytes=data.get('min_size_bytes', 0),
+            max_size_bytes=data.get('max_size_bytes'),
+            subset_tags=tuple(data.get('subset_tags', ())),
+            superset_tags=tuple(data.get('superset_tags', ())),
+            priority=data.get('priority', 0),
+        )

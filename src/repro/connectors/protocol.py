@@ -1,0 +1,158 @@
+"""The ``Connector`` protocol: a low-level interface to a mediated channel.
+
+A connector operates on byte strings and keys (Section 3.4 of the paper):
+``put`` stores a byte string and returns a unique key, ``get`` retrieves it,
+``exists`` checks for it, and ``evict`` removes it.  Connectors additionally
+expose ``config()``/``from_config()`` so that a connector — and therefore the
+Store wrapping it — can be re-created in a different process from the plain
+dictionary embedded in a proxy's factory.
+
+Third-party connectors only need to implement this interface to be
+plug-and-play with the rest of the library (Stores, proxies, the
+MultiConnector, the FaaS and workflow substrates, and the benchmarks).
+"""
+from __future__ import annotations
+
+import importlib
+import uuid
+from abc import ABC
+from abc import abstractmethod
+from dataclasses import dataclass
+from dataclasses import field
+from typing import Any
+from typing import Iterable
+from typing import NamedTuple
+from typing import Sequence
+
+__all__ = [
+    'Connector',
+    'ConnectorCapabilities',
+    'ConnectorKey',
+    'connector_from_path',
+    'connector_path',
+    'new_object_id',
+]
+
+
+class ConnectorKey(NamedTuple):
+    """Default key type: a unique object id plus the connector's name.
+
+    Individual connectors may define richer key tuples (e.g. the Globus
+    connector's ``(object_id, task_id)``); all key types must be hashable and
+    picklable so they can be embedded in proxy factories.
+    """
+
+    object_id: str
+    connector: str
+
+
+@dataclass(frozen=True)
+class ConnectorCapabilities:
+    """Static capability description, mirroring Table 1 of the paper.
+
+    Attributes:
+        storage: ``'memory'``, ``'disk'``, or ``'hybrid'``.
+        intra_site: usable between hosts within one site / LAN.
+        inter_site: usable between hosts at different sites (across NATs).
+        persistence: objects survive the producing process exiting.
+    """
+
+    storage: str = 'memory'
+    intra_site: bool = True
+    inter_site: bool = False
+    persistence: bool = False
+    tags: tuple[str, ...] = field(default_factory=tuple)
+
+
+def new_object_id() -> str:
+    """Return a fresh globally-unique object identifier."""
+    return uuid.uuid4().hex
+
+
+def connector_path(connector: 'Connector | type[Connector]') -> str:
+    """Return the import path (``module:ClassName``) of a connector class."""
+    cls = connector if isinstance(connector, type) else type(connector)
+    return f'{cls.__module__}:{cls.__qualname__}'
+
+
+def connector_from_path(path: str, config: dict[str, Any]) -> 'Connector':
+    """Instantiate a connector from an import path and its ``config()`` dict."""
+    module_name, _, qualname = path.partition(':')
+    module = importlib.import_module(module_name)
+    obj: Any = module
+    for part in qualname.split('.'):
+        obj = getattr(obj, part)
+    return obj.from_config(config)
+
+
+class Connector(ABC):
+    """Abstract base class for mediated communication channels.
+
+    Concrete connectors must implement the four primary byte-level operations
+    plus ``config``/``from_config``.  Batch operations and ``close`` have
+    sensible defaults but may be overridden for efficiency (e.g. the Globus
+    connector submits one transfer task per batch).
+    """
+
+    #: Human readable connector name used in keys, metrics and reports.
+    connector_name: str = 'connector'
+    #: Capability summary (Table 1).
+    capabilities: ConnectorCapabilities = ConnectorCapabilities()
+
+    # -- primary operations --------------------------------------------- #
+    @abstractmethod
+    def put(self, data: bytes) -> Any:
+        """Store ``data`` and return a unique, picklable key."""
+
+    @abstractmethod
+    def get(self, key: Any) -> bytes | None:
+        """Return the byte string stored under ``key`` or ``None`` if absent."""
+
+    @abstractmethod
+    def exists(self, key: Any) -> bool:
+        """Return whether ``key`` currently maps to stored data."""
+
+    @abstractmethod
+    def evict(self, key: Any) -> None:
+        """Remove ``key`` and its data (no-op if absent)."""
+
+    # -- configuration / lifecycle --------------------------------------- #
+    @abstractmethod
+    def config(self) -> dict[str, Any]:
+        """Return a picklable dict sufficient to re-create this connector."""
+
+    @classmethod
+    def from_config(cls, config: dict[str, Any]) -> 'Connector':
+        """Create a connector instance from a ``config()`` dictionary."""
+        return cls(**config)  # type: ignore[call-arg]
+
+    def close(self, clear: bool = False) -> None:
+        """Release connector resources.
+
+        Args:
+            clear: also remove all stored objects where that is meaningful.
+        """
+
+    # -- batch operations ------------------------------------------------ #
+    def put_batch(self, datas: Sequence[bytes]) -> list[Any]:
+        """Store several byte strings, returning one key per input."""
+        return [self.put(data) for data in datas]
+
+    def get_batch(self, keys: Iterable[Any]) -> list[bytes | None]:
+        """Retrieve several keys, returning ``None`` for any missing key."""
+        return [self.get(key) for key in keys]
+
+    def evict_batch(self, keys: Iterable[Any]) -> None:
+        """Evict several keys."""
+        for key in keys:
+            self.evict(key)
+
+    # -- misc ------------------------------------------------------------ #
+    def __enter__(self) -> 'Connector':
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f'{type(self).__name__}()'

@@ -1,0 +1,24 @@
+"""Distributed in-memory (DIM) store substrate.
+
+The paper's Margo, UCX and ZMQ connectors spawn a storage server on each
+node the first time a connector is created there; the set of spawned servers
+forms an elastic distributed in-memory store, and keys embed the address of
+the server holding the object so any client can fetch it directly
+(Section 4.1.3).
+
+Real Mochi-Margo/UCX RDMA stacks require HPC network fabrics, so this
+substrate provides two transports that exercise the same architecture:
+
+* ``'memory'`` — a process-global registry of per-node dictionaries standing
+  in for RDMA-accessible remote memory (zero-copy, negligible software
+  overhead).  Used by the Margo and UCX connector flavours.
+* ``'tcp'`` — a real TCP server per node (the SimKV server), used by the ZMQ
+  connector flavour and by any test that wants genuine sockets.
+"""
+from repro.dim.node import DIMKey
+from repro.dim.node import DIMNode
+from repro.dim.node import get_local_node
+from repro.dim.node import reset_nodes
+from repro.dim.client import DIMClient
+
+__all__ = ['DIMClient', 'DIMKey', 'DIMNode', 'get_local_node', 'reset_nodes']

@@ -1,0 +1,87 @@
+"""Client-side routing for the distributed in-memory store.
+
+A :class:`DIMClient` is bound to the local node (where it puts new objects)
+and can fetch objects from any node named in a :class:`DIMKey`: memory nodes
+are reached through the in-process registry (standing in for RDMA reads of
+remote memory), TCP nodes through a cached socket client per address.
+"""
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.connectors.protocol import new_object_id
+from repro.dim.node import DIMKey
+from repro.dim.node import get_local_node
+from repro.dim.node import lookup_node
+from repro.exceptions import ConnectorError
+from repro.kvserver.client import KVClient
+
+__all__ = ['DIMClient']
+
+
+class DIMClient:
+    """Puts objects on the local node and gets them from any node."""
+
+    def __init__(self, node_id: str, transport: str = 'memory') -> None:
+        self.node_id = node_id
+        self.transport = transport
+        self.local_node = get_local_node(node_id, transport)
+        self._tcp_clients: dict[tuple[str, int], KVClient] = {}
+        self._lock = threading.Lock()
+
+    # -- helpers ------------------------------------------------------------ #
+    def _tcp_client(self, address: tuple[str, int]) -> KVClient:
+        with self._lock:
+            client = self._tcp_clients.get(address)
+            if client is None:
+                client = KVClient(*address)
+                self._tcp_clients[address] = client
+            return client
+
+    # -- operations ---------------------------------------------------------- #
+    def put(self, data: bytes) -> DIMKey:
+        object_id = new_object_id()
+        self.local_node.put_local(object_id, data)
+        return DIMKey(
+            object_id=object_id,
+            node_id=self.node_id,
+            transport=self.transport,
+            address=self.local_node.address,
+        )
+
+    def get(self, key: DIMKey) -> Optional[bytes]:
+        if key.transport == 'memory':
+            node = lookup_node(key.node_id, 'memory')
+            if node is None:
+                raise ConnectorError(
+                    f'node {key.node_id!r} is not reachable from this process '
+                    '(memory-transport DIM nodes are process-local)',
+                )
+            return node.get_local(key.object_id)
+        if key.address is None:
+            raise ConnectorError(f'TCP DIM key missing an address: {key!r}')
+        return self._tcp_client(key.address).get(key.object_id)
+
+    def exists(self, key: DIMKey) -> bool:
+        if key.transport == 'memory':
+            node = lookup_node(key.node_id, 'memory')
+            return node is not None and node.exists_local(key.object_id)
+        if key.address is None:
+            return False
+        return self._tcp_client(key.address).exists(key.object_id)
+
+    def evict(self, key: DIMKey) -> None:
+        if key.transport == 'memory':
+            node = lookup_node(key.node_id, 'memory')
+            if node is not None:
+                node.evict_local(key.object_id)
+            return
+        if key.address is not None:
+            self._tcp_client(key.address).delete(key.object_id)
+
+    def close(self) -> None:
+        with self._lock:
+            for client in self._tcp_clients.values():
+                client.close()
+            self._tcp_clients.clear()

@@ -1,0 +1,121 @@
+"""Per-node storage servers of the distributed in-memory store."""
+from __future__ import annotations
+
+import threading
+from typing import NamedTuple
+
+from repro.kvserver.server import KVServer
+
+__all__ = ['DIMKey', 'DIMNode', 'get_local_node', 'reset_nodes', 'lookup_node']
+
+
+class DIMKey(NamedTuple):
+    """Key identifying an object and the node server holding it.
+
+    Attributes:
+        object_id: unique object identifier.
+        node_id: logical node name the object lives on.
+        transport: ``'memory'`` or ``'tcp'``.
+        address: ``(host, port)`` for TCP nodes, ``None`` for memory nodes.
+    """
+
+    object_id: str
+    node_id: str
+    transport: str
+    address: tuple[str, int] | None
+
+
+class DIMNode:
+    """A single node's storage server.
+
+    ``memory`` nodes store objects in a dictionary owned by this process;
+    ``tcp`` nodes additionally expose them over a real socket so that other
+    processes (or concurrency tests) can reach them.
+    """
+
+    def __init__(self, node_id: str, transport: str = 'memory') -> None:
+        if transport not in ('memory', 'tcp'):
+            raise ValueError(f'unknown DIM transport {transport!r}')
+        self.node_id = node_id
+        self.transport = transport
+        self._data: dict[str, bytes] = {}
+        self._lock = threading.Lock()
+        self._server: KVServer | None = None
+        if transport == 'tcp':
+            self._server = KVServer()
+            self._server.start()
+
+    # -- addressing ------------------------------------------------------- #
+    @property
+    def address(self) -> tuple[str, int] | None:
+        if self._server is None:
+            return None
+        assert self._server.port is not None
+        return (self._server.host, self._server.port)
+
+    # -- local (RDMA-like) access ------------------------------------------ #
+    def put_local(self, object_id: str, data: bytes) -> None:
+        if self.transport == 'tcp':
+            # Store through the server so remote clients see the object.
+            from repro.kvserver.client import KVClient
+
+            host, port = self.address  # type: ignore[misc]
+            with KVClient(host, port) as client:
+                client.set(object_id, data)
+        else:
+            with self._lock:
+                self._data[object_id] = bytes(data)
+
+    def get_local(self, object_id: str) -> bytes | None:
+        with self._lock:
+            return self._data.get(object_id)
+
+    def exists_local(self, object_id: str) -> bool:
+        with self._lock:
+            return object_id in self._data
+
+    def evict_local(self, object_id: str) -> None:
+        with self._lock:
+            self._data.pop(object_id, None)
+
+    def close(self) -> None:
+        if self._server is not None:
+            self._server.stop()
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        if self.transport == 'tcp' and self._server is not None:
+            return len(self._server)
+        with self._lock:
+            return len(self._data)
+
+
+# Process-global registry of node servers: one per (node_id, transport),
+# created lazily the first time a connector on that node needs one.
+_NODES: dict[tuple[str, str], DIMNode] = {}
+_NODES_LOCK = threading.Lock()
+
+
+def get_local_node(node_id: str, transport: str = 'memory') -> DIMNode:
+    """Return (creating if necessary) the storage server for ``node_id``."""
+    with _NODES_LOCK:
+        node = _NODES.get((node_id, transport))
+        if node is None:
+            node = DIMNode(node_id, transport)
+            _NODES[(node_id, transport)] = node
+        return node
+
+
+def lookup_node(node_id: str, transport: str) -> DIMNode | None:
+    """Return the node server if it exists in this process, else ``None``."""
+    with _NODES_LOCK:
+        return _NODES.get((node_id, transport))
+
+
+def reset_nodes() -> None:
+    """Close and forget every node server (test isolation)."""
+    with _NODES_LOCK:
+        for node in _NODES.values():
+            node.close()
+        _NODES.clear()

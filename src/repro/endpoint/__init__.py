@@ -1,0 +1,22 @@
+"""ProxyStore endpoints (PS-endpoints) and their peer-to-peer fabric.
+
+PS-endpoints are per-site object stores that forward requests for objects
+held by other endpoints over peer connections established through a relay
+(signaling) server — the mechanism that lets ProxyStore move data directly
+between sites that are both behind NATs (Section 4.2.2, Figures 3 and 4 of
+the paper).
+
+This reproduction implements the full architecture — relay registration,
+offer/answer + ICE-candidate exchange, hole-punching emulation, chunked data
+channels, request forwarding, and reconnection — using in-process transports
+(thread-safe queues) rather than WebSockets + WebRTC, which require public
+connectivity that an offline single-machine environment cannot provide.  The
+message flow, state machines and failure modes are preserved; the benchmark
+harness charges wide-area costs for peer traffic on the virtual clock.
+"""
+from repro.endpoint.endpoint import Endpoint
+from repro.endpoint.endpoint import EndpointKey
+from repro.endpoint.relay import RelayServer
+from repro.endpoint.storage import EndpointStorage
+
+__all__ = ['Endpoint', 'EndpointKey', 'EndpointStorage', 'RelayServer']

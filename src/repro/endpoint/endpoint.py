@@ -1,0 +1,387 @@
+"""The PS-endpoint: a per-site object store with peer-to-peer forwarding.
+
+An endpoint owns an :class:`~repro.endpoint.storage.EndpointStorage`, registers
+with a relay server (which assigns its UUID if it does not have one), and
+serves client requests on a single worker thread — mirroring the
+single-threaded asyncio implementation the paper describes (and whose
+concurrency behaviour Figure 8 characterizes).  Requests whose key names a
+different endpoint are forwarded over a peer connection that is established
+on demand through the relay and re-established if it was closed.
+"""
+from __future__ import annotations
+
+import contextvars
+import queue
+import threading
+from typing import NamedTuple
+
+from repro.endpoint.messages import IceCandidate
+from repro.endpoint.messages import PeerRequest
+from repro.endpoint.messages import PeerResponse
+from repro.endpoint.messages import RelayForward
+from repro.endpoint.messages import SDPAnswer
+from repro.endpoint.messages import SDPOffer
+from repro.endpoint.peer import DEFAULT_CHUNK_SIZE
+from repro.endpoint.peer import ChannelEnd
+from repro.endpoint.peer import PeerConnection
+from repro.endpoint.relay import RelayServer
+from repro.endpoint.storage import EndpointStorage
+from repro.exceptions import EndpointError
+from repro.exceptions import PeeringError
+
+__all__ = [
+    'Endpoint',
+    'EndpointKey',
+    'get_registered_endpoint',
+    'registered_endpoints',
+    'reset_endpoint_registry',
+]
+
+
+class EndpointKey(NamedTuple):
+    """Key of an object stored on a PS-endpoint: ``(object_id, endpoint_id)``."""
+
+    object_id: str
+    endpoint_id: str
+
+
+class _WorkItem(NamedTuple):
+    request: PeerRequest
+    target_uuid: str | None
+    reply: queue.Queue
+
+
+# Process-global registry of running endpoints so that connectors re-created
+# from their config (on what would be another machine in production) can find
+# "their" local endpoint.  See EndpointConnector for how the local endpoint is
+# selected.
+_ENDPOINTS: dict[str, 'Endpoint'] = {}
+_ENDPOINTS_LOCK = threading.Lock()
+
+
+def get_registered_endpoint(endpoint_uuid: str) -> 'Endpoint | None':
+    with _ENDPOINTS_LOCK:
+        return _ENDPOINTS.get(endpoint_uuid)
+
+
+def registered_endpoints() -> list[str]:
+    with _ENDPOINTS_LOCK:
+        return sorted(_ENDPOINTS)
+
+
+def reset_endpoint_registry() -> None:
+    """Stop and forget every registered endpoint (test isolation)."""
+    with _ENDPOINTS_LOCK:
+        endpoints = list(_ENDPOINTS.values())
+        _ENDPOINTS.clear()
+    for endpoint in endpoints:
+        endpoint.stop()
+
+
+class Endpoint:
+    """A single PS-endpoint.
+
+    Args:
+        name: human-readable endpoint name (e.g. the site it serves).
+        relay: the relay server used for peering.
+        storage: object storage; a default unbounded in-memory store is used
+            when omitted.
+        endpoint_uuid: reuse an existing UUID; when ``None`` the relay assigns
+            one at :meth:`start`.
+        chunk_size: data-channel chunk size for peer transfers.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        relay: RelayServer,
+        *,
+        storage: EndpointStorage | None = None,
+        endpoint_uuid: str | None = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        self.name = name
+        self.relay = relay
+        self.storage = storage if storage is not None else EndpointStorage()
+        self.chunk_size = chunk_size
+        self.uuid: str | None = endpoint_uuid
+        self._peers: dict[str, PeerConnection] = {}
+        self._peers_lock = threading.Lock()
+        self._pending_offers: dict[str, queue.Queue] = {}
+        self._pending_lock = threading.Lock()
+        self._requests: queue.Queue[_WorkItem | None] = queue.Queue()
+        self._worker: threading.Thread | None = None
+        self._running = threading.Event()
+        #: Number of ICE candidates exchanged (handshake bookkeeping only).
+        self.ice_candidates_exchanged = 0
+        #: Number of requests served, by kind, for the concurrency benchmark.
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> str:
+        """Register with the relay and start the worker thread; returns the UUID."""
+        if self._running.is_set():
+            assert self.uuid is not None
+            return self.uuid
+        self.uuid = self.relay.register(
+            self._handle_relay_message, endpoint_uuid=self.uuid,
+        )
+        self._running.set()
+        self._worker = threading.Thread(
+            target=self._worker_loop, name=f'endpoint-{self.name}', daemon=True,
+        )
+        self._worker.start()
+        with _ENDPOINTS_LOCK:
+            _ENDPOINTS[self.uuid] = self
+        return self.uuid
+
+    def stop(self) -> None:
+        """Close peer connections, deregister from the relay and stop serving."""
+        if not self._running.is_set():
+            return
+        self._running.clear()
+        self._requests.put(None)
+        if self._worker is not None:
+            self._worker.join(timeout=2)
+        with self._peers_lock:
+            for connection in self._peers.values():
+                connection.close()
+            self._peers.clear()
+        if self.uuid is not None:
+            self.relay.unregister(self.uuid)
+            with _ENDPOINTS_LOCK:
+                _ENDPOINTS.pop(self.uuid, None)
+
+    @property
+    def running(self) -> bool:
+        return self._running.is_set()
+
+    def __enter__(self) -> 'Endpoint':
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        return f'Endpoint(name={self.name!r}, uuid={str(self.uuid)[:8]!r})'
+
+    # ------------------------------------------------------------------ #
+    # Client-facing operations
+    # ------------------------------------------------------------------ #
+    def set(self, object_id: str, data: bytes, *, endpoint_id: str | None = None) -> None:
+        response = self._submit('set', object_id, data=data, endpoint_id=endpoint_id)
+        if not response.success:
+            raise EndpointError(f'set failed: {response.error}')
+
+    def get(self, object_id: str, *, endpoint_id: str | None = None) -> bytes | None:
+        response = self._submit('get', object_id, endpoint_id=endpoint_id)
+        if not response.success:
+            raise EndpointError(f'get failed: {response.error}')
+        return response.data
+
+    def exists(self, object_id: str, *, endpoint_id: str | None = None) -> bool:
+        response = self._submit('exists', object_id, endpoint_id=endpoint_id)
+        if not response.success:
+            raise EndpointError(f'exists failed: {response.error}')
+        return bool(response.exists)
+
+    def evict(self, object_id: str, *, endpoint_id: str | None = None) -> None:
+        response = self._submit('evict', object_id, endpoint_id=endpoint_id)
+        if not response.success:
+            raise EndpointError(f'evict failed: {response.error}')
+
+    # ------------------------------------------------------------------ #
+    # Request processing (single worker thread)
+    # ------------------------------------------------------------------ #
+    def _submit(
+        self,
+        op: str,
+        object_id: str,
+        *,
+        data: bytes | None = None,
+        endpoint_id: str | None = None,
+    ) -> PeerResponse:
+        if not self._running.is_set():
+            raise EndpointError(f'endpoint {self.name!r} is not running')
+        request = PeerRequest(op=op, object_id=object_id, data=data, src_uuid=self.uuid or '')
+        target = endpoint_id if endpoint_id not in (None, self.uuid) else None
+        reply: queue.Queue = queue.Queue(maxsize=1)
+        self._requests.put(_WorkItem(request=request, target_uuid=target, reply=reply))
+        return reply.get()
+
+    def _worker_loop(self) -> None:
+        while self._running.is_set():
+            try:
+                item = self._requests.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            if item is None:
+                break
+            try:
+                if item.target_uuid is None:
+                    response = self._apply_local(item.request)
+                else:
+                    response = self._forward(item.request, item.target_uuid)
+            except Exception as e:  # noqa: BLE001 - reported to the caller
+                response = PeerResponse(
+                    message_id=item.request.message_id, success=False, error=str(e),
+                )
+            self.requests_served += 1
+            item.reply.put(response)
+
+    def _apply_local(self, request: PeerRequest) -> PeerResponse:
+        if request.op == 'set':
+            if request.data is None:
+                return PeerResponse(
+                    message_id=request.message_id, success=False,
+                    error='set requires data',
+                )
+            self.storage.set(request.object_id, request.data)
+            return PeerResponse(message_id=request.message_id, success=True)
+        if request.op == 'get':
+            data = self.storage.get(request.object_id)
+            return PeerResponse(message_id=request.message_id, success=True, data=data)
+        if request.op == 'exists':
+            return PeerResponse(
+                message_id=request.message_id, success=True,
+                exists=self.storage.exists(request.object_id),
+            )
+        if request.op == 'evict':
+            self.storage.evict(request.object_id)
+            return PeerResponse(message_id=request.message_id, success=True)
+        return PeerResponse(
+            message_id=request.message_id, success=False,
+            error=f'unknown operation {request.op!r}',
+        )
+
+    def _forward(self, request: PeerRequest, target_uuid: str) -> PeerResponse:
+        connection = self._ensure_peer(target_uuid)
+        response = connection.request(request)
+        return response
+
+    # ------------------------------------------------------------------ #
+    # Peering (signaling + connection management)
+    # ------------------------------------------------------------------ #
+    def peer_connections(self) -> dict[str, PeerConnection]:
+        """Return a snapshot of current peer connections keyed by remote UUID."""
+        with self._peers_lock:
+            return dict(self._peers)
+
+    def _ensure_peer(self, remote_uuid: str) -> PeerConnection:
+        """Return an open peer connection, establishing or re-establishing it."""
+        assert self.uuid is not None
+        with self._peers_lock:
+            existing = self._peers.get(remote_uuid)
+            if existing is not None and not existing.closed:
+                return existing
+            was_connected = existing is not None
+        connection = self._initiate_handshake(remote_uuid)
+        with self._peers_lock:
+            if was_connected:
+                connection.stats.reconnects += 1
+            self._peers[remote_uuid] = connection
+        return connection
+
+    def _initiate_handshake(self, remote_uuid: str) -> PeerConnection:
+        assert self.uuid is not None
+        local_end = ChannelEnd()
+        offer = SDPOffer(
+            src_uuid=self.uuid,
+            dst_uuid=remote_uuid,
+            channel_token=local_end.token,
+        )
+        waiter: queue.Queue = queue.Queue(maxsize=1)
+        with self._pending_lock:
+            self._pending_offers[offer.session_id] = waiter
+        try:
+            self.relay.forward(self.uuid, remote_uuid, offer)
+        except Exception as e:
+            local_end.close()
+            with self._pending_lock:
+                self._pending_offers.pop(offer.session_id, None)
+            raise PeeringError(
+                f'could not reach endpoint {remote_uuid[:8]} via the relay: {e}',
+            ) from e
+        try:
+            answer: SDPAnswer = waiter.get(timeout=10.0)
+        except queue.Empty:
+            local_end.close()
+            raise PeeringError(
+                f'timed out waiting for SDP answer from {remote_uuid[:8]}',
+            ) from None
+        finally:
+            with self._pending_lock:
+                self._pending_offers.pop(offer.session_id, None)
+        if answer.channel_token is None:
+            local_end.close()
+            raise PeeringError('peer rejected the connection (no channel token)')
+        # Emulated ICE candidate exchange / hole punching (Figure 4, step 5).
+        self.relay.forward(
+            self.uuid, remote_uuid,
+            IceCandidate(
+                src_uuid=self.uuid, dst_uuid=remote_uuid,
+                session_id=offer.session_id, candidate=f'candidate:{self.uuid[:8]}',
+            ),
+        )
+        return PeerConnection(
+            self.uuid,
+            remote_uuid,
+            local_end,
+            answer.channel_token,
+            on_request=self._apply_local,
+            chunk_size=self.chunk_size,
+        )
+
+    def _handle_relay_message(self, message: RelayForward) -> None:
+        payload = message.payload
+        if isinstance(payload, SDPOffer):
+            self._accept_offer(payload)
+        elif isinstance(payload, SDPAnswer):
+            with self._pending_lock:
+                waiter = self._pending_offers.get(payload.session_id)
+            if waiter is not None:
+                waiter.put(payload)
+        elif isinstance(payload, IceCandidate):
+            self.ice_candidates_exchanged += 1
+        # Unknown payloads are ignored.
+
+    def _accept_offer(self, offer: SDPOffer) -> None:
+        assert self.uuid is not None
+        if offer.channel_token is None:
+            answer = SDPAnswer(
+                src_uuid=self.uuid, dst_uuid=offer.src_uuid,
+                session_id=offer.session_id, accepted_transport='memory',
+                channel_token=None,
+            )
+            self.relay.forward(self.uuid, offer.src_uuid, answer)
+            return
+        local_end = ChannelEnd()
+        connection = PeerConnection(
+            self.uuid,
+            offer.src_uuid,
+            local_end,
+            offer.channel_token,
+            on_request=self._apply_local,
+            chunk_size=self.chunk_size,
+        )
+        with self._peers_lock:
+            previous = self._peers.get(offer.src_uuid)
+            if previous is not None and not previous.closed:
+                previous.close()
+            self._peers[offer.src_uuid] = connection
+        answer = SDPAnswer(
+            src_uuid=self.uuid, dst_uuid=offer.src_uuid,
+            session_id=offer.session_id, accepted_transport='memory',
+            channel_token=local_end.token,
+        )
+        self.relay.forward(self.uuid, offer.src_uuid, answer)
+        self.relay.forward(
+            self.uuid, offer.src_uuid,
+            IceCandidate(
+                src_uuid=self.uuid, dst_uuid=offer.src_uuid,
+                session_id=offer.session_id, candidate=f'candidate:{self.uuid[:8]}',
+            ),
+        )

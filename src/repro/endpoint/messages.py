@@ -1,0 +1,94 @@
+"""Message types exchanged with the relay server and between peer endpoints."""
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass
+from dataclasses import field
+from typing import Any
+
+__all__ = [
+    'PeerRequest',
+    'PeerResponse',
+    'RelayForward',
+    'SDPAnswer',
+    'SDPOffer',
+    'IceCandidate',
+    'new_message_id',
+]
+
+
+def new_message_id() -> str:
+    return uuid.uuid4().hex
+
+
+# --------------------------------------------------------------------------- #
+# Signaling messages (exchanged via the relay server; Figure 4 of the paper)
+# --------------------------------------------------------------------------- #
+@dataclass
+class SDPOffer:
+    """Session description offered by the endpoint initiating a peer connection."""
+
+    src_uuid: str
+    dst_uuid: str
+    session_id: str = field(default_factory=new_message_id)
+    supported_transports: tuple[str, ...] = ('memory',)
+    # The offerer's channel token: how the acceptor can reach it directly
+    # once the handshake completes (stands in for the offerer's ICE info).
+    channel_token: str | None = None
+
+
+@dataclass
+class SDPAnswer:
+    """Session description returned by the endpoint accepting a connection."""
+
+    src_uuid: str
+    dst_uuid: str
+    session_id: str
+    accepted_transport: str
+    # In-process "address" of the acceptor's inbound channel; stands in for
+    # the ICE candidate list of the real WebRTC handshake.
+    channel_token: str | None = None
+
+
+@dataclass
+class IceCandidate:
+    """A (public address, port)-like candidate exchanged during hole punching."""
+
+    src_uuid: str
+    dst_uuid: str
+    session_id: str
+    candidate: str
+
+
+@dataclass
+class RelayForward:
+    """Envelope used by the relay server to deliver a signaling payload."""
+
+    src_uuid: str
+    dst_uuid: str
+    payload: Any
+
+
+# --------------------------------------------------------------------------- #
+# Data-plane messages (sent over established peer connections)
+# --------------------------------------------------------------------------- #
+@dataclass
+class PeerRequest:
+    """An operation forwarded to the endpoint that owns the target object."""
+
+    op: str                       # 'get' | 'set' | 'exists' | 'evict'
+    object_id: str
+    data: bytes | None = None
+    message_id: str = field(default_factory=new_message_id)
+    src_uuid: str = ''
+
+
+@dataclass
+class PeerResponse:
+    """Reply to a :class:`PeerRequest`."""
+
+    message_id: str
+    success: bool
+    data: bytes | None = None
+    exists: bool | None = None
+    error: str | None = None

@@ -1,0 +1,240 @@
+"""Peer connections and chunked data channels between PS-endpoints.
+
+A peer connection is established through the relay server with an
+offer/answer handshake followed by an (emulated) ICE candidate exchange and
+hole punch, after which the two endpoints exchange data directly without the
+relay (Figure 4).  Data channels chunk serialized messages — mirroring the
+real RTCDataChannel's bounded message size — and reassemble them on the
+receiving side; per-connection statistics record messages, chunks and bytes
+so benchmarks and tests can verify that bulk data bypasses the relay.
+
+The transport is an in-process queue per connection side (see the package
+docstring for the substitution rationale).
+"""
+from __future__ import annotations
+
+import pickle
+import queue
+import threading
+import uuid as uuid_module
+from dataclasses import dataclass
+from dataclasses import field
+from typing import Any
+from typing import Callable
+
+from repro.exceptions import PeeringError
+
+__all__ = ['ChannelEnd', 'DataChannel', 'PeerConnection', 'PeerConnectionStats']
+
+#: Default maximum chunk carried in one data-channel message (the real
+#: RTCDataChannel implementations bound message sizes to ~16 KiB).
+DEFAULT_CHUNK_SIZE = 16_384
+
+
+# Process-global registry of channel endpoints, keyed by token.  Exchanging a
+# token through the relay plays the role of exchanging ICE candidates: once
+# both sides know each other's token, they can deliver chunks directly.
+_CHANNEL_ENDS: dict[str, 'ChannelEnd'] = {}
+_CHANNEL_LOCK = threading.Lock()
+
+
+class ChannelEnd:
+    """The receiving side of a data channel: a queue of chunk frames."""
+
+    def __init__(self) -> None:
+        self.token = uuid_module.uuid4().hex
+        self.frames: queue.Queue = queue.Queue()
+        with _CHANNEL_LOCK:
+            _CHANNEL_ENDS[self.token] = self
+
+    def close(self) -> None:
+        with _CHANNEL_LOCK:
+            _CHANNEL_ENDS.pop(self.token, None)
+
+    @staticmethod
+    def lookup(token: str) -> 'ChannelEnd':
+        with _CHANNEL_LOCK:
+            end = _CHANNEL_ENDS.get(token)
+        if end is None:
+            raise PeeringError(f'no channel endpoint with token {token!r} (peer offline?)')
+        return end
+
+
+@dataclass
+class PeerConnectionStats:
+    """Traffic counters of one peer connection."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    chunks_sent: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    reconnects: int = 0
+
+
+class DataChannel:
+    """Chunking sender bound to a remote :class:`ChannelEnd`."""
+
+    def __init__(self, remote_token: str, *, chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        if chunk_size <= 0:
+            raise ValueError('chunk_size must be positive')
+        self.remote_token = remote_token
+        self.chunk_size = chunk_size
+
+    def send(self, message: Any) -> tuple[int, int]:
+        """Serialize and send ``message``; returns ``(nbytes, nchunks)``."""
+        remote = ChannelEnd.lookup(self.remote_token)
+        data = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        message_id = uuid_module.uuid4().hex
+        total = max(1, (len(data) + self.chunk_size - 1) // self.chunk_size)
+        for seq in range(total):
+            chunk = data[seq * self.chunk_size:(seq + 1) * self.chunk_size]
+            remote.frames.put((message_id, seq, total, chunk))
+        return len(data), total
+
+
+class _Reassembler:
+    """Collects chunk frames back into whole messages."""
+
+    def __init__(self) -> None:
+        self._partial: dict[str, dict[int, bytes]] = {}
+        self._totals: dict[str, int] = {}
+
+    def add(self, frame: tuple[str, int, int, bytes]) -> Any | None:
+        message_id, seq, total, chunk = frame
+        parts = self._partial.setdefault(message_id, {})
+        parts[seq] = chunk
+        self._totals[message_id] = total
+        if len(parts) == total:
+            data = b''.join(parts[i] for i in range(total))
+            del self._partial[message_id]
+            del self._totals[message_id]
+            return pickle.loads(data)
+        return None
+
+
+class PeerConnection:
+    """An established, bidirectional connection to one remote endpoint.
+
+    The connection owns its local :class:`ChannelEnd`, a receiver thread that
+    reassembles inbound frames and dispatches them, and a table of pending
+    requests awaiting responses.
+
+    Args:
+        local_uuid: UUID of the endpoint owning this connection.
+        remote_uuid: UUID of the peer endpoint.
+        local_end: this side's channel end (created during the handshake).
+        remote_token: the peer's channel token (learned during the handshake).
+        on_request: callback invoked (on the receiver thread) for inbound
+            request messages; its return value is sent back as the response.
+        chunk_size: data channel chunk size.
+    """
+
+    def __init__(
+        self,
+        local_uuid: str,
+        remote_uuid: str,
+        local_end: ChannelEnd,
+        remote_token: str,
+        *,
+        on_request: Callable[[Any], Any],
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        self.local_uuid = local_uuid
+        self.remote_uuid = remote_uuid
+        self.local_end = local_end
+        self.channel = DataChannel(remote_token, chunk_size=chunk_size)
+        self.stats = PeerConnectionStats()
+        self._on_request = on_request
+        self._pending: dict[str, queue.Queue] = {}
+        self._pending_lock = threading.Lock()
+        self._closed = threading.Event()
+        self._receiver = threading.Thread(
+            target=self._receive_loop,
+            name=f'peer-recv-{local_uuid[:8]}-{remote_uuid[:8]}',
+            daemon=True,
+        )
+        self._receiver.start()
+
+    # -- receive path -------------------------------------------------------- #
+    def _receive_loop(self) -> None:
+        reassembler = _Reassembler()
+        while not self._closed.is_set():
+            try:
+                frame = self.local_end.frames.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            if frame is None:  # sentinel pushed by close()
+                break
+            message = reassembler.add(frame)
+            if message is None:
+                continue
+            self.stats.messages_received += 1
+            self.stats.bytes_received += sum(len(frame[3]) for frame in [frame])
+            self._dispatch(message)
+
+    def _dispatch(self, message: Any) -> None:
+        from repro.endpoint.messages import PeerRequest
+        from repro.endpoint.messages import PeerResponse
+
+        if isinstance(message, PeerResponse):
+            with self._pending_lock:
+                waiter = self._pending.pop(message.message_id, None)
+            if waiter is not None:
+                waiter.put(message)
+            return
+        if isinstance(message, PeerRequest):
+            try:
+                response = self._on_request(message)
+            except Exception as e:  # noqa: BLE001 - report to the requester
+                response = PeerResponse(
+                    message_id=message.message_id, success=False, error=str(e),
+                )
+            nbytes, nchunks = self.channel.send(response)
+            self.stats.messages_sent += 1
+            self.stats.bytes_sent += nbytes
+            self.stats.chunks_sent += nchunks
+            return
+        # Unknown message types are ignored (forward compatibility).
+
+    # -- send path ------------------------------------------------------------- #
+    def request(self, request: Any, *, timeout: float = 30.0) -> Any:
+        """Send ``request`` to the peer and block for the matching response."""
+        if self._closed.is_set():
+            raise PeeringError(
+                f'peer connection {self.local_uuid[:8]} -> {self.remote_uuid[:8]} is closed',
+            )
+        waiter: queue.Queue = queue.Queue(maxsize=1)
+        with self._pending_lock:
+            self._pending[request.message_id] = waiter
+        nbytes, nchunks = self.channel.send(request)
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += nbytes
+        self.stats.chunks_sent += nchunks
+        try:
+            return waiter.get(timeout=timeout)
+        except queue.Empty:
+            with self._pending_lock:
+                self._pending.pop(request.message_id, None)
+            raise PeeringError(
+                f'timed out waiting for response from peer {self.remote_uuid[:8]}',
+            ) from None
+
+    # -- lifecycle -------------------------------------------------------------- #
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    def close(self) -> None:
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self.local_end.frames.put(None)
+        self.local_end.close()
+        self._receiver.join(timeout=2)
+
+    def __repr__(self) -> str:
+        return (
+            f'PeerConnection({self.local_uuid[:8]} <-> {self.remote_uuid[:8]}, '
+            f'closed={self.closed})'
+        )

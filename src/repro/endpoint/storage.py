@@ -1,0 +1,129 @@
+"""In-memory object storage of a PS-endpoint, with optional disk spill.
+
+PS-endpoints are in-memory object stores with optional on-disk storage when
+host memory is insufficient or persistence is required (Section 4.2.2).  The
+storage here keeps objects in a dict up to ``max_memory_bytes`` and spills the
+least-recently-inserted objects to a dump directory beyond that, fetching
+them back transparently on access.
+"""
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+
+__all__ = ['EndpointStorage']
+
+
+class EndpointStorage:
+    """Bounded in-memory byte store with transparent disk spill.
+
+    Args:
+        max_memory_bytes: total bytes kept in memory before spilling; ``None``
+            disables spilling (everything stays in memory).
+        dump_dir: directory used for spilled objects; required if
+            ``max_memory_bytes`` is set.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_memory_bytes: int | None = None,
+        dump_dir: str | None = None,
+    ) -> None:
+        if max_memory_bytes is not None:
+            if max_memory_bytes <= 0:
+                raise ValueError('max_memory_bytes must be positive')
+            if dump_dir is None:
+                raise ValueError('dump_dir is required when max_memory_bytes is set')
+            os.makedirs(dump_dir, exist_ok=True)
+        self.max_memory_bytes = max_memory_bytes
+        self.dump_dir = dump_dir
+        self._memory: OrderedDict[str, bytes] = OrderedDict()
+        self._on_disk: set[str] = set()
+        self._memory_bytes = 0
+        self._lock = threading.Lock()
+
+    # -- helpers ------------------------------------------------------------ #
+    def _disk_path(self, object_id: str) -> str:
+        assert self.dump_dir is not None
+        return os.path.join(self.dump_dir, object_id)
+
+    def _spill_if_needed_locked(self) -> None:
+        if self.max_memory_bytes is None:
+            return
+        while self._memory_bytes > self.max_memory_bytes and self._memory:
+            object_id, data = self._memory.popitem(last=False)
+            self._memory_bytes -= len(data)
+            with open(self._disk_path(object_id), 'wb') as f:
+                f.write(data)
+            self._on_disk.add(object_id)
+
+    # -- operations ----------------------------------------------------------- #
+    def set(self, object_id: str, data: bytes) -> None:
+        data = bytes(data)
+        with self._lock:
+            previous = self._memory.pop(object_id, None)
+            if previous is not None:
+                self._memory_bytes -= len(previous)
+            self._memory[object_id] = data
+            self._memory_bytes += len(data)
+            if object_id in self._on_disk:
+                self._on_disk.discard(object_id)
+                try:
+                    os.unlink(self._disk_path(object_id))
+                except OSError:  # pragma: no cover
+                    pass
+            self._spill_if_needed_locked()
+
+    def get(self, object_id: str) -> bytes | None:
+        with self._lock:
+            data = self._memory.get(object_id)
+            if data is not None:
+                return data
+            if object_id in self._on_disk:
+                with open(self._disk_path(object_id), 'rb') as f:
+                    return f.read()
+        return None
+
+    def exists(self, object_id: str) -> bool:
+        with self._lock:
+            return object_id in self._memory or object_id in self._on_disk
+
+    def evict(self, object_id: str) -> None:
+        with self._lock:
+            data = self._memory.pop(object_id, None)
+            if data is not None:
+                self._memory_bytes -= len(data)
+            if object_id in self._on_disk:
+                self._on_disk.discard(object_id)
+                try:
+                    os.unlink(self._disk_path(object_id))
+                except OSError:  # pragma: no cover
+                    pass
+
+    def clear(self) -> None:
+        with self._lock:
+            self._memory.clear()
+            self._memory_bytes = 0
+            for object_id in list(self._on_disk):
+                try:
+                    os.unlink(self._disk_path(object_id))
+                except OSError:  # pragma: no cover
+                    pass
+            self._on_disk.clear()
+
+    # -- introspection ---------------------------------------------------------- #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory) + len(self._on_disk)
+
+    @property
+    def memory_usage_bytes(self) -> int:
+        with self._lock:
+            return self._memory_bytes
+
+    @property
+    def spilled_count(self) -> int:
+        with self._lock:
+            return len(self._on_disk)

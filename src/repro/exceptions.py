@@ -1,0 +1,92 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without catching unrelated exceptions.
+"""
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ProxyResolveError(ReproError):
+    """Raised when a proxy's factory fails to resolve its target object."""
+
+
+class SerializationError(ReproError):
+    """Raised when an object cannot be serialized or deserialized."""
+
+
+class ConnectorError(ReproError):
+    """Base class for connector-level failures."""
+
+
+class ConnectorKeyError(ConnectorError, KeyError):
+    """Raised when a key is missing from a connector and the operation requires it."""
+
+    def __str__(self) -> str:  # KeyError quotes its message; keep it readable.
+        return Exception.__str__(self)
+
+
+class ConnectorClosedError(ConnectorError):
+    """Raised when an operation is attempted on a closed connector."""
+
+
+class StoreError(ReproError):
+    """Base class for store-level failures."""
+
+
+class StoreExistsError(StoreError):
+    """Raised when registering a store under a name that is already registered."""
+
+
+class StoreKeyError(StoreError, KeyError):
+    """Raised when an object referenced by a proxy no longer exists in the store."""
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)
+
+
+class NoPolicyMatchError(StoreError):
+    """Raised by the MultiConnector when no managed connector's policy matches."""
+
+
+class TransferError(ReproError):
+    """Raised when a simulated or real bulk transfer task fails."""
+
+
+class EndpointError(ReproError):
+    """Base class for PS-endpoint failures."""
+
+
+class PeeringError(EndpointError):
+    """Raised when a peer connection cannot be established or is lost."""
+
+
+class RelayError(EndpointError):
+    """Raised for relay (signaling) server protocol violations."""
+
+
+class FaaSError(ReproError):
+    """Base class for the simulated FaaS substrate."""
+
+
+class PayloadTooLargeError(FaaSError):
+    """Raised when a task payload exceeds the cloud service payload limit."""
+
+
+class TaskExecutionError(FaaSError):
+    """Raised when a task submitted to the FaaS substrate raises an exception."""
+
+
+class WorkflowError(ReproError):
+    """Base class for the workflow (Parsl/Colmena-like) substrate."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors in the network/time simulation substrate."""
+
+
+class UnknownSiteError(SimulationError):
+    """Raised when a fabric lookup references a site that does not exist."""

@@ -1,0 +1,30 @@
+"""A federated FaaS substrate modelled on Globus Compute (funcX).
+
+Globus Compute routes every task through its cloud service: the client
+serializes the function inputs with the request, the cloud stores them and
+forwards the task to the target endpoint, the endpoint executes it and sends
+the result back through the cloud, and the client finally retrieves it.  The
+service enforces a 5 MB task payload limit to manage storage and egress
+costs (Section 2 of the paper).
+
+This simulator preserves that architecture — client, cloud service, compute
+endpoints, futures, payload serialization and the payload limit — while
+executing task functions for real in-process and charging all communication
+to a virtual clock over the simulated testbed fabric.  Passing ProxyStore
+proxies as task inputs therefore has exactly the effect the paper describes:
+the payload through the cloud shrinks to the size of the pickled proxy and
+the data moves via whichever connector the proxy's store uses.
+"""
+from repro.faas.context import TaskContext
+from repro.faas.cloud import CloudFaaSService
+from repro.faas.endpoint import ComputeEndpoint
+from repro.faas.executor import Executor
+from repro.faas.executor import FaaSFuture
+
+__all__ = [
+    'CloudFaaSService',
+    'ComputeEndpoint',
+    'Executor',
+    'FaaSFuture',
+    'TaskContext',
+]

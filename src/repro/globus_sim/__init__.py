@@ -1,0 +1,26 @@
+"""Simulated Globus transfer service.
+
+Globus Transfer is a cloud-hosted software-as-a-service for reliable bulk
+file movement between registered endpoints.  It is not reachable offline, so
+this package provides a functional stand-in: endpoints are directories on the
+local file system, transfers are asynchronous tasks executed by a background
+worker (with configurable per-task overhead and failure injection), and
+clients poll task status by task id — the same interaction pattern the real
+``GlobusConnector`` uses (submit, poll, read file from the destination
+endpoint's directory).
+"""
+from repro.globus_sim.service import GlobusEndpointSpec
+from repro.globus_sim.service import GlobusTransferService
+from repro.globus_sim.service import TransferStatus
+from repro.globus_sim.service import TransferTask
+from repro.globus_sim.service import get_transfer_service
+from repro.globus_sim.service import reset_transfer_service
+
+__all__ = [
+    'GlobusEndpointSpec',
+    'GlobusTransferService',
+    'TransferStatus',
+    'TransferTask',
+    'get_transfer_service',
+    'reset_transfer_service',
+]

@@ -1,0 +1,12 @@
+"""Benchmark harness: one module per table/figure of the paper's evaluation.
+
+Each ``run_*`` function is pure library code (no pytest dependency) returning
+a :class:`~repro.harness.reporting.ResultTable`; the ``benchmarks/`` scripts
+call them under ``pytest-benchmark`` and print the same rows/series the paper
+reports, and the test suite calls them with reduced parameters to check the
+qualitative findings (who wins, where crossovers fall) hold.
+"""
+from repro.harness.reporting import ResultTable
+from repro.harness.reporting import format_table
+
+__all__ = ['ResultTable', 'format_table']

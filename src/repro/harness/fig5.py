@@ -1,0 +1,201 @@
+"""Figure 5: round-trip Globus Compute task times with and without ProxyStore.
+
+The experiment sweeps task input sizes for no-op and 1-second-sleep tasks over
+four client/endpoint placements, comparing data movement through the FaaS
+cloud service against ProxyStore's FileStore, RedisStore, EndpointStore and
+GlobusStore, plus an IPFS baseline for the inter-site cases.  Round-trip times
+are virtual seconds accumulated on the simulated testbed while the real task
+submission, proxy creation and proxy resolution code paths execute.
+"""
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.baselines.ipfs import IPFSNetwork
+from repro.baselines.ipfs import IPFSNode
+from repro.connectors.file import FileConnector
+from repro.connectors.local import LocalConnector
+from repro.exceptions import PayloadTooLargeError
+from repro.faas import CloudFaaSService
+from repro.faas import ComputeEndpoint
+from repro.faas import Executor
+from repro.harness.reporting import ResultTable
+from repro.proxy import Proxy
+from repro.simulation import VirtualClock
+from repro.simulation import paper_testbed
+from repro.simulation import payload_of_size
+from repro.simulation import size_sweep
+from repro.simulation.context import on_host
+from repro.simulation.costed import CostedConnector
+from repro.simulation.costs import CentralServerCost
+from repro.simulation.costs import EndpointPeerCost
+from repro.simulation.costs import GlobusTransferCost
+from repro.simulation.costs import IPFSCost
+from repro.simulation.costs import SharedFilesystemCost
+from repro.simulation.costs import TransferCostModel
+from repro.store import Store
+
+__all__ = ['SiteConfiguration', 'FIG5_CONFIGURATIONS', 'run_figure5']
+
+#: Globus Compute's payload limit, shown as the dashed line in Figure 5.
+PAYLOAD_LIMIT_BYTES = 5 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class SiteConfiguration:
+    """One client/endpoint placement of Figure 5."""
+
+    label: str
+    client_host: str
+    endpoint_host: str
+    intra_site: bool
+
+
+FIG5_CONFIGURATIONS: tuple[SiteConfiguration, ...] = (
+    SiteConfiguration('Theta -> Theta', 'theta-login', 'theta-compute', True),
+    SiteConfiguration('Perlmutter Login -> Perlmutter Compute',
+                      'perlmutter-login', 'perlmutter-compute', True),
+    SiteConfiguration('Midway2 -> Theta', 'midway2-login', 'theta-compute', False),
+    SiteConfiguration('Frontera -> Theta', 'frontera-login', 'theta-compute', False),
+)
+
+_INTRA_METHODS = ('cloud', 'file-store', 'redis-store', 'endpoint-store')
+_INTER_METHODS = ('cloud', 'ipfs', 'endpoint-store', 'globus-store')
+
+
+def _noop_task(data, ctx=None):
+    """No-op task: the input is resolved/used but no computation is performed."""
+    if ctx is not None and isinstance(data, Proxy):
+        ctx.resolve_proxy(data)
+    return len(data)
+
+
+def _sleep_task(data, ctx=None):
+    """1 s sleep task overlapping the proxy resolution with the sleep."""
+    if ctx is not None:
+        if isinstance(data, Proxy):
+            ctx.compute_with_async_resolve(data, 1.0)
+        else:
+            ctx.sleep(1.0)
+    return len(data)
+
+
+def _cost_model_for(method: str, fabric, config: SiteConfiguration) -> TransferCostModel:
+    if method == 'file-store':
+        return SharedFilesystemCost(fabric)
+    if method == 'redis-store':
+        return CentralServerCost(fabric, server_host=config.client_host)
+    if method == 'endpoint-store':
+        return EndpointPeerCost(fabric)
+    if method == 'globus-store':
+        return GlobusTransferCost(fabric)
+    raise ValueError(f'no cost model for method {method!r}')
+
+
+def _measure_cell(
+    config: SiteConfiguration,
+    method: str,
+    size: int,
+    task_type: str,
+    workdir: str,
+) -> float | None:
+    """Virtual round-trip seconds for one (configuration, method, size) cell."""
+    fabric = paper_testbed()
+    clock = VirtualClock()
+    cloud = CloudFaaSService(fabric, clock, payload_limit_bytes=PAYLOAD_LIMIT_BYTES)
+    endpoint = ComputeEndpoint('fig5-endpoint', config.endpoint_host, clock, fabric)
+    cloud.register_endpoint(endpoint)
+    executor = Executor(cloud, 'fig5-endpoint', client_host=config.client_host)
+    task = _noop_task if task_type == 'noop' else _sleep_task
+    payload = payload_of_size(size)
+    start = clock.now()
+
+    if method == 'cloud':
+        with on_host(config.client_host):
+            try:
+                future = executor.submit(task, payload)
+            except PayloadTooLargeError:
+                return None
+            future.result()
+        return clock.now() - start
+
+    if method == 'ipfs':
+        network = IPFSNetwork()
+        client_node = IPFSNode(f'{workdir}/ipfs-client', network)
+        endpoint_node = IPFSNode(f'{workdir}/ipfs-endpoint', network)
+        cost = IPFSCost(fabric)
+
+        def ipfs_task(cid, ctx=None):
+            # Retrieve the file from the peer network, then read it back.
+            ctx.clock.advance(
+                cost.get_cost(size, config.client_host, config.endpoint_host),
+            )
+            data = endpoint_node.get(cid)
+            if task_type == 'sleep':
+                ctx.sleep(1.0)  # IPFS offers no asynchronous-resolution overlap
+            return len(data)
+
+        with on_host(config.client_host):
+            cid = client_node.add(payload)
+            clock.advance(cost.put_cost(size, config.client_host))
+            future = executor.submit(ipfs_task, cid)
+            future.result()
+        return clock.now() - start
+
+    # ProxyStore methods: a Store over a cost-accounted connector.
+    model = _cost_model_for(method, fabric, config)
+    if method == 'file-store':
+        inner = FileConnector(f'{workdir}/file-store')
+    else:
+        inner = LocalConnector()
+    connector = CostedConnector(inner, model, clock)
+    store = Store(
+        f'fig5-{method}-{config.label}-{size}-{task_type}',
+        connector,
+        cache_size=0,
+        register=True,
+    )
+    try:
+        with on_host(config.client_host):
+            proxy = store.proxy(payload, cache_local=False)
+            future = executor.submit(task, proxy)
+            future.result()
+        return clock.now() - start
+    finally:
+        store.close(clear=True)
+
+
+def run_figure5(
+    *,
+    task_type: str = 'noop',
+    sizes: Sequence[int] | None = None,
+    configurations: Sequence[SiteConfiguration] = FIG5_CONFIGURATIONS,
+    workdir: str | None = None,
+) -> ResultTable:
+    """Run the Figure 5 sweep and return one row per (config, method, size)."""
+    if task_type not in ('noop', 'sleep'):
+        raise ValueError("task_type must be 'noop' or 'sleep'")
+    sizes = list(sizes) if sizes is not None else size_sweep(10, 10_000_000)
+    table = ResultTable(
+        title=f'Figure 5: Globus Compute round-trip time ({task_type} tasks)',
+        columns=['configuration', 'method', 'input_bytes', 'roundtrip_s'],
+    )
+    table.add_note(f'payload limit for cloud transfer: {PAYLOAD_LIMIT_BYTES} bytes')
+    table.add_note('times are virtual seconds on the simulated testbed fabric')
+    with tempfile.TemporaryDirectory() as tmp:
+        base = workdir or tmp
+        for config in configurations:
+            methods = _INTRA_METHODS if config.intra_site else _INTER_METHODS
+            for method in methods:
+                for size in sizes:
+                    cell_dir = f'{base}/{config.label.replace(" ", "")}-{method}-{size}'
+                    roundtrip = _measure_cell(config, method, size, task_type, cell_dir)
+                    table.add_row(
+                        configuration=config.label,
+                        method=method,
+                        input_bytes=size,
+                        roundtrip_s=roundtrip,
+                    )
+    return table

@@ -1,0 +1,14 @@
+"""SimKV: a small TCP key-value store server and client.
+
+The paper's ``RedisConnector`` talks to a Redis (or KeyDB) server.  A real
+Redis server is not available in this offline reproduction, so SimKV plays
+its role: a network-reachable, in-memory key-value store spoken to over TCP
+with a simple length-prefixed request/response protocol.  It exercises the
+same code path as a Redis-backed connector — serialization, a socket round
+trip per operation, and a central store shared by many clients.
+"""
+from repro.kvserver.client import KVClient
+from repro.kvserver.server import KVServer
+from repro.kvserver.server import launch_server
+
+__all__ = ['KVClient', 'KVServer', 'launch_server']

@@ -1,0 +1,96 @@
+"""Client for the SimKV server.
+
+The client keeps one persistent TCP connection (created lazily and re-created
+on failure) and serializes requests over it behind a lock, matching how a
+Redis client connection is typically used by a single connector instance.
+"""
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any
+
+from repro.exceptions import ConnectorError
+from repro.kvserver.protocol import recv_message
+from repro.kvserver.protocol import send_message
+
+__all__ = ['KVClient']
+
+
+class KVClient:
+    """Blocking client for a :class:`~repro.kvserver.server.KVServer`."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 10.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._lock = threading.Lock()
+
+    # -- connection management -------------------------------------------- #
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _request(self, command: str, key: str | None = None, value: Any = None) -> Any:
+        with self._lock:
+            if self._sock is None:
+                try:
+                    self._sock = self._connect()
+                except OSError as e:
+                    raise ConnectorError(
+                        f'cannot connect to SimKV server at {self.host}:{self.port}: {e}',
+                    ) from e
+            try:
+                send_message(self._sock, (command, key, value))
+                response = recv_message(self._sock)
+            except OSError as e:
+                self.close()
+                raise ConnectorError(f'SimKV request failed: {e}') from e
+            if response is None:
+                self.close()
+                raise ConnectorError('SimKV server closed the connection')
+            status, payload = response
+            if status != 'ok':
+                raise ConnectorError(f'SimKV error: {payload}')
+            return payload
+
+    def close(self) -> None:
+        """Close the underlying socket (a later request reconnects)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._sock = None
+
+    def __enter__(self) -> 'KVClient':
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # -- commands ----------------------------------------------------------- #
+    def ping(self) -> bool:
+        """Return True if the server responds to a PING."""
+        return self._request('PING') == 'PONG'
+
+    def set(self, key: str, value: bytes) -> None:
+        self._request('SET', key, value)
+
+    def get(self, key: str) -> bytes | None:
+        return self._request('GET', key)
+
+    def exists(self, key: str) -> bool:
+        return bool(self._request('EXISTS', key))
+
+    def delete(self, key: str) -> bool:
+        return bool(self._request('DEL', key))
+
+    def flush(self) -> int:
+        """Remove every key on the server; returns how many were removed."""
+        return int(self._request('FLUSH'))
+
+    def size(self) -> int:
+        return int(self._request('SIZE'))

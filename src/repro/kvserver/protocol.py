@@ -1,0 +1,55 @@
+"""Wire protocol shared by the SimKV server and client.
+
+Messages are length-prefixed: a 4-byte big-endian unsigned length followed by
+a pickled payload.  Requests are ``(command, key, value)`` tuples; responses
+are ``(status, payload)`` tuples where ``status`` is ``'ok'`` or ``'error'``.
+Pickle is acceptable here because both ends are this library (SimKV is an
+internal substrate, not an internet-facing service).
+"""
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any
+
+__all__ = [
+    'COMMANDS',
+    'recv_message',
+    'send_message',
+]
+
+#: Commands understood by the server.
+COMMANDS = frozenset({'SET', 'GET', 'EXISTS', 'DEL', 'FLUSH', 'PING', 'SIZE', 'SHUTDOWN'})
+
+_HEADER = struct.Struct('>I')
+
+
+def send_message(sock: socket.socket, message: Any) -> None:
+    """Pickle ``message`` and send it with a length prefix."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, nbytes: int) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = nbytes
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b''.join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Any | None:
+    """Receive one length-prefixed message; ``None`` on a cleanly closed socket."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        return None
+    return pickle.loads(payload)

@@ -1,0 +1,173 @@
+"""The SimKV server: a threaded TCP key-value store.
+
+One server instance holds an in-memory ``dict`` guarded by a lock and serves
+any number of concurrent client connections, each handled by its own thread
+(the workload is I/O bound so Python threads are adequate, as the HPC Python
+guidance recommends for network-bound servers).
+"""
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any
+
+from repro.kvserver.protocol import recv_message
+from repro.kvserver.protocol import send_message
+
+__all__ = ['KVServer', 'launch_server']
+
+
+class KVServer:
+    """In-memory key-value store reachable over TCP.
+
+    Args:
+        host: interface to bind (default loopback).
+        port: TCP port; ``0`` picks a free ephemeral port.
+    """
+
+    def __init__(self, host: str = '127.0.0.1', port: int = 0) -> None:
+        self.host = host
+        self._requested_port = port
+        self.port: int | None = None
+        self._data: dict[str, bytes] = {}
+        self._lock = threading.Lock()
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._client_threads: list[threading.Thread] = []
+        self._running = threading.Event()
+
+    # -- lifecycle -------------------------------------------------------- #
+    def start(self) -> tuple[str, int]:
+        """Bind, listen and start accepting connections; returns (host, port)."""
+        if self._running.is_set():
+            return (self.host, self.port or 0)
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self._requested_port))
+        listener.listen(128)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._running.set()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name='simkv-accept', daemon=True,
+        )
+        self._accept_thread.start()
+        return (self.host, self.port)
+
+    def stop(self) -> None:
+        """Stop accepting connections and close the listener."""
+        if not self._running.is_set():
+            return
+        self._running.clear()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - platform dependent
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2)
+        with self._lock:
+            self._data.clear()
+
+    @property
+    def running(self) -> bool:
+        return self._running.is_set()
+
+    def __enter__(self) -> 'KVServer':
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    # -- networking -------------------------------------------------------- #
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while self._running.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                break  # listener closed during shutdown
+            thread = threading.Thread(
+                target=self._serve_client, args=(conn,), daemon=True,
+            )
+            thread.start()
+            self._client_threads.append(thread)
+
+    def _serve_client(self, conn: socket.socket) -> None:
+        with conn:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            while True:
+                try:
+                    request = recv_message(conn)
+                except (OSError, EOFError):  # pragma: no cover - abrupt close
+                    return
+                if request is None:
+                    return
+                response = self._handle(request)
+                try:
+                    send_message(conn, response)
+                except OSError:  # pragma: no cover - client vanished
+                    return
+
+    # -- command handling --------------------------------------------------- #
+    def _handle(self, request: Any) -> tuple[str, Any]:
+        try:
+            command, key, value = request
+        except (TypeError, ValueError):
+            return ('error', f'malformed request: {request!r}')
+        command = str(command).upper()
+        if command == 'PING':
+            return ('ok', 'PONG')
+        if command == 'SET':
+            if not isinstance(value, (bytes, bytearray)):
+                return ('error', 'SET value must be bytes')
+            with self._lock:
+                self._data[key] = bytes(value)
+            return ('ok', True)
+        if command == 'GET':
+            with self._lock:
+                return ('ok', self._data.get(key))
+        if command == 'EXISTS':
+            with self._lock:
+                return ('ok', key in self._data)
+        if command == 'DEL':
+            with self._lock:
+                return ('ok', self._data.pop(key, None) is not None)
+        if command == 'FLUSH':
+            with self._lock:
+                count = len(self._data)
+                self._data.clear()
+            return ('ok', count)
+        if command == 'SIZE':
+            with self._lock:
+                return ('ok', len(self._data))
+        return ('error', f'unknown command {command!r}')
+
+
+# Process-local registry of servers started implicitly by connectors so that
+# repeated RedisConnector(...) construction with the same address reuses one
+# server rather than racing to bind the port.
+_LAUNCHED: dict[tuple[str, int], KVServer] = {}
+_LAUNCH_LOCK = threading.Lock()
+
+
+def launch_server(host: str = '127.0.0.1', port: int = 0) -> KVServer:
+    """Start (or return an already-started) SimKV server on ``host:port``.
+
+    With ``port=0`` a new server on an ephemeral port is always created.
+    """
+    with _LAUNCH_LOCK:
+        if port != 0:
+            existing = _LAUNCHED.get((host, port))
+            if existing is not None and existing.running:
+                return existing
+        server = KVServer(host, port)
+        server.start()
+        assert server.port is not None
+        _LAUNCHED[(host, server.port)] = server
+        return server

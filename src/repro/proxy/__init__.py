@@ -1,0 +1,32 @@
+"""Lazy transparent object proxies (the paper's core abstraction).
+
+Public API::
+
+    from repro.proxy import Proxy, Factory, SimpleFactory, LambdaFactory
+    from repro.proxy import extract, is_resolved, resolve, resolve_async
+"""
+from repro.proxy.factory import Factory
+from repro.proxy.factory import LambdaFactory
+from repro.proxy.factory import SimpleFactory
+from repro.proxy.proxy import Proxy
+from repro.proxy.proxy import UNRESOLVED
+from repro.proxy.proxy import get_factory
+from repro.proxy.resolve import extract
+from repro.proxy.resolve import is_proxy
+from repro.proxy.resolve import is_resolved
+from repro.proxy.resolve import resolve
+from repro.proxy.resolve import resolve_async
+
+__all__ = [
+    'Factory',
+    'LambdaFactory',
+    'Proxy',
+    'SimpleFactory',
+    'UNRESOLVED',
+    'extract',
+    'get_factory',
+    'is_proxy',
+    'is_resolved',
+    'resolve',
+    'resolve_async',
+]

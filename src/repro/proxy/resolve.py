@@ -1,0 +1,83 @@
+"""Module-level helpers for working with :class:`~repro.proxy.Proxy` instances.
+
+These functions mirror the utilities ProxyStore exposes: they let library and
+application code inspect or control proxy resolution without touching the
+proxy's (intentionally hidden) internals, and without accidentally resolving
+a proxy that the caller only wants to inspect.
+"""
+from __future__ import annotations
+
+from typing import Any
+from typing import TypeVar
+
+from repro.proxy.factory import Factory
+from repro.proxy.proxy import Proxy
+from repro.proxy.proxy import UNRESOLVED
+from repro.proxy.proxy import get_factory
+
+T = TypeVar('T')
+
+__all__ = [
+    'extract',
+    'is_proxy',
+    'is_resolved',
+    'resolve',
+    'resolve_async',
+]
+
+
+def is_proxy(obj: Any) -> bool:
+    """Return ``True`` if ``obj`` is a :class:`Proxy` instance.
+
+    Note that ``isinstance(obj, Proxy)`` also works (proxies do not lie about
+    their concrete type, only about ``__class__``), but this helper documents
+    intent and avoids accidentally resolving the proxy.
+    """
+    return type(obj) is Proxy or isinstance(type(obj), type) and issubclass(type(obj), Proxy)
+
+
+def is_resolved(proxy: Proxy[T]) -> bool:
+    """Return ``True`` if ``proxy`` has already resolved its target.
+
+    This never triggers resolution.
+    """
+    if not is_proxy(proxy):
+        raise TypeError(f'expected a Proxy, got {type(proxy).__name__}')
+    return object.__getattribute__(proxy, '__target__') is not UNRESOLVED
+
+
+def resolve(proxy: Proxy[T]) -> None:
+    """Force ``proxy`` to resolve its target immediately (blocking)."""
+    if not is_proxy(proxy):
+        raise TypeError(f'expected a Proxy, got {type(proxy).__name__}')
+    _ = proxy.__wrapped__
+
+
+def resolve_async(proxy: Proxy[T]) -> None:
+    """Begin resolving ``proxy`` in a background thread.
+
+    If the proxy's factory derives from :class:`~repro.proxy.Factory` its
+    ``resolve_async`` hook is used; otherwise this is a no-op (the proxy will
+    simply resolve synchronously on first use).  Used to overlap
+    communication with computation, e.g. the sleep-task experiments in
+    Figure 5 of the paper.
+    """
+    if not is_proxy(proxy):
+        raise TypeError(f'expected a Proxy, got {type(proxy).__name__}')
+    if is_resolved(proxy):
+        return
+    factory = get_factory(proxy)
+    if isinstance(factory, Factory):
+        factory.resolve_async()
+
+
+def extract(proxy: Proxy[T]) -> T:
+    """Return the target object wrapped by ``proxy`` (resolving if needed).
+
+    Unlike using the proxy directly, the returned object is the bare target
+    with its true concrete type, which is occasionally needed by code that
+    checks ``type(x) is SomeType`` rather than using ``isinstance``.
+    """
+    if not is_proxy(proxy):
+        raise TypeError(f'expected a Proxy, got {type(proxy).__name__}')
+    return proxy.__wrapped__

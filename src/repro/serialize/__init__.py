@@ -1,0 +1,18 @@
+"""Object (de)serialization used by stores before talking to connectors."""
+from repro.serialize.serializer import BytesLike
+from repro.serialize.serializer import deserialize
+from repro.serialize.serializer import serialize
+from repro.serialize.registry import SerializerRegistry
+from repro.serialize.registry import default_registry
+from repro.serialize.registry import register_serializer
+from repro.serialize.registry import unregister_serializer
+
+__all__ = [
+    'BytesLike',
+    'SerializerRegistry',
+    'default_registry',
+    'deserialize',
+    'register_serializer',
+    'serialize',
+    'unregister_serializer',
+]

@@ -1,0 +1,136 @@
+"""Registry of custom per-type serializers.
+
+Applications with types that pickle poorly (or not at all) can register a
+named ``(serializer, deserializer)`` pair keyed by the object's type.  The
+default :func:`repro.serialize.serialize` routine consults the registry
+before its built-in fast paths, so registered types are handled everywhere a
+Store serializes data.
+
+The registration is process-local; a proxy serialized with a custom
+serializer can only be resolved in processes that registered the same name,
+mirroring the behaviour of registering custom serializers with a ProxyStore
+Store.
+"""
+from __future__ import annotations
+
+import threading
+from typing import Any
+from typing import Callable
+from typing import Optional
+from typing import Tuple
+
+SerializerFn = Callable[[Any], bytes]
+DeserializerFn = Callable[[bytes], Any]
+_Entry = Tuple[str, SerializerFn, DeserializerFn]
+
+__all__ = [
+    'SerializerRegistry',
+    'default_registry',
+    'register_serializer',
+    'unregister_serializer',
+]
+
+
+class SerializerRegistry:
+    """Thread-safe mapping of names and types to serializer pairs."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_name: dict[str, _Entry] = {}
+        self._by_type: dict[type, str] = {}
+
+    def register(
+        self,
+        name: str,
+        kind: type,
+        serializer: SerializerFn,
+        deserializer: DeserializerFn,
+        *,
+        overwrite: bool = False,
+    ) -> None:
+        """Register ``serializer``/``deserializer`` for objects of type ``kind``.
+
+        Args:
+            name: unique identifier embedded in the serialized payload.
+            kind: exact type (subclasses are also matched) to serialize.
+            serializer: callable converting an instance to bytes.
+            deserializer: callable converting those bytes back to an instance.
+            overwrite: replace an existing registration with the same name.
+
+        Raises:
+            ValueError: if ``name`` is already registered and ``overwrite`` is
+                false, or if ``name`` contains a newline (reserved as the
+                payload delimiter).
+        """
+        if '\n' in name:
+            raise ValueError('serializer names may not contain newlines')
+        with self._lock:
+            if name in self._by_name and not overwrite:
+                raise ValueError(f'serializer {name!r} is already registered')
+            self._by_name[name] = (name, serializer, deserializer)
+            self._by_type[kind] = name
+
+    def unregister(self, name: str) -> None:
+        """Remove the registration named ``name`` (no-op if absent)."""
+        with self._lock:
+            self._by_name.pop(name, None)
+            stale = [t for t, n in self._by_type.items() if n == name]
+            for t in stale:
+                del self._by_type[t]
+
+    def get(self, name: str) -> Optional[_Entry]:
+        """Return the entry registered under ``name`` or ``None``."""
+        with self._lock:
+            return self._by_name.get(name)
+
+    def find(self, obj: Any) -> Optional[_Entry]:
+        """Return the entry whose registered type matches ``type(obj)``.
+
+        Exact type matches are preferred; otherwise the first registered type
+        that ``obj`` is an instance of wins.
+        """
+        with self._lock:
+            name = self._by_type.get(type(obj))
+            if name is not None:
+                return self._by_name.get(name)
+            for kind, name in self._by_type.items():
+                if isinstance(obj, kind):
+                    return self._by_name.get(name)
+        return None
+
+    def clear(self) -> None:
+        """Remove every registration (used by tests)."""
+        with self._lock:
+            self._by_name.clear()
+            self._by_type.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._by_name)
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._by_name
+
+
+default_registry = SerializerRegistry()
+"""Process-global registry consulted by :func:`repro.serialize.serialize`."""
+
+
+def register_serializer(
+    name: str,
+    kind: type,
+    serializer: SerializerFn,
+    deserializer: DeserializerFn,
+    *,
+    overwrite: bool = False,
+) -> None:
+    """Register a custom serializer in the process-global registry."""
+    default_registry.register(
+        name, kind, serializer, deserializer, overwrite=overwrite,
+    )
+
+
+def unregister_serializer(name: str) -> None:
+    """Remove a custom serializer from the process-global registry."""
+    default_registry.unregister(name)

@@ -1,0 +1,147 @@
+"""Default object serialization.
+
+The :class:`~repro.store.Store` serializes Python objects to byte strings
+before handing them to a :class:`~repro.connectors.Connector` (which only
+operates on bytes).  The default serializer uses cheap fast paths for
+``bytes``, ``str`` and NumPy arrays, and falls back to pickle for everything
+else.  Custom per-type serializers can be registered through
+:mod:`repro.serialize.registry`.
+
+Wire format: a one-byte identifier followed by the payload.
+
+====  =======================================================
+byte  payload
+====  =======================================================
+0x01  raw bytes (no transformation)
+0x02  UTF-8 encoded ``str``
+0x03  NumPy array in ``.npy`` format (``numpy.save``)
+0x04  payload produced by a registered custom serializer; the
+      identifier name (UTF-8) and a newline precede the payload
+0x05  pickle (highest protocol)
+====  =======================================================
+"""
+from __future__ import annotations
+
+import io
+import pickle
+from typing import Any
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+
+BytesLike = Union[bytes, bytearray, memoryview]
+
+_IDENT_BYTES = b'\x01'
+_IDENT_STR = b'\x02'
+_IDENT_NUMPY = b'\x03'
+_IDENT_CUSTOM = b'\x04'
+_IDENT_PICKLE = b'\x05'
+
+__all__ = ['serialize', 'deserialize', 'BytesLike']
+
+
+def serialize(obj: Any) -> bytes:
+    """Serialize ``obj`` to bytes using the default scheme.
+
+    Raises:
+        SerializationError: if the object cannot be serialized (e.g. pickling
+            fails for an unpicklable object).
+    """
+    # Import here to avoid a circular import at module load time: the registry
+    # module imports nothing from here, but user code commonly imports both.
+    from repro.proxy.proxy import Proxy
+    from repro.serialize.registry import default_registry
+
+    # Proxies are handled before any isinstance-based dispatch: isinstance
+    # checks would transparently resolve the proxy (and then serialize the
+    # full target), whereas the whole point of communicating a proxy is that
+    # only its factory travels.  Pickling a proxy does exactly that.
+    if issubclass(type(obj), Proxy):
+        return _IDENT_PICKLE + pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+    custom = default_registry.find(obj)
+    if custom is not None:
+        name, serializer, _ = custom
+        try:
+            payload = serializer(obj)
+        except Exception as e:  # noqa: BLE001
+            raise SerializationError(
+                f'Registered serializer {name!r} failed for '
+                f'{type(obj).__name__}: {e}',
+            ) from e
+        if not isinstance(payload, (bytes, bytearray, memoryview)):
+            raise SerializationError(
+                f'Registered serializer {name!r} must return bytes, got '
+                f'{type(payload).__name__}',
+            )
+        return _IDENT_CUSTOM + name.encode('utf-8') + b'\n' + bytes(payload)
+
+    if isinstance(obj, bytes):
+        return _IDENT_BYTES + obj
+    if isinstance(obj, (bytearray, memoryview)):
+        return _IDENT_BYTES + bytes(obj)
+    if isinstance(obj, str):
+        return _IDENT_STR + obj.encode('utf-8')
+    if isinstance(obj, np.ndarray):
+        buffer = io.BytesIO()
+        np.save(buffer, obj, allow_pickle=False)
+        return _IDENT_NUMPY + buffer.getvalue()
+    try:
+        return _IDENT_PICKLE + pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as e:  # noqa: BLE001
+        raise SerializationError(
+            f'Object of type {type(obj).__name__} could not be pickled: {e}',
+        ) from e
+
+
+def deserialize(data: BytesLike) -> Any:
+    """Inverse of :func:`serialize`.
+
+    Raises:
+        SerializationError: if ``data`` is not bytes produced by
+            :func:`serialize` or the payload cannot be decoded.
+    """
+    from repro.serialize.registry import default_registry
+
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise SerializationError(
+            f'deserialize expects bytes, got {type(data).__name__}',
+        )
+    data = bytes(data)
+    if len(data) == 0:
+        raise SerializationError('cannot deserialize an empty byte string')
+
+    identifier, payload = data[:1], data[1:]
+    if identifier == _IDENT_BYTES:
+        return payload
+    if identifier == _IDENT_STR:
+        return payload.decode('utf-8')
+    if identifier == _IDENT_NUMPY:
+        buffer = io.BytesIO(payload)
+        return np.load(buffer, allow_pickle=False)
+    if identifier == _IDENT_CUSTOM:
+        name_bytes, _, body = payload.partition(b'\n')
+        name = name_bytes.decode('utf-8')
+        entry = default_registry.get(name)
+        if entry is None:
+            raise SerializationError(
+                f'No serializer registered under name {name!r}; it must be '
+                'registered in the consuming process as well',
+            )
+        _, _, deserializer = entry
+        try:
+            return deserializer(body)
+        except Exception as e:  # noqa: BLE001
+            raise SerializationError(
+                f'Registered deserializer {name!r} failed: {e}',
+            ) from e
+    if identifier == _IDENT_PICKLE:
+        try:
+            return pickle.loads(payload)
+        except Exception as e:  # noqa: BLE001
+            raise SerializationError(f'Unpickling failed: {e}') from e
+    raise SerializationError(
+        f'Unknown serialization identifier byte: {identifier!r}',
+    )

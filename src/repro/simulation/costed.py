@@ -1,0 +1,168 @@
+"""Connector wrapper that charges virtual time for real connector traffic.
+
+``CostedConnector`` delegates every operation to a real connector (so objects
+really are stored and fetched through the library's code paths) and, for each
+operation, computes the virtual cost the operation would have had on the
+simulated testbed — based on the payload size, where the object was produced,
+and where the current code pretends to run (:mod:`repro.simulation.context`).
+Costs are charged to a shared :class:`~repro.simulation.clock.VirtualClock`
+and recorded in a ledger the benchmark harness reads.
+"""
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from dataclasses import field
+from typing import Any
+from typing import Sequence
+
+from repro.connectors.protocol import Connector
+from repro.simulation.clock import VirtualClock
+from repro.simulation.context import current_host
+from repro.simulation.costs import TransferCostModel
+
+__all__ = ['CostLedger', 'CostedConnector']
+
+
+@dataclass
+class CostLedger:
+    """Accumulated virtual costs charged by a CostedConnector."""
+
+    put_cost: float = 0.0
+    get_cost: float = 0.0
+    put_count: int = 0
+    get_count: int = 0
+    put_bytes: int = 0
+    get_bytes: int = 0
+    last_put_cost: float = 0.0
+    last_get_cost: float = 0.0
+    per_operation: list = field(default_factory=list)
+
+    @property
+    def total_cost(self) -> float:
+        return self.put_cost + self.get_cost
+
+    def record_put(self, cost: float, nbytes: int) -> None:
+        self.put_cost += cost
+        self.put_count += 1
+        self.put_bytes += nbytes
+        self.last_put_cost = cost
+        self.per_operation.append(('put', nbytes, cost))
+
+    def record_get(self, cost: float, nbytes: int) -> None:
+        self.get_cost += cost
+        self.get_count += 1
+        self.get_bytes += nbytes
+        self.last_get_cost = cost
+        self.per_operation.append(('get', nbytes, cost))
+
+
+class CostedConnector(Connector):
+    """Wrap ``inner`` with virtual-time accounting under ``model``.
+
+    Args:
+        inner: the real connector doing the work.
+        model: cost model describing this communication method.
+        clock: virtual clock charged for every operation (optional: when
+            omitted only the ledger is updated).
+        charge_clock: whether to advance the clock (disable when a higher
+            layer, e.g. the FaaS simulator, wants to account for overlap).
+    """
+
+    connector_name = 'costed'
+
+    def __init__(
+        self,
+        inner: Connector,
+        model: TransferCostModel,
+        clock: VirtualClock | None = None,
+        *,
+        charge_clock: bool = True,
+    ) -> None:
+        self.inner = inner
+        self.model = model
+        self.clock = clock
+        self.charge_clock = charge_clock
+        self.ledger = CostLedger()
+        self.capabilities = inner.capabilities
+        self._origins: dict[Any, str] = {}
+        self._sizes: dict[Any, int] = {}
+        self._fetched_at: dict[tuple[Any, str], bool] = {}
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:
+        return f'CostedConnector({self.inner!r}, model={self.model.name!r})'
+
+    # -- cost helpers ------------------------------------------------------- #
+    def _charge(self, cost: float) -> None:
+        if self.charge_clock and self.clock is not None:
+            self.clock.advance(cost)
+
+    def _charge_put(self, key: Any, nbytes: int) -> None:
+        host = current_host()
+        cost = self.model.put_cost(nbytes, host)
+        with self._lock:
+            self._origins[key] = host
+            self._sizes[key] = nbytes
+        self.ledger.record_put(cost, nbytes)
+        self._charge(cost)
+
+    def _charge_get(self, key: Any, nbytes: int) -> None:
+        consumer = current_host()
+        with self._lock:
+            origin = self._origins.get(key, consumer)
+            site_pair = (key, consumer)
+            first = not self._fetched_at.get(site_pair, False)
+            self._fetched_at[site_pair] = True
+        cost = self.model.get_cost(nbytes, origin, consumer, first_fetch=first)
+        self.ledger.record_get(cost, nbytes)
+        self._charge(cost)
+
+    # -- connector protocol --------------------------------------------------- #
+    def put(self, data: bytes, **kwargs: Any) -> Any:
+        key = self.inner.put(data, **kwargs) if kwargs else self.inner.put(data)
+        self._charge_put(key, len(data))
+        return key
+
+    def put_batch(self, datas: Sequence[bytes]) -> list[Any]:
+        keys = self.inner.put_batch(datas)
+        for key, data in zip(keys, datas):
+            self._charge_put(key, len(data))
+        return keys
+
+    def get(self, key: Any) -> bytes | None:
+        data = self.inner.get(key)
+        if data is not None:
+            self._charge_get(key, len(data))
+        return data
+
+    def get_batch(self, keys: Sequence[Any]) -> list[bytes | None]:
+        datas = self.inner.get_batch(keys)
+        for key, data in zip(keys, datas):
+            if data is not None:
+                self._charge_get(key, len(data))
+        return datas
+
+    def exists(self, key: Any) -> bool:
+        return self.inner.exists(key)
+
+    def evict(self, key: Any) -> None:
+        self.inner.evict(key)
+        with self._lock:
+            self._origins.pop(key, None)
+            self._sizes.pop(key, None)
+
+    def config(self) -> dict[str, Any]:
+        # Costed wrappers are a benchmarking construct: their configs refer to
+        # the inner connector so proxies resolve through the real channel.
+        return self.inner.config()
+
+    @classmethod
+    def from_config(cls, config: dict[str, Any]) -> Connector:  # pragma: no cover
+        raise NotImplementedError(
+            'CostedConnector cannot be reconstructed from a config; '
+            'rebuild it around the inner connector instead',
+        )
+
+    def close(self, clear: bool = False) -> None:
+        self.inner.close(clear=clear)

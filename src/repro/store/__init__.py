@@ -1,0 +1,42 @@
+"""High-level Store API (the primary entry point of the library).
+
+Typical usage::
+
+    from repro.connectors.file import FileConnector
+    from repro.store import Store
+
+    store = Store('my-store', FileConnector('/tmp/proxystore-data'))
+    p = store.proxy(my_object)
+    some_function(p)   # my_object is resolved from the store on first use
+"""
+from repro.exceptions import StoreError
+from repro.exceptions import StoreExistsError
+from repro.exceptions import StoreKeyError
+from repro.store.config import StoreConfig
+from repro.store.factory import StoreFactory
+from repro.store.metrics import OperationStats
+from repro.store.metrics import StoreMetrics
+from repro.store.registry import get_or_create_store
+from repro.store.registry import get_store
+from repro.store.registry import list_stores
+from repro.store.registry import register_store
+from repro.store.registry import unregister_all
+from repro.store.registry import unregister_store
+from repro.store.store import Store
+
+__all__ = [
+    'OperationStats',
+    'Store',
+    'StoreConfig',
+    'StoreError',
+    'StoreExistsError',
+    'StoreFactory',
+    'StoreKeyError',
+    'StoreMetrics',
+    'get_or_create_store',
+    'get_store',
+    'list_stores',
+    'register_store',
+    'unregister_all',
+    'unregister_store',
+]

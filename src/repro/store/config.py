@@ -1,0 +1,64 @@
+"""Serializable description of a Store.
+
+A :class:`StoreConfig` contains everything needed to re-create a Store in a
+different process: the store's name, the connector's import path and its
+``config()`` dictionary, and the store options (cache size, metrics).  It is
+what a :class:`~repro.store.factory.StoreFactory` carries inside a proxy so
+that consumers can transparently reconstruct the producer's Store
+(Section 3.5 of the paper).
+"""
+from __future__ import annotations
+
+from dataclasses import asdict
+from dataclasses import dataclass
+from dataclasses import field
+from typing import Any
+
+from repro.connectors.protocol import Connector
+from repro.connectors.protocol import connector_from_path
+from repro.connectors.protocol import connector_path
+
+__all__ = ['StoreConfig']
+
+
+@dataclass
+class StoreConfig:
+    """Picklable configuration from which a Store can be rebuilt.
+
+    Attributes:
+        name: globally-unique store name used for process-local registration.
+        connector: import path of the connector class (``module:ClassName``).
+        connector_config: the connector's ``config()`` dictionary.
+        cache_size: number of deserialized objects the store caches.
+        metrics: whether operation metrics are recorded.
+    """
+
+    name: str
+    connector: str
+    connector_config: dict[str, Any] = field(default_factory=dict)
+    cache_size: int = 16
+    metrics: bool = False
+
+    @classmethod
+    def from_store(cls, store: Any) -> 'StoreConfig':
+        """Build a config describing an existing Store instance."""
+        return cls(
+            name=store.name,
+            connector=connector_path(store.connector),
+            connector_config=store.connector.config(),
+            cache_size=store.cache.maxsize,
+            metrics=store.metrics is not None,
+        )
+
+    def make_connector(self) -> Connector:
+        """Instantiate the connector described by this config."""
+        return connector_from_path(self.connector, dict(self.connector_config))
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a plain-dict representation (JSON-friendly apart from values)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> 'StoreConfig':
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)

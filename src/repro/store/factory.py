@@ -1,0 +1,95 @@
+"""Factories that resolve proxy targets from a Store.
+
+A :class:`StoreFactory` is what ``Store.proxy()`` embeds inside the proxies
+it creates.  It is fully self-contained: it carries the connector key, the
+:class:`~repro.store.config.StoreConfig` needed to re-create the Store on any
+process, and the evict flag.  Resolution goes through the (possibly freshly
+registered) Store so that deserialization caching and metrics apply.
+"""
+from __future__ import annotations
+
+from typing import Any
+from typing import TypeVar
+
+from repro.exceptions import StoreKeyError
+from repro.proxy.factory import Factory
+from repro.store.config import StoreConfig
+from repro.store.registry import get_or_create_store
+
+T = TypeVar('T')
+
+__all__ = ['StoreFactory']
+
+_MISSING = object()
+
+
+class StoreFactory(Factory[T]):
+    """Factory resolving an object from a Store by key.
+
+    Args:
+        key: connector key under which the serialized object is stored.
+        store_config: configuration from which the Store can be re-created.
+        evict: if true, the object is evicted from the store when the factory
+            first resolves it (for ephemeral intermediate values).
+        deserializer_name: reserved hook for custom deserializers registered
+            through :mod:`repro.serialize.registry`; ``None`` uses the default.
+    """
+
+    def __init__(
+        self,
+        key: Any,
+        store_config: StoreConfig,
+        *,
+        evict: bool = False,
+        deserializer_name: str | None = None,
+    ) -> None:
+        super().__init__()
+        self.key = key
+        self.store_config = store_config
+        self.evict = evict
+        self.deserializer_name = deserializer_name
+
+    def __repr__(self) -> str:
+        return (
+            f'StoreFactory(key={self.key!r}, store={self.store_config.name!r}, '
+            f'evict={self.evict})'
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, StoreFactory)
+            and self.key == other.key
+            and self.store_config.name == other.store_config.name
+            and self.evict == other.evict
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.key, self.store_config.name, self.evict))
+
+    def get_store(self):
+        """Return (creating and registering if needed) the Store for this factory."""
+        return get_or_create_store(self.store_config)
+
+    def resolve(self) -> T:
+        store = self.get_store()
+        obj = store.get(self.key, default=_MISSING)
+        if obj is _MISSING:
+            raise StoreKeyError(
+                f'Object with key {self.key!r} does not exist in store '
+                f'{self.store_config.name!r} (it may have been evicted).',
+            )
+        if self.evict:
+            store.evict(self.key)
+        return obj  # type: ignore[return-value]
+
+    def resolve_async(self) -> None:
+        """Prefetch the object into the store's cache in a background thread.
+
+        The actual object handed to the caller still goes through
+        :meth:`resolve` (on the proxy's first use), which will then hit the
+        cache, so evict semantics are preserved.
+        """
+        store = self.get_store()
+        if store.is_cached(self.key):
+            return
+        super().resolve_async()

@@ -1,0 +1,353 @@
+"""The ``Store``: the high-level application interface to ProxyStore.
+
+A Store wraps a :class:`~repro.connectors.Connector` (dependency injection)
+and adds object (de)serialization, caching of deserialized objects, optional
+operation metrics, and — most importantly — the ``proxy()`` method which puts
+an object into the mediated channel and returns a lazy transparent
+:class:`~repro.proxy.Proxy` whose factory can resolve the object anywhere the
+connector is reachable (Section 3.5 of the paper).
+"""
+from __future__ import annotations
+
+from typing import Any
+from typing import Callable
+from typing import Iterable
+from typing import Sequence
+from typing import TypeVar
+
+from repro.cache.lru import LRUCache
+from repro.connectors.protocol import Connector
+from repro.exceptions import StoreError
+from repro.proxy.proxy import Proxy
+from repro.serialize.serializer import deserialize as default_deserializer
+from repro.serialize.serializer import serialize as default_serializer
+from repro.store.config import StoreConfig
+from repro.store.factory import StoreFactory
+from repro.store.metrics import StoreMetrics
+from repro.store.metrics import Timer
+from repro.store.registry import register_store
+from repro.store.registry import unregister_store
+
+T = TypeVar('T')
+
+__all__ = ['Store']
+
+_MISSING = object()
+
+
+class Store:
+    """High-level object store built on a low-level connector.
+
+    Args:
+        name: name used to register this store in the process-global registry
+            and to share it with proxies resolved in other processes.
+        connector: the mediated communication channel to use.
+        serializer: optional callable ``obj -> bytes`` overriding the default.
+        deserializer: optional callable ``bytes -> obj`` overriding the default.
+        cache_size: number of deserialized objects cached per process (0
+            disables caching).  Caching happens *after* deserialization so
+            repeated proxy resolutions avoid duplicate deserializations.
+        metrics: record per-operation timing/byte metrics.
+        register: automatically register the store globally by name (the
+            common case); set to ``False`` for anonymous, short-lived stores.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        connector: Connector,
+        *,
+        serializer: Callable[[Any], bytes] | None = None,
+        deserializer: Callable[[bytes], Any] | None = None,
+        cache_size: int = 16,
+        metrics: bool = False,
+        register: bool = True,
+    ) -> None:
+        if not isinstance(name, str) or not name:
+            raise ValueError('store name must be a non-empty string')
+        if cache_size < 0:
+            raise ValueError('cache_size must be non-negative')
+        self.name = name
+        self.connector = connector
+        self.serializer = serializer if serializer is not None else default_serializer
+        self.deserializer = (
+            deserializer if deserializer is not None else default_deserializer
+        )
+        self.cache = LRUCache(cache_size)
+        self.metrics: StoreMetrics | None = StoreMetrics() if metrics else None
+        self._registered = False
+        if register:
+            register_store(self, exist_ok=False)
+            self._registered = True
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:
+        return f'Store(name={self.name!r}, connector={self.connector!r})'
+
+    def __enter__(self) -> 'Store':
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def config(self) -> StoreConfig:
+        """Return a picklable config from which an equivalent store can be built."""
+        return StoreConfig.from_store(self)
+
+    @classmethod
+    def from_config(cls, config: StoreConfig, *, register: bool = True) -> 'Store':
+        """Create a store (and its connector) from a :class:`StoreConfig`."""
+        return cls(
+            config.name,
+            config.make_connector(),
+            cache_size=config.cache_size,
+            metrics=config.metrics,
+            register=register,
+        )
+
+    def close(self, clear: bool = False) -> None:
+        """Unregister the store and close its connector.
+
+        Args:
+            clear: also ask the connector to remove all stored objects.
+        """
+        if self._registered:
+            unregister_store(self.name)
+            self._registered = False
+        self.connector.close(clear=clear)
+
+    def _record(self, operation: str, elapsed: float, nbytes: int = 0) -> None:
+        if self.metrics is not None:
+            self.metrics.record(operation, elapsed, nbytes)
+
+    # ------------------------------------------------------------------ #
+    # Object-level operations
+    # ------------------------------------------------------------------ #
+    def put(self, obj: Any, *, serializer: Callable[[Any], bytes] | None = None) -> Any:
+        """Serialize ``obj``, store it via the connector, and return its key."""
+        serializer = serializer if serializer is not None else self.serializer
+        with Timer() as t_ser:
+            data = serializer(obj)
+        self._record('serialize', t_ser.elapsed, len(data))
+        with Timer() as t_put:
+            key = self.connector.put(data)
+        self._record('put', t_put.elapsed, len(data))
+        return key
+
+    def put_batch(
+        self,
+        objs: Sequence[Any],
+        *,
+        serializer: Callable[[Any], bytes] | None = None,
+    ) -> list[Any]:
+        """Store several objects with a single connector batch operation."""
+        serializer = serializer if serializer is not None else self.serializer
+        with Timer() as t_ser:
+            datas = [serializer(obj) for obj in objs]
+        total = sum(len(d) for d in datas)
+        self._record('serialize', t_ser.elapsed, total)
+        with Timer() as t_put:
+            keys = self.connector.put_batch(datas)
+        self._record('put_batch', t_put.elapsed, total)
+        return keys
+
+    def get(
+        self,
+        key: Any,
+        *,
+        default: Any = None,
+        deserializer: Callable[[bytes], Any] | None = None,
+    ) -> Any:
+        """Return the object stored under ``key`` (or ``default`` if absent).
+
+        Deserialized objects are cached per-process, so repeated gets of the
+        same key avoid both communication and deserialization.
+        """
+        cached = self.cache.get(key, default=_MISSING)
+        if cached is not _MISSING:
+            self._record('get_cached', 0.0)
+            return cached
+        deserializer = deserializer if deserializer is not None else self.deserializer
+        with Timer() as t_get:
+            data = self.connector.get(key)
+        if data is None:
+            self._record('get_miss', t_get.elapsed)
+            return default
+        self._record('get', t_get.elapsed, len(data))
+        with Timer() as t_des:
+            obj = deserializer(data)
+        self._record('deserialize', t_des.elapsed, len(data))
+        self.cache.set(key, obj)
+        return obj
+
+    def get_batch(
+        self,
+        keys: Iterable[Any],
+        *,
+        deserializer: Callable[[bytes], Any] | None = None,
+    ) -> list[Any]:
+        """Return the objects stored under ``keys`` (``None`` for missing keys)."""
+        deserializer = deserializer if deserializer is not None else self.deserializer
+        keys = list(keys)
+        results: list[Any] = [_MISSING] * len(keys)
+        to_fetch: list[tuple[int, Any]] = []
+        for i, key in enumerate(keys):
+            cached = self.cache.get(key, default=_MISSING)
+            if cached is not _MISSING:
+                results[i] = cached
+            else:
+                to_fetch.append((i, key))
+        if to_fetch:
+            with Timer() as t_get:
+                datas = self.connector.get_batch([key for _, key in to_fetch])
+            nbytes = sum(len(d) for d in datas if d is not None)
+            self._record('get_batch', t_get.elapsed, nbytes)
+            for (i, key), data in zip(to_fetch, datas):
+                if data is None:
+                    results[i] = None
+                else:
+                    obj = deserializer(data)
+                    self.cache.set(key, obj)
+                    results[i] = obj
+        return [r if r is not _MISSING else None for r in results]
+
+    def exists(self, key: Any) -> bool:
+        """Return whether ``key`` is present in the store (or its cache)."""
+        if self.cache.exists(key):
+            return True
+        with Timer() as t:
+            found = self.connector.exists(key)
+        self._record('exists', t.elapsed)
+        return found
+
+    def is_cached(self, key: Any) -> bool:
+        """Return whether ``key``'s object is in this process's cache."""
+        return self.cache.exists(key)
+
+    def evict(self, key: Any) -> None:
+        """Remove ``key`` from both the connector and the local cache."""
+        self.cache.evict(key)
+        with Timer() as t:
+            self.connector.evict(key)
+        self._record('evict', t.elapsed)
+
+    # ------------------------------------------------------------------ #
+    # Proxy creation
+    # ------------------------------------------------------------------ #
+    def proxy(
+        self,
+        obj: Any,
+        *,
+        evict: bool = False,
+        serializer: Callable[[Any], bytes] | None = None,
+        cache_local: bool = True,
+        **connector_kwargs: Any,
+    ) -> Proxy:
+        """Store ``obj`` and return a lazy, transparent proxy of it.
+
+        Args:
+            obj: the object to proxy.
+            evict: evict the stored object when the proxy is first resolved
+                (for ephemeral values read exactly once).
+            serializer: per-call serializer override.
+            cache_local: also place the object in the local cache so that
+                resolving the returned proxy in *this* process is free.
+            connector_kwargs: forwarded to the connector's ``put`` when it
+                supports extra keyword arguments (e.g. MultiConnector
+                constraints such as ``subset_tags``).
+        """
+        serializer = serializer if serializer is not None else self.serializer
+        with Timer() as t_ser:
+            data = serializer(obj)
+        self._record('serialize', t_ser.elapsed, len(data))
+        with Timer() as t_put:
+            if connector_kwargs:
+                key = self.connector.put(data, **connector_kwargs)  # type: ignore[call-arg]
+            else:
+                key = self.connector.put(data)
+        self._record('put', t_put.elapsed, len(data))
+        if cache_local and not evict:
+            self.cache.set(key, obj)
+        factory: StoreFactory = StoreFactory(key, self.config(), evict=evict)
+        with Timer() as t_proxy:
+            proxy = Proxy(factory)
+        self._record('proxy', t_proxy.elapsed, len(data))
+        return proxy
+
+    def proxy_batch(
+        self,
+        objs: Sequence[Any],
+        *,
+        evict: bool = False,
+        serializer: Callable[[Any], bytes] | None = None,
+        cache_local: bool = True,
+    ) -> list[Proxy]:
+        """Proxy several objects with a single connector batch put.
+
+        Connectors with expensive per-transfer setup (e.g. the Globus
+        connector, which starts one transfer task per batch) benefit greatly
+        from this over calling :meth:`proxy` in a loop.
+        """
+        serializer = serializer if serializer is not None else self.serializer
+        with Timer() as t_ser:
+            datas = [serializer(obj) for obj in objs]
+        total = sum(len(d) for d in datas)
+        self._record('serialize', t_ser.elapsed, total)
+        with Timer() as t_put:
+            keys = self.connector.put_batch(datas)
+        self._record('put_batch', t_put.elapsed, total)
+        config = self.config()
+        proxies: list[Proxy] = []
+        for key, obj in zip(keys, objs):
+            if cache_local and not evict:
+                self.cache.set(key, obj)
+            proxies.append(Proxy(StoreFactory(key, config, evict=evict)))
+        return proxies
+
+    def proxy_from_key(self, key: Any, *, evict: bool = False) -> Proxy:
+        """Return a proxy for an object that is already stored under ``key``.
+
+        Useful when a producer stored the object directly (e.g. with
+        :meth:`put` or :meth:`put_batch`) and wants to hand out references
+        later without re-serializing the data.
+        """
+        return Proxy(StoreFactory(key, self.config(), evict=evict))
+
+    def locked_proxy(self, obj: Any, **kwargs: Any) -> Proxy:
+        """Return a proxy that is already resolved (never touches the connector).
+
+        This mirrors ProxyStore's non-lazy proxies: the data still gets stored
+        (so other consumers may resolve it), but the returned proxy carries
+        the target, which is convenient for producers that both use the value
+        locally and pass it downstream.
+        """
+        proxy = self.proxy(obj, **kwargs)
+        proxy.__wrapped__ = obj
+        return proxy
+
+    # ------------------------------------------------------------------ #
+    # Stats helpers
+    # ------------------------------------------------------------------ #
+    def metrics_summary(self) -> dict[str, dict[str, float]]:
+        """Return accumulated metrics as a nested dict (empty if disabled)."""
+        if self.metrics is None:
+            return {}
+        return self.metrics.as_dict()
+
+    def cache_stats(self) -> dict[str, float]:
+        """Return cache hit/miss statistics for this store."""
+        stats = self.cache.stats
+        return {
+            'hits': stats.hits,
+            'misses': stats.misses,
+            'evictions': stats.evictions,
+            'hit_rate': stats.hit_rate,
+        }
+
+
+def _ensure_store_error_exported() -> type[StoreError]:
+    # Referenced so linters keep the import; StoreError is part of the public
+    # surface re-exported by repro.store.__init__.
+    return StoreError

@@ -1,0 +1,26 @@
+"""Workflow substrates: a Parsl-like local engine and a Colmena-like layer.
+
+The paper integrates ProxyStore with Colmena (a steering library for
+ensembles of simulations) whose tasks are executed by Parsl.  Neither is
+available here, so this package provides functional stand-ins that preserve
+the property ProxyStore exploits: every task's inputs and results flow
+through several workflow components (thinker, task server, engine hub,
+worker), each of which serializes/deserializes and copies the data — unless
+the data is replaced by a proxy, in which case only the tiny proxy makes
+those hops.
+"""
+from repro.workflow.engine import WorkflowEngine
+from repro.workflow.engine import WorkflowFuture
+from repro.workflow.colmena import ColmenaQueues
+from repro.workflow.colmena import Result
+from repro.workflow.colmena import TaskServer
+from repro.workflow.colmena import Thinker
+
+__all__ = [
+    'ColmenaQueues',
+    'Result',
+    'TaskServer',
+    'Thinker',
+    'WorkflowEngine',
+    'WorkflowFuture',
+]

@@ -1,0 +1,250 @@
+"""Colmena-like steering layer: Thinker, Task Server and result records.
+
+Colmena applications have a Thinker (agents that create tasks and consume
+results), a Task Server that forwards tasks to a workflow engine, and workers
+that execute them (Section 5.2 of the paper).  ProxyStore integrates at the
+library level: a store and size threshold can be registered per task *topic*
+(task type); any input or result larger than the threshold is replaced by a
+proxy before it is handed to the workflow machinery, relieving the task
+server and engine of the data movement burden.
+"""
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from dataclasses import field
+from typing import Any
+from typing import Callable
+
+from repro.exceptions import WorkflowError
+from repro.proxy import Proxy
+from repro.serialize import serialize
+from repro.store import Store
+from repro.workflow.engine import WorkflowEngine
+
+__all__ = ['ColmenaQueues', 'Result', 'TaskServer', 'Thinker']
+
+
+@dataclass
+class Result:
+    """Record of one task's journey through the Colmena pipeline."""
+
+    topic: str
+    inputs: tuple
+    value: Any = None
+    success: bool = True
+    error: str | None = None
+    # Timestamps (wall-clock seconds) for overhead attribution.
+    time_created: float = field(default_factory=time.perf_counter)
+    time_dispatched: float = 0.0
+    time_returned: float = 0.0
+    # Sizes observed by the task server (after any proxying).
+    input_bytes: int = 0
+    result_bytes: int = 0
+    proxied_inputs: bool = False
+    proxied_result: bool = False
+
+    @property
+    def roundtrip_time(self) -> float:
+        return self.time_returned - self.time_created
+
+
+class ColmenaQueues:
+    """The pair of queues connecting a Thinker and a Task Server."""
+
+    def __init__(self) -> None:
+        self.tasks: queue.Queue = queue.Queue()
+        self.results: queue.Queue = queue.Queue()
+
+    def send_task(self, topic: str, *inputs: Any) -> None:
+        self.tasks.put((topic, inputs))
+
+    def get_result(self, timeout: float | None = 60.0) -> Result:
+        try:
+            return self.results.get(timeout=timeout)
+        except queue.Empty:
+            raise WorkflowError('timed out waiting for a Colmena result') from None
+
+
+@dataclass
+class _TopicConfig:
+    func: Callable[..., Any]
+    store: Store | None = None
+    threshold_bytes: int | None = None
+    proxy_results: bool = True
+
+
+class TaskServer:
+    """Receives task requests, optionally proxies large data, and runs tasks.
+
+    Args:
+        queues: the Thinker-facing queues.
+        engine: the workflow engine executing tasks.
+        fixed_overhead_s: per-task scheduling/bookkeeping time in the task
+            server (queue handling, result records, policy checks); Colmena
+            deployments measure this in the tens of milliseconds.
+    """
+
+    def __init__(
+        self,
+        queues: ColmenaQueues,
+        engine: WorkflowEngine,
+        *,
+        fixed_overhead_s: float = 0.02,
+    ) -> None:
+        if fixed_overhead_s < 0:
+            raise ValueError('fixed_overhead_s must be non-negative')
+        self.queues = queues
+        self.engine = engine
+        self.fixed_overhead_s = fixed_overhead_s
+        self._topics: dict[str, _TopicConfig] = {}
+        self._thread: threading.Thread | None = None
+        self._running = threading.Event()
+        self.tasks_processed = 0
+
+    # -- configuration ------------------------------------------------------- #
+    def register_topic(
+        self,
+        topic: str,
+        func: Callable[..., Any],
+        *,
+        store: Store | None = None,
+        threshold_bytes: int | None = None,
+        proxy_results: bool = True,
+    ) -> None:
+        """Register the function for ``topic`` and (optionally) its proxy policy.
+
+        When ``store`` is provided, any input or result whose serialized size
+        is at least ``threshold_bytes`` is replaced with a proxy from that
+        store before being passed onward — the library-level integration the
+        paper describes.
+        """
+        if threshold_bytes is not None and threshold_bytes < 0:
+            raise ValueError('threshold_bytes must be non-negative')
+        self._topics[topic] = _TopicConfig(
+            func=func,
+            store=store,
+            threshold_bytes=threshold_bytes,
+            proxy_results=proxy_results,
+        )
+
+    def topics(self) -> list[str]:
+        return sorted(self._topics)
+
+    # -- lifecycle --------------------------------------------------------------- #
+    def start(self) -> None:
+        if self._running.is_set():
+            return
+        self._running.set()
+        self._thread = threading.Thread(
+            target=self._serve_loop, name='colmena-task-server', daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if not self._running.is_set():
+            return
+        self._running.clear()
+        self.queues.tasks.put(None)
+        if self._thread is not None:
+            self._thread.join(timeout=2)
+
+    def __enter__(self) -> 'TaskServer':
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()
+
+    # -- serving ------------------------------------------------------------------ #
+    def _maybe_proxy(self, config: _TopicConfig, value: Any) -> tuple[Any, int, bool]:
+        """Replace ``value`` with a proxy if the topic's policy says to.
+
+        Returns ``(possibly proxied value, serialized size seen downstream,
+        whether it was proxied)``.
+        """
+        if isinstance(value, Proxy):
+            return value, len(serialize(value)), True
+        size = len(serialize(value))
+        if (
+            config.store is not None
+            and config.threshold_bytes is not None
+            and size >= config.threshold_bytes
+        ):
+            proxy = config.store.proxy(value, cache_local=False)
+            return proxy, len(serialize(proxy)), True
+        return value, size, False
+
+    def _serve_loop(self) -> None:
+        while self._running.is_set():
+            try:
+                item = self.queues.tasks.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            if item is None:
+                break
+            topic, inputs = item
+            self._handle(topic, inputs)
+
+    def _handle(self, topic: str, inputs: tuple) -> None:
+        record = Result(topic=topic, inputs=inputs)
+        if self.fixed_overhead_s > 0:
+            time.sleep(self.fixed_overhead_s)
+        config = self._topics.get(topic)
+        if config is None:
+            record.success = False
+            record.error = f'no function registered for topic {topic!r}'
+            record.time_returned = time.perf_counter()
+            self.queues.results.put(record)
+            return
+        processed_inputs = []
+        total_input_bytes = 0
+        any_proxied = False
+        for value in inputs:
+            value, size, proxied = self._maybe_proxy(config, value)
+            processed_inputs.append(value)
+            total_input_bytes += size
+            any_proxied = any_proxied or proxied
+        record.input_bytes = total_input_bytes
+        record.proxied_inputs = any_proxied
+        record.time_dispatched = time.perf_counter()
+        future = self.engine.submit(config.func, *processed_inputs)
+        try:
+            value = future.result()
+            value, result_size, result_proxied = (
+                self._maybe_proxy(config, value)
+                if config.proxy_results
+                else (value, len(serialize(value)), False)
+            )
+            record.value = value
+            record.result_bytes = result_size
+            record.proxied_result = result_proxied
+        except Exception as e:  # noqa: BLE001 - reported in the result record
+            record.success = False
+            record.error = f'{type(e).__name__}: {e}'
+        record.time_returned = time.perf_counter()
+        self.tasks_processed += 1
+        self.queues.results.put(record)
+
+
+class Thinker:
+    """Minimal Thinker: submits tasks and collects results synchronously."""
+
+    def __init__(self, queues: ColmenaQueues) -> None:
+        self.queues = queues
+        self.results: list[Result] = []
+
+    def submit(self, topic: str, *inputs: Any) -> None:
+        self.queues.send_task(topic, *inputs)
+
+    def wait_for_result(self, timeout: float | None = 60.0) -> Result:
+        result = self.queues.get_result(timeout=timeout)
+        self.results.append(result)
+        return result
+
+    def run_task(self, topic: str, *inputs: Any, timeout: float | None = 60.0) -> Result:
+        """Submit one task and block for its result (round-trip helper)."""
+        self.submit(topic, *inputs)
+        return self.wait_for_result(timeout=timeout)

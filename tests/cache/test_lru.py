@@ -1,0 +1,134 @@
+"""Tests of the thread-safe LRU cache."""
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache import LRUCache
+
+
+def test_basic_set_get():
+    cache = LRUCache(2)
+    cache.set('a', 1)
+    assert cache.get('a') == 1
+    assert cache.get('missing') is None
+    assert cache.get('missing', default='d') == 'd'
+
+
+def test_eviction_of_least_recently_used():
+    cache = LRUCache(2)
+    cache.set('a', 1)
+    cache.set('b', 2)
+    cache.get('a')       # refresh 'a'
+    cache.set('c', 3)    # evicts 'b'
+    assert cache.exists('a')
+    assert not cache.exists('b')
+    assert cache.exists('c')
+    assert cache.stats.evictions == 1
+
+
+def test_zero_size_cache_disables_caching():
+    cache = LRUCache(0)
+    cache.set('a', 1)
+    assert not cache.exists('a')
+    assert cache.get('a') is None
+    assert len(cache) == 0
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        LRUCache(-1)
+
+
+def test_update_existing_key_does_not_grow():
+    cache = LRUCache(2)
+    cache.set('a', 1)
+    cache.set('a', 2)
+    assert len(cache) == 1
+    assert cache.get('a') == 2
+
+
+def test_evict_and_clear():
+    cache = LRUCache(4)
+    cache.set('a', 1)
+    cache.set('b', 2)
+    assert cache.evict('a') is True
+    assert cache.evict('a') is False
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_stats_hit_rate():
+    cache = LRUCache(4)
+    assert cache.stats.hit_rate == 0.0
+    cache.set('a', 1)
+    cache.get('a')
+    cache.get('b')
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+def test_exists_does_not_change_stats():
+    cache = LRUCache(4)
+    cache.set('a', 1)
+    cache.exists('a')
+    cache.exists('b')
+    assert cache.stats.accesses == 0
+
+
+def test_contains_and_iter():
+    cache = LRUCache(4)
+    cache.set('a', 1)
+    cache.set('b', 2)
+    assert 'a' in cache
+    assert set(iter(cache)) == {'a', 'b'}
+
+
+def test_thread_safety_under_concurrent_access():
+    cache = LRUCache(64)
+    errors = []
+
+    def worker(offset):
+        try:
+            for i in range(500):
+                cache.set((offset, i % 32), i)
+                cache.get((offset, (i + 1) % 32))
+        except Exception as e:  # pragma: no cover - only on failure
+            errors.append(e)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert len(cache) <= 64
+
+
+@given(
+    maxsize=st.integers(1, 16),
+    operations=st.lists(
+        st.tuples(st.integers(0, 31), st.integers()),
+        max_size=200,
+    ),
+)
+def test_cache_never_exceeds_maxsize_property(maxsize, operations):
+    cache = LRUCache(maxsize)
+    for key, value in operations:
+        cache.set(key, value)
+        assert len(cache) <= maxsize
+
+
+@given(
+    keys=st.lists(st.integers(0, 7), min_size=1, max_size=100),
+)
+def test_most_recently_set_key_is_always_present(keys):
+    cache = LRUCache(4)
+    for key in keys:
+        cache.set(key, key * 2)
+        assert cache.exists(key)
+        assert cache.get(key) == key * 2

@@ -1,0 +1,37 @@
+"""Shared pytest fixtures for the test suite."""
+from __future__ import annotations
+
+import pytest
+
+from repro.serialize.registry import default_registry
+from repro.store import unregister_all
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_state():
+    """Keep process-global registries isolated between tests."""
+    yield
+    unregister_all()
+    default_registry.clear()
+
+
+@pytest.fixture()
+def local_store(tmp_path):
+    """A Store backed by a LocalConnector, unregistered on teardown."""
+    from repro.connectors.local import LocalConnector
+    from repro.store import Store
+
+    store = Store('test-local-store', LocalConnector(), cache_size=4)
+    yield store
+    store.close(clear=True)
+
+
+@pytest.fixture()
+def file_store(tmp_path):
+    """A Store backed by a FileConnector rooted in a temp directory."""
+    from repro.connectors.file import FileConnector
+    from repro.store import Store
+
+    store = Store('test-file-store', FileConnector(str(tmp_path / 'data')))
+    yield store
+    store.close(clear=True)

@@ -1,0 +1,106 @@
+"""Reusable behavioural test mixin applied to every Connector implementation.
+
+Each connector test module subclasses :class:`ConnectorBehavior` and provides
+a ``connector`` fixture; the mixin then exercises the full Connector protocol
+(put/get/exists/evict, batching, config round-trips) so all implementations
+are held to the same contract.
+"""
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.connectors.protocol import Connector
+from repro.connectors.protocol import connector_from_path
+from repro.connectors.protocol import connector_path
+
+
+class ConnectorBehavior:
+    """Common contract tests parametrized over connector fixtures."""
+
+    def test_put_get_roundtrip(self, connector: Connector):
+        data = b'some payload bytes'
+        key = connector.put(data)
+        assert connector.get(key) == data
+
+    def test_get_missing_returns_none(self, connector: Connector):
+        key = connector.put(b'x')
+        connector.evict(key)
+        assert connector.get(key) is None
+
+    def test_exists(self, connector: Connector):
+        key = connector.put(b'value')
+        assert connector.exists(key)
+        connector.evict(key)
+        assert not connector.exists(key)
+
+    def test_evict_missing_is_noop(self, connector: Connector):
+        key = connector.put(b'value')
+        connector.evict(key)
+        connector.evict(key)  # second evict must not raise
+
+    def test_put_empty_bytes(self, connector: Connector):
+        key = connector.put(b'')
+        assert connector.exists(key)
+        assert connector.get(key) == b''
+
+    def test_put_large_payload(self, connector: Connector):
+        data = bytes(bytearray(range(256)) * 4096)  # 1 MiB
+        key = connector.put(data)
+        assert connector.get(key) == data
+
+    def test_distinct_keys_for_identical_data(self, connector: Connector):
+        k1 = connector.put(b'same')
+        k2 = connector.put(b'same')
+        assert k1 != k2
+        connector.evict(k1)
+        assert connector.get(k2) == b'same'
+
+    def test_put_batch_get_batch(self, connector: Connector):
+        datas = [f'item-{i}'.encode() for i in range(5)]
+        keys = connector.put_batch(datas)
+        assert len(keys) == len(datas)
+        assert connector.get_batch(keys) == datas
+
+    def test_get_batch_with_missing_key(self, connector: Connector):
+        keys = connector.put_batch([b'a', b'b'])
+        connector.evict(keys[0])
+        assert connector.get_batch(keys) == [None, b'b']
+
+    def test_evict_batch(self, connector: Connector):
+        keys = connector.put_batch([b'a', b'b', b'c'])
+        connector.evict_batch(keys)
+        assert all(not connector.exists(k) for k in keys)
+
+    def test_keys_are_picklable(self, connector: Connector):
+        key = connector.put(b'data')
+        restored = pickle.loads(pickle.dumps(key))
+        assert restored == key
+        assert connector.get(restored) == b'data'
+
+    def test_config_roundtrip_shares_data(self, connector: Connector):
+        key = connector.put(b'shared data')
+        clone = type(connector).from_config(connector.config())
+        try:
+            assert clone.get(key) == b'shared data'
+        finally:
+            if clone is not connector:
+                clone.close()
+
+    def test_connector_path_roundtrip(self, connector: Connector):
+        key = connector.put(b'via path')
+        path = connector_path(connector)
+        clone = connector_from_path(path, connector.config())
+        try:
+            assert clone.get(key) == b'via path'
+        finally:
+            if clone is not connector:
+                clone.close()
+
+    def test_capabilities_storage_field_valid(self, connector: Connector):
+        assert connector.capabilities.storage in ('memory', 'disk', 'hybrid')
+
+    def test_context_manager(self, connector: Connector):
+        with connector as c:
+            assert c is connector

@@ -1,0 +1,80 @@
+"""Tests for the Margo/UCX/ZMQ distributed in-memory connectors."""
+from __future__ import annotations
+
+import pytest
+
+from repro.connectors.margo import MargoConnector
+from repro.connectors.ucx import UCXConnector
+from repro.connectors.zmq import ZMQConnector
+from repro.dim import reset_nodes
+from repro.store import Store
+from tests.connectors.behavior import ConnectorBehavior
+
+
+@pytest.fixture(autouse=True)
+def _clean_nodes():
+    yield
+    reset_nodes()
+
+
+@pytest.fixture(params=[MargoConnector, UCXConnector, ZMQConnector])
+def connector(request):
+    conn = request.param(node_id=f'test-{request.param.__name__}')
+    yield conn
+    conn.close()
+
+
+class TestDIMConnectors(ConnectorBehavior):
+    pass
+
+
+def test_margo_and_ucx_use_memory_transport():
+    assert MargoConnector.transport == 'memory'
+    assert UCXConnector.transport == 'memory'
+
+
+def test_zmq_uses_tcp_transport():
+    assert ZMQConnector.transport == 'tcp'
+
+
+def test_default_node_id_is_hostname():
+    import socket
+
+    conn = MargoConnector()
+    try:
+        assert conn.node_id == socket.gethostname()
+    finally:
+        conn.close()
+
+
+def test_cross_node_fetch_between_connectors():
+    producer = MargoConnector(node_id='compute-node-0')
+    consumer = MargoConnector(node_id='compute-node-1')
+    try:
+        key = producer.put(b'simulation result')
+        assert consumer.get(key) == b'simulation result'
+    finally:
+        producer.close()
+        consumer.close()
+
+
+def test_connector_names_distinct():
+    names = {MargoConnector.connector_name, UCXConnector.connector_name, ZMQConnector.connector_name}
+    assert names == {'margo', 'ucx', 'zmq'}
+
+
+def test_store_proxy_through_dim_connector():
+    import pickle
+
+    store = Store('dim-store', MargoConnector(node_id='dim-store-node'))
+    try:
+        p = store.proxy([1, 2, 3], cache_local=False)
+        assert pickle.loads(pickle.dumps(p)) == [1, 2, 3]
+    finally:
+        store.close()
+
+
+def test_capability_tags_mention_transport():
+    assert 'rdma' in MargoConnector.capabilities.tags
+    assert 'rdma' in UCXConnector.capabilities.tags
+    assert 'tcp' in ZMQConnector.capabilities.tags

@@ -1,0 +1,80 @@
+"""Tests for FileConnector."""
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.connectors.file import FileConnector
+from tests.connectors.behavior import ConnectorBehavior
+
+
+@pytest.fixture()
+def connector(tmp_path):
+    conn = FileConnector(str(tmp_path / 'store'))
+    yield conn
+    conn.close(clear=True)
+
+
+class TestFileConnector(ConnectorBehavior):
+    pass
+
+
+def test_creates_directory(tmp_path):
+    target = tmp_path / 'nested' / 'dir'
+    conn = FileConnector(str(target))
+    try:
+        assert target.is_dir()
+    finally:
+        conn.close(clear=True)
+
+
+def test_objects_persist_across_connector_instances(tmp_path):
+    directory = str(tmp_path / 'persist')
+    first = FileConnector(directory)
+    key = first.put(b'persisted')
+    first.close()  # close without clear keeps the data on disk
+    second = FileConnector(directory)
+    try:
+        assert second.get(key) == b'persisted'
+    finally:
+        second.close(clear=True)
+
+
+def test_close_with_clear_removes_directory(tmp_path):
+    directory = tmp_path / 'gone'
+    conn = FileConnector(str(directory))
+    conn.put(b'x')
+    conn.close(clear=True)
+    assert not directory.exists()
+
+
+def test_len_ignores_temp_files(tmp_path):
+    conn = FileConnector(str(tmp_path / 'd'))
+    try:
+        conn.put(b'a')
+        conn.put(b'b')
+        # Simulate a leftover temporary file from an interrupted write.
+        with open(os.path.join(conn.store_dir, '.tmp-leftover'), 'wb') as f:
+            f.write(b'junk')
+        assert len(conn) == 2
+    finally:
+        conn.close(clear=True)
+
+
+def test_len_zero_after_directory_removed(tmp_path):
+    conn = FileConnector(str(tmp_path / 'd'))
+    conn.close(clear=True)
+    assert len(conn) == 0
+
+
+def test_file_contents_match_exactly(tmp_path):
+    conn = FileConnector(str(tmp_path / 'd'))
+    try:
+        payload = os.urandom(4096)
+        key = conn.put(payload)
+        path = os.path.join(conn.store_dir, key.object_id)
+        with open(path, 'rb') as f:
+            assert f.read() == payload
+    finally:
+        conn.close(clear=True)

@@ -1,0 +1,71 @@
+"""Tests for LocalConnector."""
+from __future__ import annotations
+
+import pytest
+
+from repro.connectors.local import LocalConnector
+from tests.connectors.behavior import ConnectorBehavior
+
+
+@pytest.fixture()
+def connector():
+    conn = LocalConnector()
+    yield conn
+    conn.close(clear=True)
+
+
+class TestLocalConnector(ConnectorBehavior):
+    pass
+
+
+def test_shared_store_id_shares_data():
+    a = LocalConnector(store_id='shared')
+    b = LocalConnector(store_id='shared')
+    try:
+        key = a.put(b'x')
+        assert b.get(key) == b'x'
+    finally:
+        a.close(clear=True)
+        b.close(clear=True)
+
+
+def test_distinct_connectors_do_not_share():
+    a = LocalConnector()
+    b = LocalConnector()
+    try:
+        key = a.put(b'x')
+        assert b.get(key) is None
+    finally:
+        a.close(clear=True)
+        b.close(clear=True)
+
+
+def test_len_tracks_stored_objects():
+    conn = LocalConnector()
+    try:
+        assert len(conn) == 0
+        keys = [conn.put(b'x') for _ in range(3)]
+        assert len(conn) == 3
+        conn.evict(keys[0])
+        assert len(conn) == 2
+    finally:
+        conn.close(clear=True)
+
+
+def test_close_with_clear_removes_global_entry():
+    conn = LocalConnector(store_id='to-clear')
+    conn.put(b'x')
+    conn.close(clear=True)
+    fresh = LocalConnector(store_id='to-clear')
+    try:
+        assert len(fresh) == 0
+    finally:
+        fresh.close(clear=True)
+
+
+def test_repr_contains_store_id():
+    conn = LocalConnector(store_id='abc')
+    try:
+        assert 'abc' in repr(conn)
+    finally:
+        conn.close(clear=True)

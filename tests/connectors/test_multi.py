@@ -1,0 +1,164 @@
+"""Tests for the MultiConnector."""
+from __future__ import annotations
+
+import pytest
+
+from repro.connectors.file import FileConnector
+from repro.connectors.local import LocalConnector
+from repro.connectors.multi import MultiConnector
+from repro.connectors.multi import MultiKey
+from repro.connectors.policy import Policy
+from repro.exceptions import NoPolicyMatchError
+from repro.store import Store
+from tests.connectors.behavior import ConnectorBehavior
+
+
+@pytest.fixture()
+def connector(tmp_path):
+    conn = MultiConnector({
+        'small': (LocalConnector(), Policy(max_size_bytes=10_000, priority=1)),
+        'large': (FileConnector(str(tmp_path / 'big')), Policy(min_size_bytes=0, priority=0)),
+    })
+    yield conn
+    conn.close(clear=True)
+
+
+class TestMultiConnector(ConnectorBehavior):
+    pass
+
+
+def test_requires_connectors():
+    with pytest.raises(ValueError):
+        MultiConnector({})
+
+
+def test_routes_by_size(tmp_path):
+    small_backend = LocalConnector()
+    large_backend = FileConnector(str(tmp_path / 'large'))
+    conn = MultiConnector({
+        'memory': (small_backend, Policy(max_size_bytes=1_000, priority=1)),
+        'disk': (large_backend, Policy(min_size_bytes=1_001, priority=1)),
+    })
+    try:
+        small_key = conn.put(b'x' * 100)
+        large_key = conn.put(b'x' * 10_000)
+        assert small_key.connector_label == 'memory'
+        assert large_key.connector_label == 'disk'
+        assert len(small_backend) == 1
+        assert len(large_backend) == 1
+        assert conn.get(small_key) == b'x' * 100
+        assert conn.get(large_key) == b'x' * 10_000
+    finally:
+        conn.close(clear=True)
+
+
+def test_priority_breaks_ties(tmp_path):
+    conn = MultiConnector({
+        'low': (LocalConnector(), Policy(priority=0)),
+        'high': (LocalConnector(), Policy(priority=10)),
+    })
+    try:
+        key = conn.put(b'anything')
+        assert key.connector_label == 'high'
+    finally:
+        conn.close(clear=True)
+
+
+def test_no_match_raises():
+    conn = MultiConnector({
+        'bounded': (LocalConnector(), Policy(max_size_bytes=10)),
+    })
+    try:
+        with pytest.raises(NoPolicyMatchError):
+            conn.put(b'x' * 100)
+    finally:
+        conn.close(clear=True)
+
+
+def test_subset_tag_routing():
+    gpu_backend = LocalConnector()
+    cpu_backend = LocalConnector()
+    conn = MultiConnector({
+        'gpu-store': (gpu_backend, Policy(subset_tags=('gpu',), priority=5)),
+        'default': (cpu_backend, Policy(priority=0)),
+    })
+    try:
+        tagged = conn.put(b'model weights', subset_tags=('gpu',))
+        untagged = conn.put(b'simulation input')
+        assert tagged.connector_label == 'gpu-store'
+        assert untagged.connector_label in ('default', 'gpu-store')
+        assert conn.get(tagged) == b'model weights'
+    finally:
+        conn.close(clear=True)
+
+
+def test_superset_tag_restriction():
+    restricted = LocalConnector()
+    fallback = LocalConnector()
+    conn = MultiConnector({
+        'cluster-only': (restricted, Policy(superset_tags=('cluster-a',), priority=5)),
+        'anywhere': (fallback, Policy(priority=0)),
+    })
+    try:
+        at_cluster = conn.put(b'data', superset_tags=('cluster-a',))
+        elsewhere = conn.put(b'data')
+        assert at_cluster.connector_label == 'cluster-only'
+        assert elsewhere.connector_label == 'anywhere'
+    finally:
+        conn.close(clear=True)
+
+
+def test_get_exists_evict_route_to_owning_connector(tmp_path):
+    backend_a = LocalConnector()
+    backend_b = FileConnector(str(tmp_path / 'b'))
+    conn = MultiConnector({
+        'a': (backend_a, Policy(max_size_bytes=10, priority=1)),
+        'b': (backend_b, Policy(min_size_bytes=11, priority=1)),
+    })
+    try:
+        key = conn.put(b'x' * 50)
+        assert conn.exists(key)
+        conn.evict(key)
+        assert not conn.exists(key)
+        assert len(backend_b) == 0
+    finally:
+        conn.close(clear=True)
+
+
+def test_config_roundtrip_preserves_policies(tmp_path):
+    conn = MultiConnector({
+        'mem': (LocalConnector(), Policy(max_size_bytes=100, priority=2)),
+        'disk': (FileConnector(str(tmp_path / 'd')), Policy(min_size_bytes=101)),
+    })
+    try:
+        clone = MultiConnector.from_config(conn.config())
+        assert set(clone.connectors) == {'mem', 'disk'}
+        assert clone.policy_for('mem').max_size_bytes == 100
+        assert clone.policy_for('mem').priority == 2
+        key = conn.put(b'z' * 10)
+        assert clone.get(key) == b'z' * 10
+        clone.close()
+    finally:
+        conn.close(clear=True)
+
+
+def test_store_proxy_with_connector_constraints(tmp_path):
+    gpu_backend = LocalConnector()
+    conn = MultiConnector({
+        'gpu': (gpu_backend, Policy(subset_tags=('gpu',), priority=5)),
+        'any': (LocalConnector(), Policy(priority=0)),
+    })
+    store = Store('multi-store', conn)
+    try:
+        proxy = store.proxy([1.0] * 10, subset_tags=('gpu',), cache_local=False)
+        assert proxy == [1.0] * 10
+        assert len(gpu_backend) == 1
+    finally:
+        store.close(clear=True)
+
+
+def test_multikey_is_picklable():
+    import pickle
+
+    key = MultiKey('label', ('obj', 'connector'))
+    assert pickle.loads(pickle.dumps(key)) == key

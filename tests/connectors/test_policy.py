@@ -1,0 +1,75 @@
+"""Tests for MultiConnector routing policies."""
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.connectors.policy import Policy
+
+
+def test_default_policy_matches_everything():
+    policy = Policy()
+    assert policy.is_valid()
+    assert policy.is_valid(size_bytes=0)
+    assert policy.is_valid(size_bytes=10**12)
+
+
+def test_size_bounds():
+    policy = Policy(min_size_bytes=100, max_size_bytes=1000)
+    assert not policy.is_valid(size_bytes=99)
+    assert policy.is_valid(size_bytes=100)
+    assert policy.is_valid(size_bytes=1000)
+    assert not policy.is_valid(size_bytes=1001)
+    # Without a size constraint supplied, size is not checked.
+    assert policy.is_valid()
+
+
+def test_invalid_bounds_rejected():
+    with pytest.raises(ValueError):
+        Policy(min_size_bytes=-1)
+    with pytest.raises(ValueError):
+        Policy(min_size_bytes=10, max_size_bytes=5)
+
+
+def test_subset_tags():
+    policy = Policy(subset_tags=('cpu', 'gpu'))
+    assert policy.is_valid(subset_tags=('cpu',))
+    assert policy.is_valid(subset_tags=('cpu', 'gpu'))
+    assert not policy.is_valid(subset_tags=('tpu',))
+    assert Policy().is_valid(subset_tags=()) is True
+    assert Policy().is_valid(subset_tags=('anything',)) is False
+
+
+def test_superset_tags():
+    policy = Policy(superset_tags=('site-a',))
+    assert not policy.is_valid()
+    assert not policy.is_valid(superset_tags=('site-b',))
+    assert policy.is_valid(superset_tags=('site-a',))
+    assert policy.is_valid(superset_tags=('site-a', 'site-b'))
+
+
+def test_dict_roundtrip():
+    policy = Policy(
+        min_size_bytes=5,
+        max_size_bytes=500,
+        subset_tags=('a', 'b'),
+        superset_tags=('c',),
+        priority=3,
+    )
+    assert Policy.from_dict(policy.as_dict()) == policy
+
+
+def test_from_dict_defaults():
+    assert Policy.from_dict({}) == Policy()
+
+
+@given(
+    min_size=st.integers(0, 1000),
+    span=st.integers(0, 1000),
+    size=st.integers(0, 3000),
+)
+def test_size_matching_property(min_size, span, size):
+    policy = Policy(min_size_bytes=min_size, max_size_bytes=min_size + span)
+    expected = min_size <= size <= min_size + span
+    assert policy.is_valid(size_bytes=size) == expected

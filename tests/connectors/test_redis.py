@@ -1,0 +1,69 @@
+"""Tests for RedisConnector (backed by the SimKV server)."""
+from __future__ import annotations
+
+import pytest
+
+from repro.connectors.redis import RedisConnector
+from repro.kvserver import KVServer
+from repro.store import Store
+from tests.connectors.behavior import ConnectorBehavior
+
+
+@pytest.fixture(scope='module')
+def kv_server():
+    server = KVServer()
+    server.start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture()
+def connector(kv_server):
+    conn = RedisConnector(kv_server.host, kv_server.port)
+    yield conn
+    conn.close(clear=True)
+
+
+class TestRedisConnector(ConnectorBehavior):
+    pass
+
+
+def test_launch_mode_starts_server():
+    conn = RedisConnector(launch=True)
+    try:
+        key = conn.put(b'launched')
+        assert conn.get(key) == b'launched'
+        assert conn.port != 0
+    finally:
+        conn.close(clear=True)
+
+
+def test_two_connectors_share_one_server(kv_server):
+    a = RedisConnector(kv_server.host, kv_server.port)
+    b = RedisConnector(kv_server.host, kv_server.port)
+    try:
+        key = a.put(b'shared')
+        assert b.get(key) == b'shared'
+    finally:
+        a.close()
+        b.close()
+
+
+def test_store_proxy_through_redis_connector(kv_server):
+    store = Store('redis-proxy-store', RedisConnector(kv_server.host, kv_server.port))
+    try:
+        p = store.proxy({'result': 42}, cache_local=False)
+        import pickle
+
+        restored = pickle.loads(pickle.dumps(p))
+        assert restored['result'] == 42
+    finally:
+        store.close(clear=True)
+
+
+def test_repr_mentions_address(kv_server):
+    conn = RedisConnector(kv_server.host, kv_server.port)
+    try:
+        assert str(kv_server.port) in repr(conn)
+    finally:
+        conn.close()

@@ -1,0 +1,184 @@
+"""Tests of PS-endpoints: local serving, peering and forwarding."""
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.endpoint import Endpoint
+from repro.endpoint import RelayServer
+from repro.endpoint.endpoint import get_registered_endpoint
+from repro.endpoint.endpoint import registered_endpoints
+from repro.endpoint.endpoint import reset_endpoint_registry
+from repro.endpoint.storage import EndpointStorage
+from repro.exceptions import EndpointError
+from repro.exceptions import PeeringError
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    yield
+    reset_endpoint_registry()
+
+
+@pytest.fixture()
+def relay():
+    return RelayServer()
+
+
+@pytest.fixture()
+def endpoint(relay):
+    ep = Endpoint('site-a', relay)
+    ep.start()
+    yield ep
+    ep.stop()
+
+
+def test_start_registers_with_relay_and_registry(relay):
+    ep = Endpoint('site-x', relay)
+    uuid = ep.start()
+    assert relay.connected(uuid)
+    assert get_registered_endpoint(uuid) is ep
+    assert uuid in registered_endpoints()
+    ep.stop()
+    assert not relay.connected(uuid)
+    assert get_registered_endpoint(uuid) is None
+
+
+def test_start_is_idempotent(relay):
+    ep = Endpoint('site-x', relay)
+    first = ep.start()
+    assert ep.start() == first
+    ep.stop()
+
+
+def test_reuses_provided_uuid(relay):
+    ep = Endpoint('site-x', relay, endpoint_uuid='fixed-uuid')
+    assert ep.start() == 'fixed-uuid'
+    ep.stop()
+
+
+def test_operations_require_running_endpoint(relay):
+    ep = Endpoint('site-x', relay)
+    with pytest.raises(EndpointError):
+        ep.get('obj')
+
+
+def test_local_set_get_exists_evict(endpoint):
+    endpoint.set('obj', b'value')
+    assert endpoint.exists('obj')
+    assert endpoint.get('obj') == b'value'
+    endpoint.evict('obj')
+    assert not endpoint.exists('obj')
+    assert endpoint.get('obj') is None
+
+
+def test_context_manager(relay):
+    with Endpoint('ctx', relay) as ep:
+        assert ep.running
+        ep.set('k', b'v')
+        assert ep.get('k') == b'v'
+    assert not ep.running
+
+
+def test_custom_storage_with_spill(relay, tmp_path):
+    storage = EndpointStorage(max_memory_bytes=64, dump_dir=str(tmp_path))
+    with Endpoint('spilling', relay, storage=storage) as ep:
+        ep.set('big', b'x' * 100)
+        assert ep.get('big') == b'x' * 100
+        assert storage.spilled_count == 1
+
+
+def test_peer_forwarding_between_endpoints(relay):
+    with Endpoint('site-a', relay) as a, Endpoint('site-b', relay) as b:
+        b.set('remote-obj', b'held by b')
+        # A client of endpoint A asks for an object that lives on endpoint B.
+        assert a.get('remote-obj', endpoint_id=b.uuid) == b'held by b'
+        assert a.exists('remote-obj', endpoint_id=b.uuid)
+        a.evict('remote-obj', endpoint_id=b.uuid)
+        assert not b.exists('remote-obj')
+
+
+def test_peer_set_stores_on_remote(relay):
+    with Endpoint('site-a', relay) as a, Endpoint('site-b', relay) as b:
+        a.set('pushed', b'data', endpoint_id=b.uuid)
+        assert b.get('pushed') == b'data'
+        assert a.get('pushed') is None  # not stored locally on A
+
+
+def test_peer_connection_reused_across_requests(relay):
+    with Endpoint('site-a', relay) as a, Endpoint('site-b', relay) as b:
+        b.set('o1', b'1')
+        b.set('o2', b'2')
+        a.get('o1', endpoint_id=b.uuid)
+        a.get('o2', endpoint_id=b.uuid)
+        assert len(a.peer_connections()) == 1
+        signaling_before = relay.messages_forwarded
+        a.get('o1', endpoint_id=b.uuid)
+        # No new signaling traffic once the peer connection exists.
+        assert relay.messages_forwarded == signaling_before
+
+
+def test_bulk_data_does_not_go_through_relay(relay):
+    with Endpoint('site-a', relay) as a, Endpoint('site-b', relay) as b:
+        payload = b'x' * 500_000
+        b.set('large', payload)
+        assert a.get('large', endpoint_id=b.uuid) == payload
+        # The relay carried only the handshake, never the 500 KB object.
+        assert relay.bytes_forwarded < 5_000
+
+
+def test_peer_connection_reestablished_after_close(relay):
+    with Endpoint('site-a', relay) as a, Endpoint('site-b', relay) as b:
+        b.set('obj', b'v1')
+        assert a.get('obj', endpoint_id=b.uuid) == b'v1'
+        # Simulate the connection dropping.
+        connection = a.peer_connections()[b.uuid]
+        connection.close()
+        b.set('obj', b'v2')
+        assert a.get('obj', endpoint_id=b.uuid) == b'v2'
+        assert a.peer_connections()[b.uuid] is not connection
+
+
+def test_request_to_unknown_endpoint_fails(relay, endpoint):
+    response_error = None
+    try:
+        endpoint.get('obj', endpoint_id='0' * 32)
+    except EndpointError as e:
+        response_error = str(e)
+    assert response_error is not None
+
+
+def test_get_missing_object_on_remote_returns_none(relay):
+    with Endpoint('site-a', relay) as a, Endpoint('site-b', relay) as b:
+        assert a.get('never-stored', endpoint_id=b.uuid) is None
+
+
+def test_ice_candidates_exchanged_during_handshake(relay):
+    with Endpoint('site-a', relay) as a, Endpoint('site-b', relay) as b:
+        b.set('obj', b'x')
+        a.get('obj', endpoint_id=b.uuid)
+        # Both sides emitted at least one candidate during the handshake.
+        assert a.ice_candidates_exchanged + b.ice_candidates_exchanged >= 1
+
+
+def test_concurrent_clients_single_endpoint(endpoint):
+    """Many client threads issue requests to the single-threaded endpoint."""
+    endpoint.set('shared', b'payload')
+    errors = []
+
+    def client(n):
+        try:
+            for i in range(20):
+                endpoint.set(f'obj-{n}-{i}', b'x' * 100)
+                assert endpoint.get(f'obj-{n}-{i}') == b'x' * 100
+        except Exception as e:  # pragma: no cover - only on failure
+            errors.append(e)
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert endpoint.requests_served >= 8 * 40

@@ -1,0 +1,133 @@
+"""Tests of peer connections and chunked data channels."""
+from __future__ import annotations
+
+import pytest
+
+from repro.endpoint.messages import PeerRequest
+from repro.endpoint.messages import PeerResponse
+from repro.endpoint.peer import ChannelEnd
+from repro.endpoint.peer import DataChannel
+from repro.endpoint.peer import PeerConnection
+from repro.exceptions import PeeringError
+
+
+def make_pair(handler_a=None, handler_b=None, chunk_size=16_384):
+    """Create two connected PeerConnection instances."""
+    end_a = ChannelEnd()
+    end_b = ChannelEnd()
+    handler_a = handler_a or (lambda req: PeerResponse(message_id=req.message_id, success=True))
+    handler_b = handler_b or (lambda req: PeerResponse(message_id=req.message_id, success=True))
+    conn_a = PeerConnection('a' * 32, 'b' * 32, end_a, end_b.token,
+                            on_request=handler_a, chunk_size=chunk_size)
+    conn_b = PeerConnection('b' * 32, 'a' * 32, end_b, end_a.token,
+                            on_request=handler_b, chunk_size=chunk_size)
+    return conn_a, conn_b
+
+
+def test_channel_end_lookup():
+    end = ChannelEnd()
+    assert ChannelEnd.lookup(end.token) is end
+    end.close()
+    with pytest.raises(PeeringError):
+        ChannelEnd.lookup(end.token)
+
+
+def test_data_channel_chunking_counts():
+    end = ChannelEnd()
+    channel = DataChannel(end.token, chunk_size=10)
+    nbytes, nchunks = channel.send(b'x' * 95)
+    assert nbytes > 95  # pickled payload is a bit larger than the raw bytes
+    assert nchunks == (nbytes + 9) // 10
+    end.close()
+
+
+def test_data_channel_rejects_bad_chunk_size():
+    end = ChannelEnd()
+    with pytest.raises(ValueError):
+        DataChannel(end.token, chunk_size=0)
+    end.close()
+
+
+def test_request_response_roundtrip():
+    def handler(request: PeerRequest) -> PeerResponse:
+        return PeerResponse(message_id=request.message_id, success=True,
+                            data=request.data[::-1] if request.data else None)
+
+    conn_a, conn_b = make_pair(handler_b=handler)
+    try:
+        response = conn_a.request(PeerRequest(op='get', object_id='obj', data=b'abcdef'))
+        assert response.success
+        assert response.data == b'fedcba'
+    finally:
+        conn_a.close()
+        conn_b.close()
+
+
+def test_large_message_crosses_many_chunks():
+    payload = b'z' * 100_000
+
+    def handler(request: PeerRequest) -> PeerResponse:
+        return PeerResponse(message_id=request.message_id, success=True, data=request.data)
+
+    conn_a, conn_b = make_pair(handler_b=handler, chunk_size=1024)
+    try:
+        response = conn_a.request(PeerRequest(op='get', object_id='o', data=payload))
+        assert response.data == payload
+        assert conn_a.stats.chunks_sent > 90
+    finally:
+        conn_a.close()
+        conn_b.close()
+
+
+def test_handler_exception_reported_as_error_response():
+    def handler(request: PeerRequest) -> PeerResponse:
+        raise RuntimeError('handler exploded')
+
+    conn_a, conn_b = make_pair(handler_b=handler)
+    try:
+        response = conn_a.request(PeerRequest(op='get', object_id='o'))
+        assert not response.success
+        assert 'handler exploded' in response.error
+    finally:
+        conn_a.close()
+        conn_b.close()
+
+
+def test_request_after_close_raises():
+    conn_a, conn_b = make_pair()
+    conn_a.close()
+    conn_b.close()
+    with pytest.raises(PeeringError):
+        conn_a.request(PeerRequest(op='get', object_id='o'))
+
+
+def test_request_timeout_when_peer_gone():
+    conn_a, conn_b = make_pair()
+    conn_b.close()  # peer no longer processes inbound frames
+    try:
+        with pytest.raises(PeeringError):
+            conn_a.request(PeerRequest(op='get', object_id='o'), timeout=0.2)
+    finally:
+        conn_a.close()
+
+
+def test_stats_accumulate():
+    conn_a, conn_b = make_pair()
+    try:
+        for _ in range(3):
+            conn_a.request(PeerRequest(op='exists', object_id='o'))
+        assert conn_a.stats.messages_sent == 3
+        assert conn_a.stats.bytes_sent > 0
+        assert conn_b.stats.messages_sent == 3  # the responses
+    finally:
+        conn_a.close()
+        conn_b.close()
+
+
+def test_repr_mentions_uuids():
+    conn_a, conn_b = make_pair()
+    try:
+        assert 'aaaaaaaa' in repr(conn_a)
+    finally:
+        conn_a.close()
+        conn_b.close()

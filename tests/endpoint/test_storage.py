@@ -1,0 +1,93 @@
+"""Tests of EndpointStorage (in-memory store with disk spill)."""
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.endpoint.storage import EndpointStorage
+
+
+def test_basic_set_get_evict():
+    storage = EndpointStorage()
+    storage.set('a', b'1')
+    assert storage.exists('a')
+    assert storage.get('a') == b'1'
+    storage.evict('a')
+    assert storage.get('a') is None
+    assert not storage.exists('a')
+
+
+def test_get_missing_returns_none():
+    assert EndpointStorage().get('missing') is None
+
+
+def test_overwrite_updates_value_and_len():
+    storage = EndpointStorage()
+    storage.set('a', b'one')
+    storage.set('a', b'two!')
+    assert storage.get('a') == b'two!'
+    assert len(storage) == 1
+
+
+def test_clear():
+    storage = EndpointStorage()
+    for i in range(5):
+        storage.set(str(i), b'x')
+    storage.clear()
+    assert len(storage) == 0
+    assert storage.memory_usage_bytes == 0
+
+
+def test_memory_usage_tracking():
+    storage = EndpointStorage()
+    storage.set('a', b'12345')
+    storage.set('b', b'123')
+    assert storage.memory_usage_bytes == 8
+    storage.evict('a')
+    assert storage.memory_usage_bytes == 3
+
+
+def test_spill_requires_dump_dir():
+    with pytest.raises(ValueError):
+        EndpointStorage(max_memory_bytes=100)
+    with pytest.raises(ValueError):
+        EndpointStorage(max_memory_bytes=0, dump_dir='/tmp/x')
+
+
+def test_spill_to_disk_and_read_back(tmp_path):
+    storage = EndpointStorage(max_memory_bytes=100, dump_dir=str(tmp_path))
+    storage.set('first', b'a' * 80)
+    storage.set('second', b'b' * 80)  # pushes 'first' to disk
+    assert storage.spilled_count == 1
+    assert storage.memory_usage_bytes <= 100
+    assert storage.get('first') == b'a' * 80
+    assert storage.get('second') == b'b' * 80
+    assert len(storage) == 2
+    assert os.path.isfile(str(tmp_path / 'first'))
+
+
+def test_spilled_object_evict_removes_file(tmp_path):
+    storage = EndpointStorage(max_memory_bytes=50, dump_dir=str(tmp_path))
+    storage.set('big', b'x' * 60)   # immediately spilled (over budget)
+    assert storage.spilled_count == 1
+    storage.evict('big')
+    assert storage.get('big') is None
+    assert not os.path.isfile(str(tmp_path / 'big'))
+
+
+def test_rewriting_spilled_object_returns_to_memory(tmp_path):
+    storage = EndpointStorage(max_memory_bytes=100, dump_dir=str(tmp_path))
+    storage.set('a', b'a' * 80)
+    storage.set('b', b'b' * 80)   # 'a' spilled
+    storage.set('a', b'tiny')     # back in memory, disk copy removed
+    assert storage.get('a') == b'tiny'
+    assert not os.path.isfile(str(tmp_path / 'a'))
+
+
+def test_clear_removes_spilled_files(tmp_path):
+    storage = EndpointStorage(max_memory_bytes=10, dump_dir=str(tmp_path))
+    storage.set('a', b'x' * 50)
+    storage.clear()
+    assert len(storage) == 0
+    assert os.listdir(str(tmp_path)) == []

@@ -1,0 +1,177 @@
+"""Tests of the SimKV TCP key-value server and client."""
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import ConnectorError
+from repro.kvserver import KVClient
+from repro.kvserver import KVServer
+from repro.kvserver import launch_server
+
+
+@pytest.fixture()
+def server():
+    srv = KVServer()
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture()
+def client(server):
+    cli = KVClient(server.host, server.port)
+    yield cli
+    cli.close()
+
+
+def test_server_start_assigns_port(server):
+    assert server.port is not None and server.port > 0
+    assert server.running
+
+
+def test_server_start_idempotent(server):
+    host, port = server.start()
+    assert port == server.port
+
+
+def test_ping(client):
+    assert client.ping() is True
+
+
+def test_set_get_roundtrip(client):
+    client.set('key', b'value bytes')
+    assert client.get('key') == b'value bytes'
+
+
+def test_get_missing_returns_none(client):
+    assert client.get('missing') is None
+
+
+def test_exists_and_delete(client):
+    client.set('k', b'v')
+    assert client.exists('k')
+    assert client.delete('k') is True
+    assert client.delete('k') is False
+    assert not client.exists('k')
+
+
+def test_flush_and_size(client):
+    for i in range(5):
+        client.set(f'k{i}', b'x')
+    assert client.size() == 5
+    assert client.flush() == 5
+    assert client.size() == 0
+
+
+def test_large_values_roundtrip(client):
+    payload = bytes(bytearray(range(256)) * 8192)  # 2 MiB
+    client.set('big', payload)
+    assert client.get('big') == payload
+
+
+def test_overwrite_value(client):
+    client.set('k', b'one')
+    client.set('k', b'two')
+    assert client.get('k') == b'two'
+
+
+def test_set_rejects_non_bytes(client):
+    with pytest.raises(ConnectorError):
+        client._request('SET', 'k', 'not-bytes')
+
+
+def test_unknown_command_errors(client):
+    with pytest.raises(ConnectorError):
+        client._request('BOGUS')
+
+
+def test_malformed_request_errors(server):
+    import socket
+
+    from repro.kvserver.protocol import recv_message
+    from repro.kvserver.protocol import send_message
+
+    with socket.create_connection((server.host, server.port)) as sock:
+        send_message(sock, ('only', 'two'))
+        status, payload = recv_message(sock)
+        assert status == 'error'
+        assert 'malformed' in payload
+
+
+def test_multiple_clients_share_data(server):
+    a = KVClient(server.host, server.port)
+    b = KVClient(server.host, server.port)
+    try:
+        a.set('shared', b'42')
+        assert b.get('shared') == b'42'
+    finally:
+        a.close()
+        b.close()
+
+
+def test_concurrent_clients(server):
+    errors = []
+
+    def worker(n):
+        try:
+            client = KVClient(server.host, server.port)
+            for i in range(50):
+                key = f'w{n}-{i}'
+                client.set(key, f'value-{n}-{i}'.encode())
+                assert client.get(key) == f'value-{n}-{i}'.encode()
+            client.close()
+        except Exception as e:  # pragma: no cover - only on failure
+            errors.append(e)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert len(server) == 8 * 50
+
+
+def test_client_connect_failure_raises():
+    client = KVClient('127.0.0.1', 1)  # almost certainly nothing listening
+    with pytest.raises(ConnectorError):
+        client.ping()
+
+
+def test_server_stop_clears_data(server):
+    client = KVClient(server.host, server.port)
+    client.set('k', b'v')
+    client.close()
+    server.stop()
+    assert not server.running
+    assert len(server) == 0
+
+
+def test_server_context_manager():
+    with KVServer() as srv:
+        assert srv.running
+        client = KVClient(srv.host, srv.port)
+        assert client.ping()
+        client.close()
+    assert not srv.running
+
+
+def test_launch_server_reuses_existing_for_fixed_port():
+    first = launch_server()
+    try:
+        again = launch_server(first.host, first.port)
+        assert again is first
+    finally:
+        first.stop()
+
+
+def test_launch_server_ephemeral_ports_are_distinct():
+    a = launch_server()
+    b = launch_server()
+    try:
+        assert a.port != b.port
+    finally:
+        a.stop()
+        b.stop()

@@ -1,0 +1,115 @@
+"""Tests of the Factory base class and concrete factories."""
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.proxy import Factory
+from repro.proxy import LambdaFactory
+from repro.proxy import SimpleFactory
+
+
+def _make_value(a, b=1):
+    return a + b
+
+
+class SlowFactory(Factory):
+    """Factory that sleeps briefly so async overlap is observable."""
+
+    def __init__(self, value, delay=0.05):
+        super().__init__()
+        self.value = value
+        self.delay = delay
+
+    def resolve(self):
+        time.sleep(self.delay)
+        return self.value
+
+
+class FailingFactory(Factory):
+    def resolve(self):
+        raise ValueError('cannot resolve')
+
+
+def test_simple_factory_returns_object():
+    f = SimpleFactory({'x': 1})
+    assert f() == {'x': 1}
+    assert f.resolve() == {'x': 1}
+
+
+def test_simple_factory_equality_and_repr():
+    assert SimpleFactory(1) == SimpleFactory(1)
+    assert SimpleFactory(1) != SimpleFactory(2)
+    assert 'SimpleFactory' in repr(SimpleFactory(1))
+
+
+def test_lambda_factory_with_args_and_kwargs():
+    f = LambdaFactory(_make_value, 10, b=5)
+    assert f() == 15
+
+
+def test_lambda_factory_requires_callable():
+    with pytest.raises(TypeError):
+        LambdaFactory('not callable')
+
+
+def test_lambda_factory_picklable_with_module_function():
+    f = LambdaFactory(_make_value, 1, b=2)
+    restored = pickle.loads(pickle.dumps(f))
+    assert restored() == 3
+
+
+def test_base_factory_resolve_not_implemented():
+    with pytest.raises(NotImplementedError):
+        Factory().resolve()
+
+
+def test_resolve_async_then_call_returns_result():
+    f = SlowFactory('hello', delay=0.02)
+    f.resolve_async()
+    assert f() == 'hello'
+
+
+def test_resolve_async_is_idempotent():
+    f = SlowFactory('x', delay=0.01)
+    f.resolve_async()
+    f.resolve_async()  # second call is a no-op while one is in flight
+    assert f() == 'x'
+
+
+def test_resolve_async_propagates_errors_on_call():
+    f = FailingFactory()
+    f.resolve_async()
+    with pytest.raises(ValueError, match='cannot resolve'):
+        f()
+
+
+def test_call_after_async_failure_can_retry():
+    f = FailingFactory()
+    f.resolve_async()
+    with pytest.raises(ValueError):
+        f()
+    # The async error was consumed; a plain call fails again via resolve().
+    with pytest.raises(ValueError):
+        f()
+
+
+def test_factory_pickle_drops_async_state():
+    f = SlowFactory('v', delay=0.01)
+    f.resolve_async()
+    restored = pickle.loads(pickle.dumps(f))
+    assert restored._async_thread is None
+    assert restored() == 'v'
+
+
+def test_overlapping_async_resolution_saves_time():
+    delay = 0.05
+    f = SlowFactory('data', delay=delay)
+    f.resolve_async()
+    time.sleep(delay * 1.5)  # simulate overlapping computation
+    start = time.perf_counter()
+    assert f() == 'data'
+    elapsed = time.perf_counter() - start
+    assert elapsed < delay  # result was already available

@@ -1,0 +1,280 @@
+"""Tests of the transparent lazy Proxy."""
+from __future__ import annotations
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProxyResolveError
+from repro.proxy import Proxy
+from repro.proxy import SimpleFactory
+from repro.proxy import extract
+from repro.proxy import get_factory
+from repro.proxy import is_proxy
+from repro.proxy import is_resolved
+from repro.proxy import resolve
+from repro.proxy import resolve_async
+
+
+class Payload:
+    """Simple user type used to verify isinstance transparency."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def double(self):
+        return self.value * 2
+
+    def __eq__(self, other):
+        return isinstance(other, Payload) and self.value == other.value
+
+
+def test_proxy_requires_callable_factory():
+    with pytest.raises(TypeError):
+        Proxy(42)
+
+
+def test_proxy_is_lazy_until_first_use():
+    calls = []
+
+    def factory():
+        calls.append(1)
+        return [1, 2, 3]
+
+    p = Proxy(factory)
+    assert not is_resolved(p)
+    assert calls == []
+    assert len(p) == 3
+    assert is_resolved(p)
+    assert calls == [1]
+    # Resolution result is cached: factory not called again.
+    assert p[0] == 1
+    assert calls == [1]
+
+
+def test_proxy_isinstance_transparency():
+    p = Proxy(SimpleFactory(Payload(21)))
+    assert isinstance(p, Payload)
+    assert isinstance(p, Proxy)
+    assert p.double() == 42
+
+
+def test_proxy_class_attribute_is_target_class():
+    p = Proxy(SimpleFactory({'a': 1}))
+    assert p.__class__ is dict
+    assert type(p) is Proxy
+
+
+def test_proxy_attribute_get_set_delete():
+    p = Proxy(SimpleFactory(Payload(1)))
+    assert p.value == 1
+    p.value = 9
+    assert extract(p).value == 9
+    p.extra = 'x'
+    assert p.extra == 'x'
+    del p.extra
+    with pytest.raises(AttributeError):
+        _ = p.extra
+
+
+def test_proxy_forwarding_string_conversions():
+    p = Proxy(SimpleFactory(3.5))
+    assert str(p) == '3.5'
+    assert repr(p) == '3.5'
+    assert format(p, '.1f') == '3.5'
+    assert f'{p}' == '3.5'
+
+
+def test_proxy_numeric_operators():
+    p = Proxy(SimpleFactory(10))
+    assert p + 5 == 15
+    assert 5 + p == 15
+    assert p - 3 == 7
+    assert 3 - p == -7
+    assert p * 2 == 20
+    assert p / 4 == 2.5
+    assert p // 3 == 3
+    assert p % 3 == 1
+    assert divmod(p, 3) == (3, 1)
+    assert p ** 2 == 100
+    assert 2 ** p == 1024
+    assert -p == -10
+    assert +p == 10
+    assert abs(Proxy(SimpleFactory(-4))) == 4
+    assert ~p == -11
+    assert p << 1 == 20
+    assert p >> 1 == 5
+    assert p & 6 == 2
+    assert p | 1 == 11
+    assert p ^ 3 == 9
+
+
+def test_proxy_inplace_operators_keep_proxy_type():
+    p = Proxy(SimpleFactory(10))
+    p += 1
+    assert isinstance(p, Proxy)
+    assert p == 11
+    p *= 2
+    assert p == 22
+
+
+def test_proxy_comparisons_and_hash():
+    p = Proxy(SimpleFactory(7))
+    assert p == 7
+    assert p != 8
+    assert p < 8
+    assert p <= 7
+    assert p > 6
+    assert p >= 7
+    assert hash(p) == hash(7)
+
+
+def test_proxy_container_protocol():
+    p = Proxy(SimpleFactory({'a': 1, 'b': 2}))
+    assert len(p) == 2
+    assert p['a'] == 1
+    p['c'] = 3
+    assert 'c' in p
+    del p['c']
+    assert 'c' not in p
+    assert sorted(iter(p)) == ['a', 'b']
+
+    lst = Proxy(SimpleFactory([3, 1, 2]))
+    assert list(reversed(lst)) == [2, 1, 3]
+
+
+def test_proxy_numeric_conversions():
+    p = Proxy(SimpleFactory(3.7))
+    assert int(p) == 3
+    assert float(p) == 3.7
+    assert complex(p) == complex(3.7)
+    assert round(p) == 4
+    assert round(p, 1) == 3.7
+    assert math.trunc(p) == 3
+    assert math.floor(p) == 3
+    assert math.ceil(p) == 4
+    idx = Proxy(SimpleFactory(2))
+    assert [10, 20, 30][idx] == 30
+    assert bool(Proxy(SimpleFactory(0))) is False
+
+
+def test_proxy_callable_forwarding():
+    p = Proxy(SimpleFactory(lambda x, y=1: x + y))
+    assert p(2) == 3
+    assert p(2, y=5) == 7
+
+
+def test_proxy_context_manager_forwarding(tmp_path):
+    path = tmp_path / 'f.txt'
+    path.write_text('hello')
+    p = Proxy(lambda: open(path))
+    with p as f:
+        assert f.read() == 'hello'
+
+
+def test_proxy_iteration_protocol():
+    p = Proxy(SimpleFactory(iter([1, 2])))
+    assert next(p) == 1
+    assert next(p) == 2
+    with pytest.raises(StopIteration):
+        next(p)
+
+
+def test_proxy_matmul_with_numpy():
+    a = np.eye(3)
+    b = np.arange(9).reshape(3, 3)
+    p = Proxy(SimpleFactory(a))
+    assert np.array_equal(p @ b, b)
+    assert np.array_equal(b @ p, b)
+
+
+def test_proxy_dir_includes_target_attributes():
+    p = Proxy(SimpleFactory(Payload(1)))
+    assert 'double' in dir(p)
+
+
+def test_proxy_pickles_only_the_factory():
+    big = list(range(100_000))
+    p = Proxy(SimpleFactory(big))
+    # Resolve it first: the target must still be excluded from the pickle.
+    assert len(p) == 100_000
+    small_proxy_bytes = pickle.dumps(Proxy(SimpleFactory('tiny')))
+    assert len(small_proxy_bytes) < 500
+
+
+def test_proxy_pickle_roundtrip_unresolved():
+    p = Proxy(SimpleFactory(Payload(5)))
+    restored = pickle.loads(pickle.dumps(p))
+    assert isinstance(restored, Proxy)
+    assert not is_resolved(restored)
+    assert restored.double() == 10
+
+
+def test_proxy_resolve_error_wrapping():
+    def broken():
+        raise RuntimeError('boom')
+
+    p = Proxy(broken)
+    with pytest.raises(ProxyResolveError, match='boom'):
+        resolve(p)
+
+
+def test_resolve_helpers_type_checking():
+    with pytest.raises(TypeError):
+        is_resolved([1, 2, 3])
+    with pytest.raises(TypeError):
+        resolve('not a proxy')
+    with pytest.raises(TypeError):
+        extract(42)
+    assert is_proxy(Proxy(SimpleFactory(1)))
+    assert not is_proxy(object())
+
+
+def test_extract_returns_bare_target():
+    target = Payload(3)
+    p = Proxy(SimpleFactory(target))
+    assert extract(p) is target
+    assert type(extract(p)) is Payload
+
+
+def test_resolve_async_with_plain_callable_is_noop():
+    p = Proxy(lambda: 'value')
+    resolve_async(p)  # plain callables have no async hook; must not raise
+    assert p == 'value'
+
+
+def test_resolve_async_with_factory_prefetches():
+    factory = SimpleFactory('prefetched')
+    p = Proxy(factory)
+    resolve_async(p)
+    assert p == 'prefetched'
+
+
+def test_get_factory_does_not_resolve():
+    factory = SimpleFactory(1)
+    p = Proxy(factory)
+    assert get_factory(p) is factory
+    assert not is_resolved(p)
+
+
+def test_setting_wrapped_replaces_target():
+    p = Proxy(SimpleFactory(1))
+    p.__wrapped__ = 99
+    assert p == 99
+    del p.__wrapped__
+    assert not is_resolved(p)
+    assert p == 1  # factory re-resolves after the cached target is dropped
+
+
+def test_proxy_of_proxy_resolves_through():
+    inner = Proxy(SimpleFactory([1, 2]))
+    outer = Proxy(SimpleFactory(inner))
+    assert outer[1] == 2
+
+
+def test_proxy_equality_between_proxies():
+    a = Proxy(SimpleFactory(5))
+    b = Proxy(SimpleFactory(5))
+    assert a == b

@@ -1,0 +1,109 @@
+"""Property-based tests of proxy transparency using hypothesis."""
+from __future__ import annotations
+
+import pickle
+
+from hypothesis import given
+from hypothesis import settings
+from hypothesis import strategies as st
+
+from repro.proxy import Proxy
+from repro.proxy import SimpleFactory
+from repro.proxy import extract
+from repro.proxy import is_resolved
+
+# Values that are hashable, comparable, and picklable.
+scalars = st.one_of(
+    st.integers(),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=64),
+    st.booleans(),
+    st.none(),
+)
+
+containers = st.one_of(
+    st.lists(st.integers(), max_size=20),
+    st.dictionaries(st.text(max_size=8), st.integers(), max_size=10),
+    st.tuples(st.integers(), st.text(max_size=8)),
+    st.sets(st.integers(), max_size=10),
+)
+
+
+@given(value=scalars)
+def test_proxy_equals_target(value):
+    p = Proxy(SimpleFactory(value))
+    assert p == value
+    assert extract(p) == value
+
+
+@given(value=scalars)
+def test_proxy_class_matches_target_class(value):
+    p = Proxy(SimpleFactory(value))
+    assert isinstance(p, type(value))
+    assert p.__class__ is type(value)
+
+
+@given(value=st.one_of(st.integers(), st.text(max_size=32), st.booleans()))
+def test_proxy_hash_matches_target_hash(value):
+    p = Proxy(SimpleFactory(value))
+    assert hash(p) == hash(value)
+
+
+@given(value=containers)
+def test_proxy_len_and_iteration_match(value):
+    p = Proxy(SimpleFactory(value))
+    assert len(p) == len(value)
+    assert sorted(map(repr, iter(p))) == sorted(map(repr, iter(value)))
+
+
+@given(value=st.lists(st.integers(), min_size=1, max_size=20))
+def test_proxy_indexing_matches(value):
+    p = Proxy(SimpleFactory(value))
+    for i in range(len(value)):
+        assert p[i] == value[i]
+    assert p[-1] == value[-1]
+
+
+@given(a=st.integers(-10**6, 10**6), b=st.integers(-10**6, 10**6))
+def test_proxy_arithmetic_matches_int_semantics(a, b):
+    p = Proxy(SimpleFactory(a))
+    assert p + b == a + b
+    assert b + p == b + a
+    assert p * b == a * b
+    assert p - b == a - b
+    if b != 0:
+        assert p // b == a // b
+        assert p % b == a % b
+
+
+@given(value=scalars)
+def test_proxy_str_and_repr_match(value):
+    p = Proxy(SimpleFactory(value))
+    assert str(p) == str(value)
+    assert repr(p) == repr(value)
+
+
+@settings(max_examples=50)
+@given(value=st.one_of(scalars, containers))
+def test_proxy_pickle_roundtrip_preserves_value(value):
+    p = Proxy(SimpleFactory(value))
+    restored = pickle.loads(pickle.dumps(p))
+    assert not is_resolved(restored)
+    assert extract(restored) == value
+
+
+@settings(max_examples=50)
+@given(value=st.one_of(scalars, containers))
+def test_proxy_pickle_after_resolution_still_lazy(value):
+    p = Proxy(SimpleFactory(value))
+    _ = extract(p)  # force resolution before pickling
+    restored = pickle.loads(pickle.dumps(p))
+    # Pickling captures only the factory, so the restored proxy is unresolved.
+    assert not is_resolved(restored)
+    assert extract(restored) == value
+
+
+@given(value=st.booleans() | st.integers() | st.lists(st.integers(), max_size=5))
+def test_proxy_truthiness_matches(value):
+    p = Proxy(SimpleFactory(value))
+    assert bool(p) == bool(value)

@@ -1,0 +1,173 @@
+"""Tests for the default serializer and custom serializer registry."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import SerializationError
+from repro.serialize import default_registry
+from repro.serialize import deserialize
+from repro.serialize import register_serializer
+from repro.serialize import serialize
+from repro.serialize import unregister_serializer
+
+
+def test_bytes_fast_path_roundtrip():
+    data = b'\x00\x01binary\xff'
+    assert deserialize(serialize(data)) == data
+    # Fast path stores the payload verbatim after the identifier byte.
+    assert serialize(data)[1:] == data
+
+
+def test_bytearray_and_memoryview_roundtrip_as_bytes():
+    assert deserialize(serialize(bytearray(b'abc'))) == b'abc'
+    assert deserialize(serialize(memoryview(b'abc'))) == b'abc'
+
+
+def test_str_fast_path_roundtrip():
+    text = 'hello \N{GREEK SMALL LETTER ALPHA} world'
+    assert deserialize(serialize(text)) == text
+
+
+def test_numpy_fast_path_roundtrip():
+    arr = np.random.default_rng(0).normal(size=(10, 3))
+    restored = deserialize(serialize(arr))
+    assert isinstance(restored, np.ndarray)
+    assert np.array_equal(restored, arr)
+    assert restored.dtype == arr.dtype
+
+
+def test_pickle_fallback_for_generic_objects():
+    obj = {'a': [1, 2, 3], 'b': (4, 5), 'c': {'nested': True}}
+    assert deserialize(serialize(obj)) == obj
+
+
+def test_unpicklable_object_raises_serialization_error():
+    with pytest.raises(SerializationError):
+        serialize(lambda x: x)  # local lambdas cannot be pickled
+
+
+def test_deserialize_rejects_non_bytes():
+    with pytest.raises(SerializationError):
+        deserialize('a string')  # type: ignore[arg-type]
+
+
+def test_deserialize_rejects_empty_and_unknown_identifier():
+    with pytest.raises(SerializationError):
+        deserialize(b'')
+    with pytest.raises(SerializationError):
+        deserialize(b'\x7fgarbage')
+
+
+def test_deserialize_rejects_corrupted_pickle_payload():
+    data = serialize({'a': 1})
+    with pytest.raises(SerializationError):
+        deserialize(data[:1] + b'corrupted')
+
+
+class Point:
+    def __init__(self, x, y):
+        self.x = x
+        self.y = y
+
+    def __eq__(self, other):
+        return isinstance(other, Point) and (self.x, self.y) == (other.x, other.y)
+
+
+def _ser_point(p: Point) -> bytes:
+    return f'{p.x},{p.y}'.encode()
+
+
+def _des_point(data: bytes) -> Point:
+    x, y = data.decode().split(',')
+    return Point(int(x), int(y))
+
+
+def test_custom_serializer_roundtrip():
+    register_serializer('point', Point, _ser_point, _des_point)
+    try:
+        data = serialize(Point(3, 4))
+        assert data.startswith(b'\x04point\n')
+        assert deserialize(data) == Point(3, 4)
+    finally:
+        unregister_serializer('point')
+
+
+def test_custom_serializer_must_return_bytes():
+    register_serializer('bad', Point, lambda p: 'not bytes', _des_point)
+    try:
+        with pytest.raises(SerializationError):
+            serialize(Point(1, 1))
+    finally:
+        unregister_serializer('bad')
+
+
+def test_custom_serializer_missing_in_consumer_raises():
+    register_serializer('temp', Point, _ser_point, _des_point)
+    data = serialize(Point(1, 2))
+    unregister_serializer('temp')
+    with pytest.raises(SerializationError, match='temp'):
+        deserialize(data)
+
+
+def test_registry_duplicate_name_rejected_unless_overwrite():
+    register_serializer('dup', Point, _ser_point, _des_point)
+    try:
+        with pytest.raises(ValueError):
+            register_serializer('dup', Point, _ser_point, _des_point)
+        register_serializer('dup', Point, _ser_point, _des_point, overwrite=True)
+    finally:
+        unregister_serializer('dup')
+
+
+def test_registry_rejects_newline_in_name():
+    with pytest.raises(ValueError):
+        register_serializer('bad\nname', Point, _ser_point, _des_point)
+
+
+def test_registry_find_matches_subclasses():
+    class Point3(Point):
+        pass
+
+    register_serializer('point', Point, _ser_point, _des_point)
+    try:
+        entry = default_registry.find(Point3(1, 2))
+        assert entry is not None and entry[0] == 'point'
+    finally:
+        unregister_serializer('point')
+
+
+def test_registry_len_and_contains():
+    assert len(default_registry) == 0
+    register_serializer('p', Point, _ser_point, _des_point)
+    assert 'p' in default_registry
+    assert len(default_registry) == 1
+    unregister_serializer('p')
+    assert 'p' not in default_registry
+
+
+@given(
+    obj=st.one_of(
+        st.binary(max_size=256),
+        st.text(max_size=256),
+        st.integers(),
+        st.floats(allow_nan=False),
+        st.lists(st.integers(), max_size=32),
+        st.dictionaries(st.text(max_size=8), st.integers(), max_size=16),
+        st.tuples(st.integers(), st.text(max_size=8), st.booleans()),
+    ),
+)
+def test_serialize_roundtrip_property(obj):
+    assert deserialize(serialize(obj)) == obj
+
+
+@given(
+    shape=st.tuples(st.integers(1, 8), st.integers(1, 8)),
+    seed=st.integers(0, 2**16),
+)
+def test_serialize_numpy_roundtrip_property(shape, seed):
+    arr = np.random.default_rng(seed).integers(-100, 100, size=shape)
+    restored = deserialize(serialize(arr))
+    assert np.array_equal(restored, arr)

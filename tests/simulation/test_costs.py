@@ -1,0 +1,153 @@
+"""Tests of the transfer cost models and the CostedConnector wrapper."""
+from __future__ import annotations
+
+import pytest
+
+from repro.connectors.local import LocalConnector
+from repro.simulation import VirtualClock
+from repro.simulation import paper_testbed
+from repro.simulation.context import current_host
+from repro.simulation.context import on_host
+from repro.simulation.context import set_current_host
+from repro.simulation.costed import CostedConnector
+from repro.simulation.costs import CentralServerCost
+from repro.simulation.costs import CloudRelayCost
+from repro.simulation.costs import DataSpacesCost
+from repro.simulation.costs import DistributedMemoryCost
+from repro.simulation.costs import EndpointPeerCost
+from repro.simulation.costs import GlobusTransferCost
+from repro.simulation.costs import IPFSCost
+from repro.simulation.costs import SharedFilesystemCost
+from repro.simulation.costs import SSHTunnelRedisCost
+
+
+@pytest.fixture()
+def fabric():
+    return paper_testbed()
+
+
+def test_context_current_host_default_and_override():
+    assert current_host() == 'theta-login'
+    token = set_current_host('midway2-login')
+    assert current_host() == 'midway2-login'
+    set_current_host(None)
+    assert current_host() == 'theta-login'
+    with on_host('frontera-login'):
+        assert current_host() == 'frontera-login'
+    assert current_host() == 'theta-login'
+
+
+def test_cloud_relay_more_expensive_than_file_intra_site(fabric):
+    size = 1_000_000
+    cloud = CloudRelayCost(fabric).roundtrip_cost(size, 'theta-login', 'theta-compute')
+    file = SharedFilesystemCost(fabric).roundtrip_cost(size, 'theta-login', 'theta-compute')
+    assert cloud > file
+
+
+def test_cloud_relay_grows_with_payload(fabric):
+    model = CloudRelayCost(fabric)
+    assert model.roundtrip_cost(5_000_000, 'midway2-login', 'theta-compute') > \
+        model.roundtrip_cost(10, 'midway2-login', 'theta-compute') + 1.0
+
+
+def test_globus_has_high_fixed_overhead_but_scales_well(fabric):
+    globus = GlobusTransferCost(fabric)
+    endpoint = EndpointPeerCost(fabric)
+    small = 10_000
+    huge = 2_000_000_000
+    # Small transfers: Globus is far slower than peer endpoints.
+    assert globus.roundtrip_cost(small, 'midway2-login', 'theta-compute') > \
+        endpoint.roundtrip_cost(small, 'midway2-login', 'theta-compute')
+    # Very large transfers: Globus overtakes the throttled data channel.
+    assert globus.roundtrip_cost(huge, 'midway2-login', 'theta-compute') < \
+        endpoint.roundtrip_cost(huge, 'midway2-login', 'theta-compute')
+
+
+def test_endpoint_peering_setup_charged_once_per_site_pair(fabric):
+    model = EndpointPeerCost(fabric)
+    first = model.get_cost(1000, 'midway2-login', 'theta-compute')
+    second = model.get_cost(1000, 'midway2-login', 'theta-compute')
+    assert first > second
+    # Reverse direction reuses the same (persistent, bidirectional) connection.
+    reverse = model.get_cost(1000, 'theta-compute', 'midway2-login')
+    assert reverse < first
+
+
+def test_endpoint_same_site_cheaper_than_cross_site(fabric):
+    model = EndpointPeerCost(fabric)
+    same = model.get_cost(10_000, 'theta-login', 'theta-compute')
+    cross = EndpointPeerCost(fabric).get_cost(10_000, 'frontera-login', 'theta-compute')
+    assert same < cross
+
+
+def test_distributed_memory_efficiency_ordering(fabric):
+    size = 100_000_000
+    margo = DistributedMemoryCost(fabric, software_efficiency=1.0)
+    zmq = DistributedMemoryCost(fabric, software_efficiency=0.4)
+    assert margo.get_cost(size, 'polaris-login', 'polaris-compute') < \
+        zmq.get_cost(size, 'polaris-login', 'polaris-compute')
+
+
+def test_distributed_memory_startup_charged_once(fabric):
+    model = DistributedMemoryCost(fabric, startup_overhead_s=0.5)
+    first = model.put_cost(10, 'polaris-login')
+    second = model.put_cost(10, 'polaris-login')
+    assert first > second
+
+
+def test_dataspaces_and_ssh_and_ipfs_models_positive(fabric):
+    for model in (DataSpacesCost(fabric), SSHTunnelRedisCost(fabric, server_host='theta-login'),
+                  IPFSCost(fabric), CentralServerCost(fabric, server_host='theta-login')):
+        assert model.roundtrip_cost(1_000_000, 'midway2-login', 'theta-compute') > 0
+
+
+def test_costed_connector_charges_clock_and_ledger(fabric):
+    clock = VirtualClock()
+    connector = CostedConnector(LocalConnector(), SharedFilesystemCost(fabric), clock)
+    with on_host('theta-login'):
+        key = connector.put(b'x' * 100_000)
+    after_put = clock.now()
+    assert after_put > 0
+    assert connector.ledger.put_count == 1
+    with on_host('theta-compute'):
+        assert connector.get(key) == b'x' * 100_000
+    assert clock.now() > after_put
+    assert connector.ledger.get_count == 1
+    assert connector.ledger.total_cost == pytest.approx(clock.now())
+    assert connector.ledger.last_get_cost > 0
+
+
+def test_costed_connector_without_clock_only_records(fabric):
+    connector = CostedConnector(LocalConnector(), SharedFilesystemCost(fabric))
+    key = connector.put(b'abc')
+    connector.get(key)
+    assert connector.ledger.put_count == 1
+    assert connector.ledger.get_count == 1
+
+
+def test_costed_connector_get_missing_not_charged(fabric):
+    clock = VirtualClock()
+    connector = CostedConnector(LocalConnector(), SharedFilesystemCost(fabric), clock)
+    key = connector.put(b'abc')
+    connector.evict(key)
+    before = clock.now()
+    assert connector.get(key) is None
+    assert clock.now() == before
+
+
+def test_costed_connector_batch_operations(fabric):
+    clock = VirtualClock()
+    connector = CostedConnector(LocalConnector(), SharedFilesystemCost(fabric), clock)
+    keys = connector.put_batch([b'a', b'b'])
+    assert connector.ledger.put_count == 2
+    assert connector.get_batch(keys) == [b'a', b'b']
+    assert connector.ledger.get_count == 2
+    assert connector.exists(keys[0])
+
+
+def test_costed_connector_config_delegates_to_inner(fabric):
+    inner = LocalConnector()
+    connector = CostedConnector(inner, SharedFilesystemCost(fabric))
+    assert connector.config() == inner.config()
+    with pytest.raises(NotImplementedError):
+        CostedConnector.from_config({})

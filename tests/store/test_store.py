@@ -1,0 +1,184 @@
+"""Tests of the Store object-level API."""
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.connectors.file import FileConnector
+from repro.connectors.local import LocalConnector
+from repro.exceptions import StoreExistsError
+from repro.proxy import get_factory
+from repro.proxy import is_resolved
+from repro.store import Store
+from repro.store import get_store
+from repro.store import list_stores
+from repro.store import register_store
+from repro.store import unregister_store
+
+
+def test_store_requires_nonempty_name():
+    with pytest.raises(ValueError):
+        Store('', LocalConnector(), register=False)
+    with pytest.raises(ValueError):
+        Store(None, LocalConnector(), register=False)  # type: ignore[arg-type]
+
+
+def test_store_rejects_negative_cache_size():
+    with pytest.raises(ValueError):
+        Store('x', LocalConnector(), cache_size=-1, register=False)
+
+
+def test_put_get_roundtrip(local_store):
+    key = local_store.put({'a': 1})
+    assert local_store.get(key) == {'a': 1}
+
+
+def test_get_missing_returns_default(local_store):
+    key = local_store.put('x')
+    local_store.evict(key)
+    assert local_store.get(key) is None
+    assert local_store.get(key, default='gone') == 'gone'
+
+
+def test_exists_and_evict(local_store):
+    key = local_store.put([1, 2])
+    assert local_store.exists(key)
+    local_store.evict(key)
+    assert not local_store.exists(key)
+
+
+def test_put_batch_get_batch(local_store):
+    objs = [1, 'two', {'three': 3}, np.arange(4)]
+    keys = local_store.put_batch(objs)
+    results = local_store.get_batch(keys)
+    assert results[0] == 1
+    assert results[1] == 'two'
+    assert results[2] == {'three': 3}
+    assert np.array_equal(results[3], np.arange(4))
+
+
+def test_get_batch_mixed_missing(local_store):
+    keys = local_store.put_batch(['a', 'b'])
+    local_store.evict(keys[0])
+    assert local_store.get_batch(keys) == [None, 'b']
+
+
+def test_get_uses_cache_for_repeated_access(local_store):
+    key = local_store.put([1, 2, 3])
+    first = local_store.get(key)
+    # Evict from the connector only; the cached object must still be served.
+    local_store.connector.evict(key)
+    second = local_store.get(key)
+    assert second == first
+    assert local_store.cache_stats()['hits'] >= 1
+
+
+def test_cache_disabled_with_zero_size():
+    store = Store('no-cache', LocalConnector(), cache_size=0, register=False)
+    key = store.put('x')
+    assert store.get(key) == 'x'
+    store.connector.evict(key)
+    assert store.get(key) is None
+    store.close()
+
+
+def test_custom_serializer_applies(local_store):
+    events = []
+
+    def ser(obj):
+        events.append('ser')
+        return repr(obj).encode()
+
+    def des(data):
+        events.append('des')
+        return eval(data.decode())  # noqa: S307 - test only
+
+    key = local_store.put([1, 2], serializer=ser)
+    assert local_store.get(key, deserializer=des) == [1, 2]
+    assert events == ['ser', 'des']
+
+
+def test_store_registration_on_create():
+    store = Store('registered-store', LocalConnector())
+    try:
+        assert get_store('registered-store') is store
+        assert 'registered-store' in list_stores()
+    finally:
+        store.close()
+    assert get_store('registered-store') is None
+
+
+def test_duplicate_registration_raises():
+    store = Store('dup-store', LocalConnector())
+    try:
+        with pytest.raises(StoreExistsError):
+            Store('dup-store', LocalConnector())
+    finally:
+        store.close()
+
+
+def test_register_store_exist_ok():
+    a = Store('replaceable', LocalConnector())
+    b = Store('replaceable', LocalConnector(), register=False)
+    register_store(b, exist_ok=True)
+    assert get_store('replaceable') is b
+    unregister_store('replaceable')
+    a.connector.close()
+    b.connector.close()
+
+
+def test_unregistered_store_not_in_registry():
+    store = Store('anon', LocalConnector(), register=False)
+    assert get_store('anon') is None
+    store.close()
+
+
+def test_store_config_roundtrip(tmp_path):
+    store = Store('cfg-store', FileConnector(str(tmp_path / 'd')), register=False)
+    key = store.put('value')
+    config = store.config()
+    clone = Store.from_config(config, register=False)
+    assert clone.name == store.name
+    assert clone.get(key) == 'value'
+    store.close(clear=True)
+    clone.close()
+
+
+def test_store_config_dict_roundtrip(local_store):
+    config = local_store.config()
+    as_dict = config.to_dict()
+    restored = type(config).from_dict(as_dict)
+    assert restored == config
+
+
+def test_store_context_manager():
+    with Store('ctx-store', LocalConnector()) as store:
+        assert get_store('ctx-store') is store
+    assert get_store('ctx-store') is None
+
+
+def test_metrics_recording():
+    store = Store('metrics-store', LocalConnector(), metrics=True, register=False)
+    key = store.put(np.zeros(128))
+    store.get(key)
+    store.get(key)  # cache hit
+    store.evict(key)
+    summary = store.metrics_summary()
+    assert summary['put']['count'] == 1
+    assert summary['serialize']['count'] == 1
+    assert summary['get']['count'] == 1
+    assert summary['get_cached']['count'] == 1
+    assert summary['evict']['count'] == 1
+    assert summary['put']['total_bytes'] > 0
+    store.close()
+
+
+def test_metrics_disabled_by_default(local_store):
+    local_store.put('x')
+    assert local_store.metrics_summary() == {}
+
+
+def test_repr(local_store):
+    assert 'test-local-store' in repr(local_store)

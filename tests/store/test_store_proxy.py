@@ -1,0 +1,181 @@
+"""Tests of Store.proxy and the StoreFactory resolution path."""
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.connectors.file import FileConnector
+from repro.connectors.local import LocalConnector
+from repro.exceptions import StoreKeyError
+from repro.proxy import Proxy
+from repro.proxy import extract
+from repro.proxy import get_factory
+from repro.proxy import is_resolved
+from repro.proxy import resolve
+from repro.proxy import resolve_async
+from repro.store import Store
+from repro.store import StoreFactory
+from repro.store import get_store
+from repro.store import unregister_store
+
+
+def test_proxy_returns_lazy_proxy(local_store):
+    p = local_store.proxy([1, 2, 3], cache_local=False)
+    assert isinstance(p, Proxy)
+    assert not is_resolved(p)
+    assert p == [1, 2, 3]
+    assert is_resolved(p)
+
+
+def test_proxy_isinstance_of_target_type(local_store):
+    p = local_store.proxy(np.arange(5), cache_local=False)
+    assert isinstance(p, np.ndarray)
+    assert p.sum() == 10
+
+
+def test_proxy_factory_is_store_factory(local_store):
+    p = local_store.proxy('value')
+    factory = get_factory(p)
+    assert isinstance(factory, StoreFactory)
+    assert factory.store_config.name == local_store.name
+
+
+def test_proxy_pickle_is_small_and_resolvable(local_store):
+    big = np.zeros(250_000)  # ~2 MB when serialized
+    p = local_store.proxy(big, cache_local=False)
+    data = pickle.dumps(p)
+    assert len(data) < 2000  # only the factory travels
+    restored = pickle.loads(data)
+    assert np.array_equal(extract(restored), big)
+
+
+def test_proxy_local_cache_avoids_connector(local_store):
+    obj = {'payload': list(range(100))}
+    p = local_store.proxy(obj, cache_local=True)
+    # Remove from the connector: the local cache must still resolve it.
+    key = get_factory(p).key
+    local_store.connector.evict(key)
+    assert p == obj
+
+
+def test_proxy_evict_flag_removes_object_after_first_resolve(local_store):
+    p = local_store.proxy('ephemeral', evict=True, cache_local=False)
+    key = get_factory(p).key
+    assert local_store.connector.exists(key)
+    resolve(p)
+    assert extract(p) == 'ephemeral'
+    assert not local_store.connector.exists(key)
+
+
+def test_proxy_without_evict_keeps_object(local_store):
+    p = local_store.proxy('persistent', cache_local=False)
+    key = get_factory(p).key
+    resolve(p)
+    assert local_store.connector.exists(key)
+
+
+def test_resolving_missing_object_raises_store_key_error(local_store):
+    p = local_store.proxy('x', cache_local=False)
+    local_store.evict(get_factory(p).key)
+    with pytest.raises(Exception) as excinfo:
+        resolve(p)
+    # The ProxyResolveError wraps the StoreKeyError raised by the factory.
+    assert 'does not exist' in str(excinfo.value)
+
+
+def test_store_factory_direct_resolution(local_store):
+    key = local_store.put('direct')
+    factory = StoreFactory(key, local_store.config())
+    assert factory() == 'direct'
+
+
+def test_store_factory_missing_key_raises(local_store):
+    key = local_store.put('x')
+    local_store.evict(key)
+    factory = StoreFactory(key, local_store.config())
+    with pytest.raises(StoreKeyError):
+        factory.resolve()
+
+
+def test_store_factory_equality_and_hash(local_store):
+    key = local_store.put('x')
+    config = local_store.config()
+    assert StoreFactory(key, config) == StoreFactory(key, config)
+    assert hash(StoreFactory(key, config)) == hash(StoreFactory(key, config))
+    assert StoreFactory(key, config) != StoreFactory(key, config, evict=True)
+
+
+def test_proxy_batch(local_store):
+    objs = ['a', 'b', 'c']
+    proxies = local_store.proxy_batch(objs, cache_local=False)
+    assert len(proxies) == 3
+    assert [extract(p) for p in proxies] == objs
+
+
+def test_proxy_batch_evict(local_store):
+    proxies = local_store.proxy_batch(['a', 'b'], evict=True, cache_local=False)
+    keys = [get_factory(p).key for p in proxies]
+    for p in proxies:
+        resolve(p)
+    assert all(not local_store.connector.exists(k) for k in keys)
+
+
+def test_proxy_from_key(local_store):
+    key = local_store.put({'k': 1})
+    p = local_store.proxy_from_key(key)
+    assert p == {'k': 1}
+
+
+def test_locked_proxy_is_pre_resolved(local_store):
+    p = local_store.locked_proxy('already here')
+    assert is_resolved(p)
+    assert p == 'already here'
+    # And the data is still stored for other consumers.
+    key = get_factory(p).key
+    assert local_store.connector.exists(key)
+
+
+def test_proxy_resolution_registers_store_in_new_registry_state(tmp_path):
+    """Simulates resolving a proxy in a process without the store registered."""
+    store = Store('producer-store', FileConnector(str(tmp_path / 'd')))
+    p = store.proxy([1, 2, 3], cache_local=False)
+    data = pickle.dumps(p)
+
+    # Simulate a fresh consumer process: drop the registry entry.
+    unregister_store('producer-store')
+    assert get_store('producer-store') is None
+
+    restored = pickle.loads(data)
+    assert restored == [1, 2, 3]
+    # Resolution re-created and registered an equivalent store.
+    recreated = get_store('producer-store')
+    assert recreated is not None
+    assert recreated is not store
+    recreated.close(clear=True)
+
+
+def test_proxy_resolution_reuses_registered_store(local_store):
+    p = local_store.proxy('x', cache_local=False)
+    restored = pickle.loads(pickle.dumps(p))
+    resolve(restored)
+    # The factory found the already-registered store rather than making a new one.
+    assert get_factory(restored).get_store() is local_store
+
+
+def test_resolve_async_prefetches_via_store(local_store):
+    p = local_store.proxy('prefetch me', cache_local=False)
+    resolve_async(p)
+    assert p == 'prefetch me'
+
+
+def test_resolve_async_noop_when_cached(local_store):
+    p = local_store.proxy('cached', cache_local=True)
+    resolve_async(p)  # object already in local cache; should remain resolvable
+    assert p == 'cached'
+
+
+def test_proxy_connector_kwargs_rejected_for_plain_connector(local_store):
+    with pytest.raises(TypeError):
+        local_store.proxy('x', subset_tags=('gpu',))

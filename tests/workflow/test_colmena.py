@@ -1,0 +1,151 @@
+"""Tests of the Colmena-like Thinker/TaskServer layer."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.connectors.local import LocalConnector
+from repro.proxy import Proxy
+from repro.proxy import is_proxy
+from repro.store import Store
+from repro.workflow import ColmenaQueues
+from repro.workflow import TaskServer
+from repro.workflow import Thinker
+from repro.workflow import WorkflowEngine
+
+
+@pytest.fixture()
+def engine():
+    with WorkflowEngine(n_workers=2) as eng:
+        yield eng
+
+
+@pytest.fixture()
+def pipeline(engine):
+    queues = ColmenaQueues()
+    server = TaskServer(queues, engine, fixed_overhead_s=0.0)
+    thinker = Thinker(queues)
+    with server:
+        yield server, thinker
+
+
+def _scale(data, factor=2):
+    return np.asarray(data) * factor
+
+
+def test_round_trip_without_store(pipeline):
+    server, thinker = pipeline
+    server.register_topic('scale', _scale)
+    result = thinker.run_task('scale', np.ones(4))
+    assert result.success
+    assert np.array_equal(result.value, 2 * np.ones(4))
+    assert result.roundtrip_time >= 0
+    assert not result.proxied_inputs and not result.proxied_result
+
+
+def test_unknown_topic_reports_error(pipeline):
+    server, thinker = pipeline
+    result = thinker.run_task('missing-topic', 1)
+    assert not result.success
+    assert 'missing-topic' in result.error
+
+
+def test_task_exception_reported(pipeline):
+    server, thinker = pipeline
+
+    def fail(_):
+        raise RuntimeError('bad inputs')
+
+    server.register_topic('fail', fail)
+    result = thinker.run_task('fail', 1)
+    assert not result.success
+    assert 'bad inputs' in result.error
+
+
+def test_threshold_proxies_large_inputs_only(pipeline):
+    server, thinker = pipeline
+    store = Store('colmena-threshold-store', LocalConnector())
+    try:
+        server.register_topic('scale', _scale, store=store, threshold_bytes=10_000)
+        small = thinker.run_task('scale', np.ones(4))
+        assert not small.proxied_inputs
+        large = thinker.run_task('scale', np.ones(50_000))
+        assert large.proxied_inputs
+        assert large.input_bytes < 10_000  # only the proxy crossed the pipeline
+    finally:
+        store.close(clear=True)
+
+
+def test_results_proxied_when_large(pipeline):
+    server, thinker = pipeline
+    store = Store('colmena-results-store', LocalConnector())
+    try:
+        server.register_topic('scale', _scale, store=store, threshold_bytes=1_000)
+        result = thinker.run_task('scale', np.ones(10_000))
+        assert result.proxied_result
+        assert is_proxy(result.value)
+        # The Thinker can still use the value transparently.
+        assert float(np.asarray(result.value).sum()) == pytest.approx(20_000.0)
+    finally:
+        store.close(clear=True)
+
+
+def test_proxy_results_can_be_disabled(pipeline):
+    server, thinker = pipeline
+    store = Store('colmena-no-result-proxy', LocalConnector())
+    try:
+        server.register_topic('scale', _scale, store=store, threshold_bytes=0,
+                              proxy_results=False)
+        result = thinker.run_task('scale', np.ones(1000))
+        assert result.proxied_inputs
+        assert not result.proxied_result
+        assert isinstance(result.value, np.ndarray)
+    finally:
+        store.close(clear=True)
+
+
+def test_already_proxied_inputs_pass_through(pipeline):
+    server, thinker = pipeline
+    store = Store('colmena-preproxied', LocalConnector())
+    try:
+        server.register_topic('scale', _scale)
+        proxy = store.proxy(np.ones(8), cache_local=False)
+        result = thinker.run_task('scale', proxy)
+        assert result.proxied_inputs
+        assert np.array_equal(result.value, 2 * np.ones(8))
+    finally:
+        store.close(clear=True)
+
+
+def test_register_topic_validation(engine):
+    server = TaskServer(ColmenaQueues(), engine)
+    with pytest.raises(ValueError):
+        server.register_topic('x', _scale, threshold_bytes=-1)
+    with pytest.raises(ValueError):
+        TaskServer(ColmenaQueues(), engine, fixed_overhead_s=-0.1)
+
+
+def test_topics_listing(engine):
+    server = TaskServer(ColmenaQueues(), engine)
+    server.register_topic('b', _scale)
+    server.register_topic('a', _scale)
+    assert server.topics() == ['a', 'b']
+
+
+def test_fixed_overhead_applied(engine):
+    queues = ColmenaQueues()
+    server = TaskServer(queues, engine, fixed_overhead_s=0.05)
+    server.register_topic('scale', _scale)
+    thinker = Thinker(queues)
+    with server:
+        result = thinker.run_task('scale', np.ones(2))
+    assert result.roundtrip_time >= 0.05
+
+
+def test_tasks_processed_counter(pipeline):
+    server, thinker = pipeline
+    server.register_topic('scale', _scale)
+    for _ in range(3):
+        thinker.run_task('scale', np.ones(2))
+    assert server.tasks_processed == 3
+    assert len(thinker.results) == 3

@@ -1,0 +1,78 @@
+"""Tests of the Parsl-like workflow engine."""
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkflowError
+from repro.workflow import WorkflowEngine
+
+
+def _add(a, b=0):
+    return a + b
+
+
+def _boom():
+    raise ValueError('worker failure')
+
+
+def test_engine_requires_valid_parameters():
+    with pytest.raises(ValueError):
+        WorkflowEngine(n_workers=0)
+    with pytest.raises(ValueError):
+        WorkflowEngine(extra_hops=-1)
+
+
+def test_submit_and_result():
+    with WorkflowEngine(n_workers=2) as engine:
+        future = engine.submit(_add, 2, b=3)
+        assert future.result() == 5
+        assert future.done()
+
+
+def test_many_tasks_across_workers():
+    with WorkflowEngine(n_workers=4) as engine:
+        futures = [engine.submit(_add, i, b=i) for i in range(50)]
+        assert [f.result() for f in futures] == [2 * i for i in range(50)]
+        assert engine.stats.tasks_completed == 50
+
+
+def test_task_exception_propagates():
+    with WorkflowEngine(n_workers=1) as engine:
+        future = engine.submit(_boom)
+        with pytest.raises(ValueError, match='worker failure'):
+            future.result()
+
+
+def test_submit_after_shutdown_rejected():
+    engine = WorkflowEngine(n_workers=1)
+    engine.shutdown()
+    with pytest.raises(WorkflowError):
+        engine.submit(_add, 1)
+    engine.shutdown()  # idempotent
+
+
+def test_stats_track_bytes_through_hub():
+    with WorkflowEngine(n_workers=1) as engine:
+        engine.submit(_add, b'x' * 10_000, b=b'').result()
+        assert engine.stats.input_bytes > 10_000
+        assert engine.stats.serialization_passes > 0
+
+
+def test_extra_hops_zero_disables_recopies():
+    with WorkflowEngine(n_workers=1, extra_hops=0) as engine:
+        engine.submit(_add, 1, b=2).result()
+        assert engine.stats.serialization_passes == 0
+
+
+def test_result_timeout():
+    def slow():
+        import time
+
+        time.sleep(0.5)
+        return 1
+
+    with WorkflowEngine(n_workers=1) as engine:
+        future = engine.submit(slow)
+        with pytest.raises(WorkflowError):
+            future.result(timeout=0.01)
+        assert future.result(timeout=5) == 1
