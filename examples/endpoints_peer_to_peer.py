@@ -15,11 +15,10 @@ import pickle
 
 import numpy as np
 
-from repro.connectors.endpoint import EndpointConnector
+from repro import store_from_url
 from repro.connectors.endpoint import set_local_endpoint
 from repro.endpoint import Endpoint
 from repro.endpoint import RelayServer
-from repro.store import Store
 
 
 def main() -> None:
@@ -30,9 +29,11 @@ def main() -> None:
     site_b.start()
     print(f'relay assigned UUIDs: A={site_a.uuid[:8]}..., B={site_b.uuid[:8]}...')
 
-    # Producer at site A.
+    # Producer at site A: the participating endpoints are the URL netloc.
     set_local_endpoint(site_a.uuid)
-    store = Store('endpoint-example-store', EndpointConnector([site_a.uuid, site_b.uuid]))
+    store = store_from_url(
+        f'endpoint://{site_a.uuid},{site_b.uuid}/endpoint-example-store',
+    )
     dataset = np.random.default_rng(0).normal(size=(256, 256))
     proxy = store.proxy(dataset, cache_local=False)
     wire = pickle.dumps(proxy)

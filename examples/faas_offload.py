@@ -15,7 +15,7 @@ import tempfile
 
 import numpy as np
 
-from repro.connectors.file import FileConnector
+from repro import store_from_url
 from repro.exceptions import PayloadTooLargeError
 from repro.faas import CloudFaaSService
 from repro.faas import ComputeEndpoint
@@ -26,7 +26,6 @@ from repro.simulation import paper_testbed
 from repro.simulation.context import on_host
 from repro.simulation.costed import CostedConnector
 from repro.simulation.costs import SharedFilesystemCost
-from repro.store import Store
 
 
 def analyze(data, ctx=None) -> float:
@@ -56,9 +55,13 @@ def main() -> None:
 
         print('--- with ProxyStore (two extra lines of client code) ---')
         with tempfile.TemporaryDirectory() as tmp:
-            store = Store(
-                'faas-offload-store',
-                CostedConnector(FileConnector(tmp), SharedFilesystemCost(fabric), clock),
+            # The channel is a URL; the simulation only wraps it with
+            # virtual-time cost accounting.
+            store = store_from_url(
+                f'file://{tmp}?name=faas-offload-store',
+                wrap_connector=lambda inner: CostedConnector(
+                    inner, SharedFilesystemCost(fabric), clock,
+                ),
             )
             data = store.proxy(payload, cache_local=False)
             start = clock.now()

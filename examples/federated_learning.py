@@ -5,6 +5,12 @@ endpoint pulls the model directly from the aggregator's endpoint (peer to
 peer through the relay), trains on its private data, and the aggregator
 averages the returned models.  Only models ever cross the network.
 
+The aggregation step is *pipelined* with ``ProxyFuture``: the aggregator
+allocates one future per device up front and immediately wires the averaging
+step to the futures' proxies; each device writes its trained model into its
+future whenever it finishes, and the averaging resolves the proxies as it
+touches them — no barrier collecting a list of results first.
+
 Run with::
 
     python examples/federated_learning.py
@@ -13,17 +19,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import store_from_url
 from repro.apps.federated_learning import create_model
 from repro.apps.federated_learning import federated_average
 from repro.apps.federated_learning import generate_client_data
 from repro.apps.federated_learning import model_nbytes
 from repro.apps.federated_learning import train_local
-from repro.connectors.endpoint import EndpointConnector
 from repro.connectors.endpoint import set_local_endpoint
 from repro.endpoint import Endpoint
 from repro.endpoint import RelayServer
 from repro.proxy import extract
-from repro.store import Store
 
 N_DEVICES = 4
 ROUNDS = 3
@@ -39,7 +44,7 @@ def main() -> None:
 
     all_uuids = [aggregator_ep.uuid] + [ep.uuid for ep in device_eps]
     set_local_endpoint(aggregator_ep.uuid)
-    store = Store('fl-model-store', EndpointConnector(all_uuids))
+    store = store_from_url(f'endpoint://{",".join(all_uuids)}/fl-model-store')
 
     global_model = create_model(hidden_blocks=2)
     print(f'initial model: {global_model.num_parameters()} parameters, '
@@ -52,17 +57,25 @@ def main() -> None:
         set_local_endpoint(aggregator_ep.uuid)
         model_proxy = store.proxy(global_model, cache_local=False)
 
-        local_models = []
+        # Pipelined aggregation: allocate one future per device and wire the
+        # averaging input to the proxies before any device has trained.
+        result_futures = [store.future(timeout=30.0) for _ in device_eps]
+        local_model_proxies = [future.proxy() for future in result_futures]
+
         for device_index, device_ep in enumerate(device_eps):
             set_local_endpoint(device_ep.uuid)        # "run" on the device
             model = extract(model_proxy) if device_index == 0 else global_model
             images, labels = generate_client_data(seed=round_index * 100 + device_index)
-            local_models.append(train_local(model, images, labels, epochs=2))
+            trained = train_local(model, images, labels, epochs=2)
+            # The device streams its result into the pre-allocated future;
+            # the write lands on the aggregator's endpoint peer-to-peer.
+            result_futures[device_index].set_result(trained)
 
         set_local_endpoint(aggregator_ep.uuid)
-        global_model = federated_average(local_models)
+        # federated_average touches each proxy, which resolves it on demand.
+        global_model = federated_average(local_model_proxies)
         accuracy = float(np.mean(global_model.predict(test_images) == test_labels))
-        print(f'round {round_index + 1}: aggregated {len(local_models)} device models, '
+        print(f'round {round_index + 1}: aggregated {len(local_model_proxies)} device models, '
               f'held-out accuracy {accuracy:.3f}')
 
     set_local_endpoint(None)

@@ -5,6 +5,10 @@ sensitive objects go to a Redis-like store, bulk objects to the shared file
 system, and GPU-bound objects (tagged ``'gpu'``) to a dedicated store — all
 behind a single Store instance, so task code never changes.
 
+The whole deployment is expressed as one ``multi://`` store URL whose query
+parameters are the managed connectors: each label maps to a percent-encoded
+inner store URL carrying its own policy parameters.
+
 Run with::
 
     python examples/multi_connector_workflow.py
@@ -12,16 +16,12 @@ Run with::
 from __future__ import annotations
 
 import tempfile
+from urllib.parse import quote
 
 import numpy as np
 
-from repro.connectors.file import FileConnector
-from repro.connectors.local import LocalConnector
-from repro.connectors.multi import MultiConnector
-from repro.connectors.policy import Policy
-from repro.connectors.redis import RedisConnector
+from repro import store_from_url
 from repro.proxy import get_factory
-from repro.store import Store
 from repro.workflow import ColmenaQueues
 from repro.workflow import TaskServer
 from repro.workflow import Thinker
@@ -35,15 +35,16 @@ def simulate(features):
 
 def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
-        multi = MultiConnector({
-            'redis': (RedisConnector(launch=True),
-                      Policy(max_size_bytes=100_000, priority=2)),
-            'filesystem': (FileConnector(f'{tmp}/bulk'),
-                           Policy(min_size_bytes=100_001, priority=1)),
-            'gpu-station': (LocalConnector(),
-                            Policy(superset_tags=('gpu',), priority=5)),
-        })
-        store = Store('molecular-design-store', multi)
+        # One URL describes the whole policy-routed deployment.
+        backends = {
+            'redis': 'redis://?launch=1&max_size_bytes=100000&priority=2',
+            'filesystem': f'file://{tmp}/bulk?min_size_bytes=100001&priority=1',
+            'gpu-station': 'local://?superset_tags=gpu&priority=5',
+        }
+        url = 'multi://?' + '&'.join(
+            f'{label}={quote(inner, safe="")}' for label, inner in backends.items()
+        )
+        store = store_from_url(url, name='molecular-design-store')
 
         # Direct use: routing is driven by object size and tags.
         small = store.proxy({'candidate': 17, 'ip_estimate': 9.2})
@@ -61,7 +62,20 @@ def main() -> None:
             server.register_topic('simulate', simulate, store=store, threshold_bytes=10_000)
             thinker = Thinker(queues)
             with server:
-                result = thinker.run_task('simulate', np.random.default_rng(0).normal(size=600))
+                # Producer/consumer pipelining: wire a downstream consumer to
+                # the simulation's not-yet-computed result via a ProxyFuture.
+                future = server.result_future('simulate')
+                downstream = future.proxy()
+                thinker.submit(
+                    'simulate',
+                    np.random.default_rng(0).normal(size=600),
+                    result_future=future,
+                )
+                # The consumer starts with the proxy immediately and blocks
+                # only when it first touches the data.
+                print(f'downstream consumer sees a {downstream.shape} result '
+                      f'(trace: {float(np.trace(downstream)):.2f})')
+                result = thinker.wait_for_result()
         print(f'simulation result proxied: {result.proxied_result} '
               f'(result seen by the workflow system: {result.result_bytes} bytes)')
         store.close(clear=True)

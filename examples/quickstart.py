@@ -11,11 +11,9 @@ import tempfile
 
 import numpy as np
 
-from repro.connectors.file import FileConnector
-from repro.connectors.redis import RedisConnector
+from repro import store_from_url
 from repro.proxy import Proxy
 from repro.proxy import is_resolved
-from repro.store import Store
 
 
 class Simulation:
@@ -38,10 +36,11 @@ def my_function(x: Simulation) -> float:
 
 def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
-        # A Store is initialized with a Connector (here a shared-file-system
-        # connector; swap in RedisConnector(launch=True) for a server-backed
-        # store without changing anything else).
-        store = Store('quickstart-store', FileConnector(f'{tmp}/proxystore'))
+        # A Store is built from a URL: the scheme picks the connector (here
+        # the shared-file-system connector); swap the URL for
+        # 'redis://?launch=1' (or any other registered scheme) to change the
+        # mediated channel without touching anything else.
+        store = store_from_url(f'file://{tmp}/proxystore?name=quickstart-store')
 
         simulation = Simulation(300.0, np.random.default_rng(0).normal(size=(1000, 3)))
         proxy = store.proxy(simulation, cache_local=False)
@@ -60,10 +59,18 @@ def main() -> None:
         print(f'my_function(proxy) = {value:.4f}')
         print(f'after use: resolved={is_resolved(restored)}')
 
-        # Server-backed stores work the same way.
-        redis_store = Store('quickstart-redis', RedisConnector(launch=True))
+        # Server-backed stores work the same way — only the URL changes.
+        redis_store = store_from_url('redis:///quickstart-redis?launch=1')
         p2 = redis_store.proxy({'status': 'ok', 'count': 3})
         print(f"redis-backed proxy resolves to: {dict(p2)}")
+
+        # A value that does not exist yet: hand out the proxy first, produce
+        # the object later (ProxyFuture — the v2 data-flow primitive).
+        future = store.future()
+        pending = future.proxy()
+        print(f'future proxy created: resolved={is_resolved(pending)}')
+        future.set_result({'produced': 'later'})
+        print(f'future proxy resolves to: {dict(pending)}')
 
         store.close(clear=True)
         redis_store.close(clear=True)

@@ -5,12 +5,15 @@ Python applications via lazy transparent object proxies.  The top-level
 package re-exports the most commonly used pieces of the public API; see
 ``README.md`` for a tour and ``DESIGN.md`` for the full system inventory.
 """
+from typing import Any
+
 from repro.proxy import Factory
 from repro.proxy import Proxy
 from repro.proxy import extract
 from repro.proxy import is_resolved
 from repro.proxy import resolve
 from repro.proxy import resolve_async
+from repro.store import ProxyFuture
 from repro.store import Store
 from repro.store import StoreConfig
 from repro.store import StoreFactory
@@ -18,11 +21,23 @@ from repro.store import get_store
 from repro.store import register_store
 from repro.store import unregister_store
 
-__version__ = '1.0.0'
+__version__ = '2.0.0'
+
+
+def store_from_url(url: str, **kwargs: Any) -> Store:
+    """Build a :class:`Store` from a URL — the one-liner v2 entry point.
+
+    ``repro.store_from_url('redis://localhost:6379/ns?cache_size=32')`` is
+    shorthand for :meth:`Store.from_url`; see that method for the URL
+    grammar and keyword arguments.
+    """
+    return Store.from_url(url, **kwargs)
+
 
 __all__ = [
     'Factory',
     'Proxy',
+    'ProxyFuture',
     'Store',
     'StoreConfig',
     'StoreFactory',
@@ -32,6 +47,7 @@ __all__ = [
     'register_store',
     'resolve',
     'resolve_async',
+    'store_from_url',
     'unregister_store',
     '__version__',
 ]

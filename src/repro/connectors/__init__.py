@@ -21,6 +21,11 @@ from repro.connectors.protocol import ConnectorCapabilities
 from repro.connectors.protocol import ConnectorKey
 from repro.connectors.protocol import connector_from_path
 from repro.connectors.protocol import connector_path
+from repro.connectors.registry import StoreURL
+from repro.connectors.registry import get_connector_class
+from repro.connectors.registry import list_connectors
+from repro.connectors.registry import register_connector
+from repro.connectors.registry import unregister_connector
 from repro.connectors.local import LocalConnector
 from repro.connectors.file import FileConnector
 from repro.connectors.redis import RedisConnector
@@ -44,10 +49,15 @@ __all__ = [
     'MultiConnector',
     'Policy',
     'RedisConnector',
+    'StoreURL',
     'UCXConnector',
     'ZMQConnector',
     'connector_from_path',
     'connector_path',
+    'get_connector_class',
+    'list_connectors',
+    'register_connector',
+    'unregister_connector',
 ]
 
 #: Capability matrix used to regenerate Table 1 of the paper.

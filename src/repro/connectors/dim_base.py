@@ -14,8 +14,11 @@ from typing import Any
 
 from repro.connectors.protocol import Connector
 from repro.connectors.protocol import ConnectorCapabilities
+from repro.connectors.protocol import new_object_id
+from repro.connectors.registry import StoreURL
 from repro.dim.client import DIMClient
 from repro.dim.node import DIMKey
+from repro.exceptions import ConnectorError
 
 __all__ = ['DIMConnectorBase']
 
@@ -64,9 +67,32 @@ class DIMConnectorBase(Connector):
     def evict(self, key: DIMKey) -> None:
         self._client.evict(key)
 
+    # -- deferred writes -------------------------------------------------- #
+    def new_key(self) -> DIMKey:
+        return DIMKey(
+            object_id=new_object_id(),
+            node_id=self.node_id,
+            transport=self.transport,
+            address=self._client.local_node.address,
+        )
+
+    def set(self, key: DIMKey, data: bytes) -> None:
+        if key.node_id != self.node_id:
+            raise ConnectorError(
+                f'cannot fill deferred key for node {key.node_id!r} from '
+                f'node {self.node_id!r}: DIM writes are node-local',
+            )
+        self._client.local_node.put_local(key.object_id, bytes(data))
+
     # -- configuration / lifecycle ---------------------------------------- #
     def config(self) -> dict[str, Any]:
         return {'node_id': self.node_id}
+
+    @classmethod
+    def from_url(cls, url: StoreURL | str) -> 'DIMConnectorBase':
+        """Build from ``<scheme>://[node_id][/name]`` (e.g. ``zmq://node-0``)."""
+        url = StoreURL.parse(url)
+        return cls(node_id=url.netloc or None)
 
     def close(self, clear: bool = False) -> None:
         if clear:

@@ -21,6 +21,7 @@ from typing import Sequence
 from repro.connectors.protocol import Connector
 from repro.connectors.protocol import ConnectorCapabilities
 from repro.connectors.protocol import new_object_id
+from repro.connectors.registry import StoreURL
 from repro.endpoint.endpoint import Endpoint
 from repro.endpoint.endpoint import EndpointKey
 from repro.endpoint.endpoint import get_registered_endpoint
@@ -52,6 +53,7 @@ class EndpointConnector(Connector):
     """
 
     connector_name = 'endpoint'
+    scheme = 'endpoint'
     capabilities = ConnectorCapabilities(
         storage='hybrid',
         intra_site=True,
@@ -107,9 +109,35 @@ class EndpointConnector(Connector):
         endpoint = self._local_endpoint()
         endpoint.evict(key.object_id, endpoint_id=key.endpoint_id)
 
+    # -- deferred writes -------------------------------------------------- #
+    def new_key(self) -> EndpointKey:
+        endpoint = self._local_endpoint()
+        assert endpoint.uuid is not None
+        return EndpointKey(object_id=new_object_id(), endpoint_id=endpoint.uuid)
+
+    def set(self, key: EndpointKey, data: bytes) -> None:
+        # The producer may by now be "running" on a different endpoint than
+        # the one the key was allocated on; route the write to the key's
+        # endpoint through the peer machinery.
+        endpoint = self._local_endpoint()
+        endpoint.set(key.object_id, bytes(data), endpoint_id=key.endpoint_id)
+
     # -- configuration / lifecycle --------------------------------------- #
     def config(self) -> dict[str, Any]:
         return {'endpoints': list(self.endpoints)}
+
+    @classmethod
+    def from_url(cls, url: StoreURL | str) -> 'EndpointConnector':
+        """Build from ``endpoint://uuid1,uuid2[/name][?local=uuid]``.
+
+        Participating endpoint UUIDs are listed comma-separated in the
+        netloc (repeated ``uuid=`` query parameters also work); ``local``
+        pins the local endpoint.
+        """
+        url = StoreURL.parse(url)
+        uuids = [u for u in url.netloc.split(',') if u]
+        uuids.extend(url.pop_multi('uuid'))
+        return cls(uuids, local_uuid=url.pop('local'))
 
     def close(self, clear: bool = False) -> None:
         if clear:

@@ -21,6 +21,7 @@ from repro.connectors.protocol import Connector
 from repro.connectors.protocol import ConnectorCapabilities
 from repro.connectors.protocol import ConnectorKey
 from repro.connectors.protocol import new_object_id
+from repro.connectors.registry import StoreURL
 
 __all__ = ['FileConnector']
 
@@ -37,6 +38,7 @@ class FileConnector(Connector):
     """
 
     connector_name = 'file'
+    scheme = 'file'
     capabilities = ConnectorCapabilities(
         storage='disk',
         intra_site=True,
@@ -57,9 +59,7 @@ class FileConnector(Connector):
     def _path(self, key: ConnectorKey) -> str:
         return os.path.join(self.store_dir, key.object_id)
 
-    # -- primary operations --------------------------------------------- #
-    def put(self, data: bytes) -> ConnectorKey:
-        key = ConnectorKey(object_id=new_object_id(), connector=self.connector_name)
+    def _write_atomic(self, key: ConnectorKey, data: bytes) -> None:
         path = self._path(key)
         fd, tmp_path = tempfile.mkstemp(dir=self.store_dir, prefix='.tmp-')
         try:
@@ -70,6 +70,11 @@ class FileConnector(Connector):
             if os.path.exists(tmp_path):  # pragma: no cover - cleanup path
                 os.unlink(tmp_path)
             raise
+
+    # -- primary operations --------------------------------------------- #
+    def put(self, data: bytes) -> ConnectorKey:
+        key = ConnectorKey(object_id=new_object_id(), connector=self.connector_name)
+        self._write_atomic(key, data)
         return key
 
     def get(self, key: ConnectorKey) -> bytes | None:
@@ -89,9 +94,25 @@ class FileConnector(Connector):
         except FileNotFoundError:
             pass
 
+    # -- deferred writes -------------------------------------------------- #
+    def new_key(self) -> ConnectorKey:
+        return ConnectorKey(object_id=new_object_id(), connector=self.connector_name)
+
+    def set(self, key: ConnectorKey, data: bytes) -> None:
+        self._write_atomic(key, data)
+
     # -- configuration / lifecycle --------------------------------------- #
     def config(self) -> dict[str, Any]:
         return {'store_dir': self.store_dir}
+
+    @classmethod
+    def from_url(cls, url: StoreURL | str) -> 'FileConnector':
+        """Build from ``file:///abs/dir`` (or ``file://rel/dir`` for relative)."""
+        url = StoreURL.parse(url)
+        store_dir = url.netloc + url.claim_path()
+        if not store_dir:
+            raise ValueError(f'file URL {url.raw!r} is missing a directory path')
+        return cls(store_dir=store_dir)
 
     def close(self, clear: bool = False) -> None:
         with self._lock:

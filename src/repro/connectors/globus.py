@@ -25,6 +25,7 @@ from typing import Sequence
 from repro.connectors.protocol import Connector
 from repro.connectors.protocol import ConnectorCapabilities
 from repro.connectors.protocol import new_object_id
+from repro.connectors.registry import StoreURL
 from repro.exceptions import ConnectorError
 from repro.exceptions import TransferError
 from repro.globus_sim.service import GlobusTransferService
@@ -86,6 +87,7 @@ class GlobusConnector(Connector):
     """
 
     connector_name = 'globus'
+    scheme = 'globus'
     capabilities = ConnectorCapabilities(
         storage='disk',
         intra_site=True,
@@ -200,6 +202,28 @@ class GlobusConnector(Connector):
             'endpoints': dict(self.endpoints),
             'transfer_timeout': self.transfer_timeout,
         }
+
+    @classmethod
+    def from_url(cls, url: StoreURL | str) -> 'GlobusConnector':
+        """Build from ``globus://?endpoint=<pattern>|<uuid>|<path>&...``.
+
+        One repeated ``endpoint`` parameter per site maps a hostname pattern
+        to its transfer endpoint; ``transfer_timeout`` tunes resolution waits.
+        """
+        url = StoreURL.parse(url)
+        endpoints: dict[str, tuple[str, str]] = {}
+        for entry in url.pop_multi('endpoint'):
+            parts = entry.split('|')
+            if len(parts) != 3:
+                raise ValueError(
+                    f'globus endpoint entry {entry!r} is not of the form '
+                    '<hostname-pattern>|<endpoint-uuid>|<endpoint-path>',
+                )
+            pattern, endpoint_uuid, endpoint_path = parts
+            endpoints[pattern] = (endpoint_uuid, endpoint_path)
+        timeout = url.pop_float('transfer_timeout', 30.0)
+        assert timeout is not None
+        return cls(endpoints, transfer_timeout=timeout)
 
     def close(self, clear: bool = False) -> None:
         if clear:

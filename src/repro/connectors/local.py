@@ -17,6 +17,7 @@ from repro.connectors.protocol import Connector
 from repro.connectors.protocol import ConnectorCapabilities
 from repro.connectors.protocol import ConnectorKey
 from repro.connectors.protocol import new_object_id
+from repro.connectors.registry import StoreURL
 
 __all__ = ['LocalConnector']
 
@@ -38,6 +39,7 @@ class LocalConnector(Connector):
     """
 
     connector_name = 'local'
+    scheme = 'local'
     capabilities = ConnectorCapabilities(
         storage='memory',
         intra_site=False,
@@ -74,9 +76,23 @@ class LocalConnector(Connector):
         with self._lock:
             self._store.pop(key, None)
 
+    # -- deferred writes -------------------------------------------------- #
+    def new_key(self) -> ConnectorKey:
+        return ConnectorKey(object_id=new_object_id(), connector=self.connector_name)
+
+    def set(self, key: ConnectorKey, data: bytes) -> None:
+        with self._lock:
+            self._store[key] = bytes(data)
+
     # -- configuration / lifecycle --------------------------------------- #
     def config(self) -> dict[str, Any]:
         return {'store_id': self.store_id}
+
+    @classmethod
+    def from_url(cls, url: StoreURL | str) -> 'LocalConnector':
+        """Build from ``local://[store_id]`` (empty netloc = anonymous store)."""
+        url = StoreURL.parse(url)
+        return cls(store_id=url.netloc or None)
 
     def close(self, clear: bool = False) -> None:
         if clear:

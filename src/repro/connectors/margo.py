@@ -19,6 +19,7 @@ class MargoConnector(DIMConnectorBase):
     """Distributed in-memory connector using the RDMA-like memory transport."""
 
     connector_name = 'margo'
+    scheme = 'margo'
     transport = 'memory'
     capabilities = ConnectorCapabilities(
         storage='memory',

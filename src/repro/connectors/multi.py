@@ -20,6 +20,8 @@ from repro.connectors.protocol import Connector
 from repro.connectors.protocol import ConnectorCapabilities
 from repro.connectors.protocol import connector_from_path
 from repro.connectors.protocol import connector_path
+from repro.connectors.registry import StoreURL
+from repro.connectors.registry import get_connector_class
 from repro.exceptions import NoPolicyMatchError
 
 __all__ = ['MultiConnector', 'MultiKey']
@@ -41,6 +43,7 @@ class MultiConnector(Connector):
     """
 
     connector_name = 'multi'
+    scheme = 'multi'
     capabilities = ConnectorCapabilities(
         storage='hybrid',
         intra_site=True,
@@ -60,7 +63,7 @@ class MultiConnector(Connector):
     # -- routing ------------------------------------------------------------ #
     def _select(
         self,
-        size_bytes: int,
+        size_bytes: int | None,
         subset_tags: Iterable[str],
         superset_tags: Iterable[str],
     ) -> tuple[str, Connector]:
@@ -73,8 +76,13 @@ class MultiConnector(Connector):
             ):
                 matches.append((policy.priority, label, connector))
         if not matches:
+            size_desc = (
+                f'object of {size_bytes} bytes'
+                if size_bytes is not None
+                else 'object of unknown size (deferred write)'
+            )
             raise NoPolicyMatchError(
-                f'no connector policy matches object of {size_bytes} bytes with '
+                f'no connector policy matches {size_desc} with '
                 f'subset_tags={sorted(subset_tags)!r}, '
                 f'superset_tags={sorted(superset_tags)!r}',
             )
@@ -114,6 +122,25 @@ class MultiConnector(Connector):
             for data in datas
         ]
 
+    # -- deferred writes -------------------------------------------------- #
+    def new_key(
+        self,
+        *,
+        subset_tags: Iterable[str] = (),
+        superset_tags: Iterable[str] = (),
+    ) -> MultiKey:
+        """Pre-allocate a key for a deferred write (``Store.future``).
+
+        The object's size is unknown at allocation time, so routing only
+        considers tag constraints and priority (``Policy.is_valid`` skips
+        size bounds when no size is given).
+        """
+        label, connector = self._select(None, subset_tags, superset_tags)
+        return MultiKey(connector_label=label, inner_key=connector.new_key())
+
+    def set(self, key: MultiKey, data: bytes) -> None:
+        self.connector_for(key.connector_label).set(key.inner_key, data)
+
     def get(self, key: MultiKey) -> bytes | None:
         connector = self.connector_for(key.connector_label)
         return connector.get(key.inner_key)
@@ -145,6 +172,41 @@ class MultiConnector(Connector):
         for label, entry in config['connectors'].items():
             connector = connector_from_path(entry['connector'], entry['connector_config'])
             policy = Policy.from_dict(entry['policy'])
+            connectors[label] = (connector, policy)
+        return cls(connectors)
+
+    @classmethod
+    def from_url(cls, url: StoreURL | str) -> 'MultiConnector':
+        """Build from ``multi://?<label>=<percent-encoded inner URL>&...``.
+
+        Each query parameter names one managed connector; its value is a
+        full store URL for that connector (resolved recursively through the
+        scheme registry) whose own query string carries the
+        :class:`~repro.connectors.policy.Policy` fields::
+
+            multi://?fast=redis%3A%2F%2F%3Flaunch%3D1%26priority%3D2
+                    &bulk=file%3A%2F%2F%2Ftmp%2Fbulk%3Fmin_size_bytes%3D100001
+
+        Recognized policy parameters on the inner URLs: ``priority``,
+        ``min_size_bytes``, ``max_size_bytes``, ``subset_tags``,
+        ``superset_tags`` (comma-separated tag lists).
+        """
+        url = StoreURL.parse(url)
+        connectors: dict[str, tuple[Connector, Policy]] = {}
+        for label in url.remaining_keys():
+            inner_raw = url.pop(label)
+            assert inner_raw is not None
+            inner = StoreURL.parse(inner_raw)
+            policy = Policy(
+                min_size_bytes=inner.pop_int('min_size_bytes', 0) or 0,
+                max_size_bytes=inner.pop_int('max_size_bytes', None),
+                subset_tags=inner.pop_tags('subset_tags'),
+                superset_tags=inner.pop_tags('superset_tags'),
+                priority=inner.pop_int('priority', 0) or 0,
+            )
+            inner_cls = get_connector_class(inner.scheme)
+            connector = inner_cls.from_url(inner)
+            inner.ensure_consumed()
             connectors[label] = (connector, policy)
         return cls(connectors)
 

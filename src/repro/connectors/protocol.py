@@ -24,6 +24,9 @@ from typing import Iterable
 from typing import NamedTuple
 from typing import Sequence
 
+from repro.connectors.registry import StoreURL
+from repro.connectors.registry import register_connector
+
 __all__ = [
     'Connector',
     'ConnectorCapabilities',
@@ -96,8 +99,20 @@ class Connector(ABC):
 
     #: Human readable connector name used in keys, metrics and reports.
     connector_name: str = 'connector'
+    #: URI scheme this connector is addressable under (``Store.from_url``).
+    #: Subclasses that set a scheme are automatically registered in the
+    #: scheme registry; leave ``None`` for wrapper/abstract connectors.
+    scheme: str | None = None
     #: Capability summary (Table 1).
     capabilities: ConnectorCapabilities = ConnectorCapabilities()
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        # Only classes that declare their *own* scheme self-register, so
+        # subclassing a registered connector does not steal its scheme.
+        scheme = cls.__dict__.get('scheme')
+        if scheme:
+            register_connector(scheme, cls)
 
     # -- primary operations --------------------------------------------- #
     @abstractmethod
@@ -116,6 +131,25 @@ class Connector(ABC):
     def evict(self, key: Any) -> None:
         """Remove ``key`` and its data (no-op if absent)."""
 
+    # -- deferred writes (ProxyFuture support) ---------------------------- #
+    def new_key(self) -> Any:
+        """Pre-allocate and return a key that :meth:`set` can later fill.
+
+        Deferred writes let a proxy of an object be handed out *before* the
+        object is produced (``Store.future``).  Connectors whose keys embed
+        information only known at write time cannot support this and keep
+        the default, which raises ``NotImplementedError``.
+        """
+        raise NotImplementedError(
+            f'{type(self).__name__} does not support deferred writes',
+        )
+
+    def set(self, key: Any, data: bytes) -> None:
+        """Store ``data`` under the pre-allocated ``key`` (see :meth:`new_key`)."""
+        raise NotImplementedError(
+            f'{type(self).__name__} does not support deferred writes',
+        )
+
     # -- configuration / lifecycle --------------------------------------- #
     @abstractmethod
     def config(self) -> dict[str, Any]:
@@ -125,6 +159,18 @@ class Connector(ABC):
     def from_config(cls, config: dict[str, Any]) -> 'Connector':
         """Create a connector instance from a ``config()`` dictionary."""
         return cls(**config)  # type: ignore[call-arg]
+
+    @classmethod
+    def from_url(cls, url: 'StoreURL | str') -> 'Connector':
+        """Create a connector from a parsed store URL (``Store.from_url``).
+
+        Subclasses override this to consume the pieces of the URL they
+        understand (netloc, path, query parameters); parameters left
+        unconsumed make ``Store.from_url`` raise, so typos fail loudly.
+        """
+        raise NotImplementedError(
+            f'{cls.__name__} cannot be constructed from a URL',
+        )
 
     def close(self, clear: bool = False) -> None:
         """Release connector resources.

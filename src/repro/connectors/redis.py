@@ -19,6 +19,7 @@ from repro.connectors.protocol import Connector
 from repro.connectors.protocol import ConnectorCapabilities
 from repro.connectors.protocol import ConnectorKey
 from repro.connectors.protocol import new_object_id
+from repro.connectors.registry import StoreURL
 from repro.kvserver.client import KVClient
 from repro.kvserver.server import launch_server
 
@@ -37,6 +38,7 @@ class RedisConnector(Connector):
     """
 
     connector_name = 'redis'
+    scheme = 'redis'
     capabilities = ConnectorCapabilities(
         storage='hybrid',
         intra_site=True,
@@ -72,9 +74,30 @@ class RedisConnector(Connector):
     def evict(self, key: ConnectorKey) -> None:
         self._client.delete(key.object_id)
 
+    # -- deferred writes -------------------------------------------------- #
+    def new_key(self) -> ConnectorKey:
+        return ConnectorKey(object_id=new_object_id(), connector=self.connector_name)
+
+    def set(self, key: ConnectorKey, data: bytes) -> None:
+        self._client.set(key.object_id, bytes(data))
+
     # -- configuration / lifecycle --------------------------------------- #
     def config(self) -> dict[str, Any]:
         return {'host': self.host, 'port': self.port}
+
+    @classmethod
+    def from_url(cls, url: StoreURL | str) -> 'RedisConnector':
+        """Build from ``redis://host:port[/name][?launch=1]``.
+
+        The path (if any) is left for ``Store.from_url`` to use as the store
+        name, mirroring Redis database-namespace URLs.
+        """
+        url = StoreURL.parse(url)
+        return cls(
+            host=url.host or '127.0.0.1',
+            port=url.port or 0,
+            launch=url.pop_bool('launch', False),
+        )
 
     def close(self, clear: bool = False) -> None:
         if clear:

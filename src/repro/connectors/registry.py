@@ -1,0 +1,223 @@
+"""Scheme-based connector registry and Store-URL parsing (Store API v2).
+
+Connectors register themselves under a URI scheme (``'redis'``, ``'file'``,
+``'multi'``, ...) when their class is defined — see
+``Connector.__init_subclass__`` — and :func:`get_connector_class` resolves a
+scheme back to its class.  Together with each connector's ``from_url``
+classmethod this makes ``Store.from_url('redis://host:6379/ns')`` the
+canonical, pluggable way to construct stores: third-party connectors only
+need to set a ``scheme`` class attribute and implement ``from_url`` to become
+URL-addressable everywhere in the library.
+
+:class:`StoreURL` is the parsed form handed to ``from_url``.  It tracks which
+query parameters (and the path) have been consumed so that
+``Store.from_url`` can reject typos instead of silently ignoring them.
+"""
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+from urllib.parse import parse_qs
+from urllib.parse import urlsplit
+
+from repro.exceptions import ConnectorSchemeExistsError
+from repro.exceptions import UnknownConnectorSchemeError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from repro.connectors.protocol import Connector
+
+__all__ = [
+    'StoreURL',
+    'get_connector_class',
+    'list_connectors',
+    'register_connector',
+    'unregister_connector',
+]
+
+_SCHEMES: dict[str, type] = {}
+_LOCK = threading.Lock()
+_BUILTINS_LOADED = False
+
+
+def register_connector(
+    scheme: str,
+    cls: 'type[Connector]',
+    *,
+    replace: bool = False,
+) -> None:
+    """Register ``cls`` as the connector class for ``scheme``.
+
+    Re-registering the same class is a no-op; claiming a scheme held by a
+    *different* class raises :class:`ConnectorSchemeExistsError` unless
+    ``replace=True``.
+    """
+    if not isinstance(scheme, str) or not scheme:
+        raise ValueError('connector scheme must be a non-empty string')
+    scheme = scheme.lower()
+    with _LOCK:
+        existing = _SCHEMES.get(scheme)
+        if existing is not None and existing is not cls and not replace:
+            raise ConnectorSchemeExistsError(
+                f'scheme {scheme!r} is already registered to '
+                f'{existing.__module__}:{existing.__qualname__}; pass '
+                'replace=True to override it',
+            )
+        _SCHEMES[scheme] = cls
+
+
+def unregister_connector(scheme: str) -> None:
+    """Remove ``scheme`` from the registry (no-op if absent)."""
+    with _LOCK:
+        _SCHEMES.pop(scheme.lower(), None)
+
+
+def _load_builtin_connectors() -> None:
+    """Import the built-in connector modules so they self-register."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    import repro.connectors  # noqa: F401 - imports every built-in connector
+
+
+def get_connector_class(scheme: str) -> 'type[Connector]':
+    """Return the connector class registered under ``scheme``.
+
+    Raises:
+        UnknownConnectorSchemeError: if no connector claims the scheme.
+    """
+    scheme = scheme.lower()
+    with _LOCK:
+        cls = _SCHEMES.get(scheme)
+    if cls is None:
+        # First use may precede the import of repro.connectors (e.g. a user
+        # who only imported repro.store); load the built-ins and retry.
+        _load_builtin_connectors()
+        with _LOCK:
+            cls = _SCHEMES.get(scheme)
+    if cls is None:
+        known = ', '.join(sorted(_SCHEMES)) or '<none>'
+        raise UnknownConnectorSchemeError(
+            f'no connector is registered for scheme {scheme!r} '
+            f'(known schemes: {known})',
+        )
+    return cls
+
+
+def list_connectors() -> dict[str, 'type[Connector]']:
+    """Return a snapshot of the scheme -> connector-class mapping."""
+    _load_builtin_connectors()
+    with _LOCK:
+        return dict(sorted(_SCHEMES.items()))
+
+
+class StoreURL:
+    """A store URL parsed into scheme, netloc, path, and query parameters.
+
+    Connector ``from_url`` implementations *consume* the pieces they
+    understand (``pop*`` for query parameters, :meth:`claim_path` for the
+    path); ``Store.from_url`` then rejects any leftover query parameters so
+    misspelled options fail loudly.
+    """
+
+    def __init__(self, url: str) -> None:
+        split = urlsplit(url)
+        if not split.scheme:
+            raise ValueError(f'store URL {url!r} has no scheme')
+        self.raw = url
+        self.scheme = split.scheme.lower()
+        self.netloc = split.netloc
+        self.path = split.path
+        self.query: dict[str, list[str]] = parse_qs(
+            split.query, keep_blank_values=True,
+        )
+        self.path_consumed = False
+
+    @classmethod
+    def parse(cls, url: 'str | StoreURL') -> 'StoreURL':
+        """Return ``url`` as a :class:`StoreURL` (idempotent)."""
+        return url if isinstance(url, StoreURL) else cls(url)
+
+    def __repr__(self) -> str:
+        return f'StoreURL({self.raw!r})'
+
+    # -- netloc helpers --------------------------------------------------- #
+    @property
+    def host(self) -> str | None:
+        """Host part of the netloc (``None`` when the netloc is empty)."""
+        if not self.netloc:
+            return None
+        host, _, maybe_port = self.netloc.rpartition(':')
+        if host and maybe_port.isdigit():
+            return host
+        return self.netloc
+
+    @property
+    def port(self) -> int | None:
+        """Port part of the netloc, when present."""
+        host, _, maybe_port = self.netloc.rpartition(':')
+        if host and maybe_port.isdigit():
+            return int(maybe_port)
+        return None
+
+    # -- path ------------------------------------------------------------- #
+    def claim_path(self) -> str:
+        """Return the URL path, marking it consumed by the connector."""
+        self.path_consumed = True
+        return self.path
+
+    # -- query parameters -------------------------------------------------- #
+    def pop(self, key: str, default: str | None = None) -> str | None:
+        """Consume ``key`` and return its (last) value, or ``default``."""
+        values = self.query.pop(key, None)
+        if not values:
+            return default
+        return values[-1]
+
+    def pop_multi(self, key: str) -> list[str]:
+        """Consume ``key`` and return every occurrence of it (may be empty)."""
+        return self.query.pop(key, [])
+
+    def pop_int(self, key: str, default: int | None = None) -> int | None:
+        value = self.pop(key)
+        if value is None:
+            return default
+        return int(value)
+
+    def pop_float(self, key: str, default: float | None = None) -> float | None:
+        value = self.pop(key)
+        if value is None:
+            return default
+        return float(value)
+
+    def pop_bool(self, key: str, default: bool = False) -> bool:
+        value = self.pop(key)
+        if value is None:
+            return default
+        lowered = value.strip().lower()
+        if lowered in ('1', 'true', 'yes', 'on'):
+            return True
+        if lowered in ('0', 'false', 'no', 'off', ''):
+            return False
+        raise ValueError(f'cannot interpret {key}={value!r} as a boolean')
+
+    def pop_tags(self, key: str) -> tuple[str, ...]:
+        """Consume a comma-separated tag list parameter."""
+        value = self.pop(key)
+        if value is None:
+            return ()
+        return tuple(tag for tag in value.split(',') if tag)
+
+    # -- leftover detection ------------------------------------------------ #
+    def remaining_keys(self) -> list[str]:
+        """Query parameter names that no one has consumed yet, in URL order."""
+        return list(self.query)
+
+    def ensure_consumed(self) -> None:
+        """Raise ``ValueError`` if any query parameter was left unconsumed."""
+        leftover = self.remaining_keys()
+        if leftover:
+            raise ValueError(
+                f'unrecognized parameters in store URL {self.raw!r}: '
+                f'{sorted(leftover)}',
+            )

@@ -18,6 +18,7 @@ class UCXConnector(DIMConnectorBase):
     """Distributed in-memory connector using the RDMA-like memory transport."""
 
     connector_name = 'ucx'
+    scheme = 'ucx'
     transport = 'memory'
     capabilities = ConnectorCapabilities(
         storage='memory',

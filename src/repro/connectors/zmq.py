@@ -18,6 +18,7 @@ class ZMQConnector(DIMConnectorBase):
     """Distributed in-memory connector using real TCP per-node servers."""
 
     connector_name = 'zmq'
+    scheme = 'zmq'
     transport = 'tcp'
     capabilities = ConnectorCapabilities(
         storage='memory',

@@ -33,6 +33,18 @@ class ConnectorClosedError(ConnectorError):
     """Raised when an operation is attempted on a closed connector."""
 
 
+class UnknownConnectorSchemeError(ConnectorError):
+    """Raised when a URL scheme does not name a registered connector."""
+
+
+class ConnectorSchemeExistsError(ConnectorError):
+    """Raised when registering a scheme already claimed by a different connector."""
+
+
+class DeferredWriteError(ConnectorError):
+    """Raised when a connector cannot pre-allocate keys for deferred writes."""
+
+
 class StoreError(ReproError):
     """Base class for store-level failures."""
 
@@ -50,6 +62,14 @@ class StoreKeyError(StoreError, KeyError):
 
 class NoPolicyMatchError(StoreError):
     """Raised by the MultiConnector when no managed connector's policy matches."""
+
+
+class ProxyFutureError(StoreError):
+    """Raised for invalid :class:`~repro.store.future.ProxyFuture` usage."""
+
+
+class ProxyFutureTimeoutError(ProxyFutureError):
+    """Raised when a future-backed proxy times out waiting for its producer."""
 
 
 class TransferError(ReproError):

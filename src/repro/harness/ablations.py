@@ -54,8 +54,10 @@ def _ablation_caching(table: ResultTable) -> None:
     """Repeated gets of one object with and without the deserialization cache."""
     payload = np.zeros(250_000)
     for cache_size, variant in ((0, 'cache-disabled'), (16, 'cache-enabled')):
-        store = Store(f'ablation-cache-{cache_size}', LocalConnector(),
-                      cache_size=cache_size, register=False)
+        store = Store.from_url(
+            f'local:///ablation-cache-{cache_size}'
+            f'?cache_size={cache_size}&register=0',
+        )
         key = store.put(payload)
         elapsed = _time(lambda: [store.get(key) for _ in range(50)])
         table.add_row(ablation='deserialization-cache', variant=variant, seconds=elapsed)
@@ -77,7 +79,7 @@ def _ablation_evict_on_resolve(table: ResultTable) -> None:
     """Space cost of keeping vs. evicting ephemeral objects."""
     n = 200
     for evict, variant in ((False, 'keep'), (True, 'evict-on-resolve')):
-        store = Store(f'ablation-evict-{variant}', LocalConnector())
+        store = Store.from_url(f'local:///ablation-evict-{variant}')
         proxies = [store.proxy(b'x' * 1000, evict=evict, cache_local=False) for _ in range(n)]
         for proxy in proxies:
             _ = len(proxy)
@@ -107,7 +109,7 @@ def _ablation_multiconnector_routing(table: ResultTable) -> None:
 
 def _ablation_batching(table: ResultTable) -> None:
     """proxy_batch vs. one proxy call per object."""
-    store = Store('ablation-batch', LocalConnector(), register=False)
+    store = Store.from_url('local:///ablation-batch?register=0')
     objects = [b'z' * 2_000 for _ in range(200)]
     loop = _time(lambda: [store.proxy(obj, cache_local=False) for obj in objects])
     batch = _time(lambda: store.proxy_batch(objects, cache_local=False))

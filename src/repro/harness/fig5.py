@@ -15,8 +15,6 @@ from typing import Sequence
 
 from repro.baselines.ipfs import IPFSNetwork
 from repro.baselines.ipfs import IPFSNode
-from repro.connectors.file import FileConnector
-from repro.connectors.local import LocalConnector
 from repro.exceptions import PayloadTooLargeError
 from repro.faas import CloudFaaSService
 from repro.faas import ComputeEndpoint
@@ -144,18 +142,17 @@ def _measure_cell(
             future.result()
         return clock.now() - start
 
-    # ProxyStore methods: a Store over a cost-accounted connector.
+    # ProxyStore methods: a Store over a cost-accounted connector.  The
+    # channel choice is a URL; the harness only interposes cost accounting.
     model = _cost_model_for(method, fabric, config)
     if method == 'file-store':
-        inner = FileConnector(f'{workdir}/file-store')
+        store_url = f'file://{workdir}/file-store?cache_size=0'
     else:
-        inner = LocalConnector()
-    connector = CostedConnector(inner, model, clock)
-    store = Store(
-        f'fig5-{method}-{config.label}-{size}-{task_type}',
-        connector,
-        cache_size=0,
-        register=True,
+        store_url = 'local://?cache_size=0'
+    store = Store.from_url(
+        store_url,
+        name=f'fig5-{method}-{config.label}-{size}-{task_type}',
+        wrap_connector=lambda inner: CostedConnector(inner, model, clock),
     )
     try:
         with on_host(config.client_host):

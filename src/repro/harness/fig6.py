@@ -15,7 +15,6 @@ from typing import Sequence
 
 from repro.baselines.dataspaces import DataSpacesClient
 from repro.baselines.dataspaces import DataSpacesServer
-from repro.connectors.local import LocalConnector
 from repro.exceptions import PayloadTooLargeError
 from repro.faas import CloudFaaSService
 from repro.faas import ComputeEndpoint
@@ -114,8 +113,11 @@ def _measure_cell(system: Fig6System, method: str, size: int) -> float | None:
         model = DistributedMemoryCost(
             fabric, software_efficiency=efficiency, startup_overhead_s=0.1,
         )
-    connector = CostedConnector(LocalConnector(), model, clock)
-    store = Store(f'fig6-{method}-{system.label}-{size}', connector, cache_size=0)
+    store = Store.from_url(
+        'local://?cache_size=0',
+        name=f'fig6-{method}-{system.label}-{size}',
+        wrap_connector=lambda inner: CostedConnector(inner, model, clock),
+    )
     try:
         with on_host(system.client_host):
             proxy = store.proxy(payload, cache_local=False)

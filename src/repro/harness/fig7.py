@@ -16,8 +16,6 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.connectors.file import FileConnector
-from repro.connectors.local import LocalConnector
 from repro.harness.reporting import ResultTable
 from repro.simulation import payload_of_size
 from repro.store import Store
@@ -91,13 +89,12 @@ def run_figure7(
                 for output_size in output_sizes:
                     baseline = _median_roundtrip(None, input_size, output_size, repeats)
                     if store_kind == 'file-store':
-                        connector = FileConnector(f'{base}/fig7-{input_size}-{output_size}')
+                        store_url = f'file://{base}/fig7-{input_size}-{output_size}'
                     else:
-                        connector = LocalConnector()
-                    store = Store(
-                        f'fig7-{store_kind}-{input_size}-{output_size}',
-                        connector,
-                        cache_size=0,
+                        store_url = 'local://'
+                    store = Store.from_url(
+                        f'{store_url}?cache_size=0',
+                        name=f'fig7-{store_kind}-{input_size}-{output_size}',
                     )
                     try:
                         with_proxy = _median_roundtrip(store, input_size, output_size, repeats)

@@ -14,8 +14,6 @@ from dataclasses import dataclass
 
 from repro.apps.defect_analysis import defect_inference_task
 from repro.apps.defect_analysis import generate_micrograph
-from repro.connectors.file import FileConnector
-from repro.connectors.local import LocalConnector
 from repro.faas import CloudFaaSService
 from repro.faas import ComputeEndpoint
 from repro.faas import Executor
@@ -66,15 +64,16 @@ def _run_config(config: _Config, repeats: int, image_side: int, workdir: str) ->
         store = None
         if config.store_kind is not None:
             if config.store_kind == 'file-store':
-                inner = FileConnector(f'{workdir}/{config.label}-{repeat}'.replace(' ', '_'))
+                store_dir = f'{workdir}/{config.label}-{repeat}'.replace(' ', '_')
+                store_url = f'file://{store_dir}?cache_size=0'
                 model = SharedFilesystemCost(fabric)
             else:
-                inner = LocalConnector()
+                store_url = 'local://?cache_size=0'
                 model = EndpointPeerCost(fabric)
-            store = Store(
-                f'table2-{config.label}-{repeat}',
-                CostedConnector(inner, model, clock),
-                cache_size=0,
+            store = Store.from_url(
+                store_url,
+                name=f'table2-{config.label}-{repeat}',
+                wrap_connector=lambda inner: CostedConnector(inner, model, clock),
             )
         start = clock.now()
         try:

@@ -85,6 +85,10 @@ class CostedConnector(Connector):
         self.charge_clock = charge_clock
         self.ledger = CostLedger()
         self.capabilities = inner.capabilities
+        # A costed wrapper's config() describes the *inner* connector, so a
+        # scheme-carrying StoreConfig must name the inner connector's scheme
+        # for proxies to be resolvable in other processes.
+        self.scheme = getattr(inner, 'scheme', None)
         self._origins: dict[Any, str] = {}
         self._sizes: dict[Any, int] = {}
         self._fetched_at: dict[tuple[Any, str], bool] = {}
@@ -142,6 +146,13 @@ class CostedConnector(Connector):
             if data is not None:
                 self._charge_get(key, len(data))
         return datas
+
+    def new_key(self) -> Any:
+        return self.inner.new_key()
+
+    def set(self, key: Any, data: bytes) -> None:
+        self.inner.set(key, data)
+        self._charge_put(key, len(data))
 
     def exists(self, key: Any) -> bool:
         return self.inner.exists(key)

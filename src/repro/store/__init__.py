@@ -1,19 +1,29 @@
 """High-level Store API (the primary entry point of the library).
 
-Typical usage::
+Typical usage (v2 URL construction)::
 
-    from repro.connectors.file import FileConnector
     from repro.store import Store
 
-    store = Store('my-store', FileConnector('/tmp/proxystore-data'))
+    store = Store.from_url('file:///tmp/proxystore-data?name=my-store')
     p = store.proxy(my_object)
     some_function(p)   # my_object is resolved from the store on first use
+
+    future = store.future()      # a value that does not exist yet
+    consumer(future.proxy())     # blocks on first use until...
+    future.set_result(obj)       # ...the producer writes it
+
+Direct dependency-injection construction (``Store('my-store', connector)``)
+remains available for connectors that are not URL-expressible.
 """
+from repro.exceptions import ProxyFutureError
+from repro.exceptions import ProxyFutureTimeoutError
 from repro.exceptions import StoreError
 from repro.exceptions import StoreExistsError
 from repro.exceptions import StoreKeyError
 from repro.store.config import StoreConfig
 from repro.store.factory import StoreFactory
+from repro.store.future import FutureFactory
+from repro.store.future import ProxyFuture
 from repro.store.metrics import OperationStats
 from repro.store.metrics import StoreMetrics
 from repro.store.registry import get_or_create_store
@@ -25,7 +35,11 @@ from repro.store.registry import unregister_store
 from repro.store.store import Store
 
 __all__ = [
+    'FutureFactory',
     'OperationStats',
+    'ProxyFuture',
+    'ProxyFutureError',
+    'ProxyFutureTimeoutError',
     'Store',
     'StoreConfig',
     'StoreError',

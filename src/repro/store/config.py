@@ -1,11 +1,19 @@
 """Serializable description of a Store.
 
 A :class:`StoreConfig` contains everything needed to re-create a Store in a
-different process: the store's name, the connector's import path and its
-``config()`` dictionary, and the store options (cache size, metrics).  It is
-what a :class:`~repro.store.factory.StoreFactory` carries inside a proxy so
-that consumers can transparently reconstruct the producer's Store
+different process: the store's name, the connector's URI scheme (and, as a
+legacy fallback, its import path) plus its ``config()`` dictionary, and the
+store options (cache size, metrics).  It is what a
+:class:`~repro.store.factory.StoreFactory` carries inside a proxy so that
+consumers can transparently reconstruct the producer's Store
 (Section 3.5 of the paper).
+
+Connector resolution is **registry-first**: when ``scheme`` is set and names
+a registered connector (see :mod:`repro.connectors.registry`), the connector
+class comes from the registry; otherwise the legacy ``module:ClassName``
+import path in ``connector`` is used.  The fallback keeps configs (and
+pickled proxy factories) produced before the scheme registry existed — or by
+third-party connectors that never registered a scheme — working unchanged.
 """
 from __future__ import annotations
 
@@ -17,8 +25,30 @@ from typing import Any
 from repro.connectors.protocol import Connector
 from repro.connectors.protocol import connector_from_path
 from repro.connectors.protocol import connector_path
+from repro.connectors.registry import get_connector_class
+from repro.exceptions import StoreError
+from repro.exceptions import UnknownConnectorSchemeError
 
 __all__ = ['StoreConfig']
+
+
+def _scheme_of(connector: Any) -> str | None:
+    """Return the connector's *own* scheme, never one inherited from a base.
+
+    A subclass of a registered connector that does not declare its own
+    ``scheme`` is deliberately not in the registry (see
+    ``Connector.__init_subclass__``); recording the inherited scheme here
+    would make registry-first resolution silently rebuild the *base* class.
+    Instance attributes are honoured first so wrappers (CostedConnector)
+    can expose their inner connector's scheme.
+    """
+    try:
+        instance_attrs = vars(connector)
+    except TypeError:  # pragma: no cover - __slots__ connectors
+        instance_attrs = {}
+    if 'scheme' in instance_attrs:
+        return instance_attrs['scheme']
+    return type(connector).__dict__.get('scheme')
 
 
 @dataclass
@@ -27,17 +57,26 @@ class StoreConfig:
 
     Attributes:
         name: globally-unique store name used for process-local registration.
-        connector: import path of the connector class (``module:ClassName``).
+        connector: import path of the connector class (``module:ClassName``);
+            the legacy fallback used when ``scheme`` is unset or unknown.
         connector_config: the connector's ``config()`` dictionary.
         cache_size: number of deserialized objects the store caches.
         metrics: whether operation metrics are recorded.
+        scheme: URI scheme of the connector; resolved through the connector
+            registry first, ahead of the import path.
+        custom_serializer: the originating store used a caller-supplied
+            serializer, which cannot travel inside a config.
+        custom_deserializer: ditto for the deserializer.
     """
 
     name: str
-    connector: str
+    connector: str | None = None
     connector_config: dict[str, Any] = field(default_factory=dict)
     cache_size: int = 16
     metrics: bool = False
+    scheme: str | None = None
+    custom_serializer: bool = False
+    custom_deserializer: bool = False
 
     @classmethod
     def from_store(cls, store: Any) -> 'StoreConfig':
@@ -48,11 +87,33 @@ class StoreConfig:
             connector_config=store.connector.config(),
             cache_size=store.cache.maxsize,
             metrics=store.metrics is not None,
+            scheme=_scheme_of(store.connector),
+            custom_serializer=getattr(store, '_custom_serializer', False),
+            custom_deserializer=getattr(store, '_custom_deserializer', False),
         )
 
     def make_connector(self) -> Connector:
-        """Instantiate the connector described by this config."""
-        return connector_from_path(self.connector, dict(self.connector_config))
+        """Instantiate the connector described by this config.
+
+        Resolution is registry-first (by ``scheme``) with the legacy import
+        path as fallback, so configs pickled before a connector registered a
+        scheme — or configs from third-party connectors without one — keep
+        working.
+        """
+        config = dict(self.connector_config)
+        if self.scheme is not None:
+            try:
+                connector_cls = get_connector_class(self.scheme)
+            except UnknownConnectorSchemeError:
+                pass
+            else:
+                return connector_cls.from_config(config)
+        if self.connector is None:
+            raise StoreError(
+                f'StoreConfig for {self.name!r} has neither a resolvable '
+                'scheme nor a connector import path',
+            )
+        return connector_from_path(self.connector, config)
 
     def to_dict(self) -> dict[str, Any]:
         """Return a plain-dict representation (JSON-friendly apart from values)."""

@@ -33,6 +33,11 @@ class StoreFactory(Factory[T]):
             first resolves it (for ephemeral intermediate values).
         deserializer_name: reserved hook for custom deserializers registered
             through :mod:`repro.serialize.registry`; ``None`` uses the default.
+        connector_kwargs: the connector ``put`` keyword arguments the object
+            was originally stored with (e.g. MultiConnector routing
+            constraints such as ``subset_tags``).  Carried so any layer that
+            re-stores the object (after an evict-on-resolve, or when
+            migrating it) can preserve the producer's placement constraints.
     """
 
     def __init__(
@@ -42,12 +47,14 @@ class StoreFactory(Factory[T]):
         *,
         evict: bool = False,
         deserializer_name: str | None = None,
+        connector_kwargs: dict[str, Any] | None = None,
     ) -> None:
         super().__init__()
         self.key = key
         self.store_config = store_config
         self.evict = evict
         self.deserializer_name = deserializer_name
+        self.connector_kwargs = dict(connector_kwargs) if connector_kwargs else {}
 
     def __repr__(self) -> str:
         return (

@@ -9,6 +9,8 @@ connector is reachable (Section 3.5 of the paper).
 """
 from __future__ import annotations
 
+import inspect
+import warnings
 from typing import Any
 from typing import Callable
 from typing import Iterable
@@ -17,12 +19,17 @@ from typing import TypeVar
 
 from repro.cache.lru import LRUCache
 from repro.connectors.protocol import Connector
+from repro.connectors.protocol import new_object_id
+from repro.connectors.registry import StoreURL
+from repro.connectors.registry import get_connector_class
+from repro.exceptions import ProxyFutureError
 from repro.exceptions import StoreError
 from repro.proxy.proxy import Proxy
 from repro.serialize.serializer import deserialize as default_deserializer
 from repro.serialize.serializer import serialize as default_serializer
 from repro.store.config import StoreConfig
 from repro.store.factory import StoreFactory
+from repro.store.future import ProxyFuture
 from repro.store.metrics import StoreMetrics
 from repro.store.metrics import Timer
 from repro.store.registry import register_store
@@ -69,6 +76,8 @@ class Store:
             raise ValueError('cache_size must be non-negative')
         self.name = name
         self.connector = connector
+        self._custom_serializer = serializer is not None
+        self._custom_deserializer = deserializer is not None
         self.serializer = serializer if serializer is not None else default_serializer
         self.deserializer = (
             deserializer if deserializer is not None else default_deserializer
@@ -98,7 +107,21 @@ class Store:
 
     @classmethod
     def from_config(cls, config: StoreConfig, *, register: bool = True) -> 'Store':
-        """Create a store (and its connector) from a :class:`StoreConfig`."""
+        """Create a store (and its connector) from a :class:`StoreConfig`.
+
+        A custom serializer/deserializer on the originating store cannot be
+        carried inside a config (callables do not round-trip through plain
+        dicts); the re-created store silently falling back to the defaults
+        can corrupt data, so that situation is loudly warned about.
+        """
+        if config.custom_serializer or config.custom_deserializer:
+            warnings.warn(
+                f'store {config.name!r} was created with a custom '
+                'serializer/deserializer that cannot be reconstructed from '
+                'its config; the new store uses the default implementations',
+                UserWarning,
+                stacklevel=2,
+            )
         return cls(
             config.name,
             config.make_connector(),
@@ -107,15 +130,83 @@ class Store:
             register=register,
         )
 
+    @classmethod
+    def from_url(
+        cls,
+        url: str | StoreURL,
+        *,
+        name: str | None = None,
+        register: bool = True,
+        serializer: Callable[[Any], bytes] | None = None,
+        deserializer: Callable[[bytes], Any] | None = None,
+        wrap_connector: Callable[[Connector], Connector] | None = None,
+    ) -> 'Store':
+        """Create a store from a URL — the canonical v2 construction API.
+
+        The URL scheme selects the connector through the connector registry
+        (``repro.connectors.registry``); the netloc/path/query configure it.
+        Store-level options ride along as reserved query parameters::
+
+            Store.from_url('redis://localhost:6379/my-ns?cache_size=32&metrics=1')
+            Store.from_url('file:///tmp/proxystore-data?name=bulk-store')
+            Store.from_url('local://shared-id')
+
+        Reserved query parameters: ``name``, ``cache_size``, ``metrics``,
+        ``register``.  Everything else must be consumed by the connector's
+        ``from_url`` — leftovers raise ``ValueError`` so typos fail loudly.
+
+        Args:
+            url: store URL (or an already-parsed :class:`StoreURL`).
+            name: store name; overrides the ``name`` query parameter.  When
+                neither is given, a non-empty URL path not consumed by the
+                connector (e.g. the ``/ns`` of a redis URL) is used, and
+                otherwise a unique name is generated.
+            register: register the store globally (the ``register`` query
+                parameter overrides this).
+            serializer: optional serializer override (not URL-expressible).
+            deserializer: optional deserializer override.
+            wrap_connector: optional wrapper applied to the connector before
+                the store is built — how benchmark harnesses interpose
+                cost-accounting (``CostedConnector``) on a URL-built channel.
+        """
+        parsed = StoreURL.parse(url)
+        connector_cls = get_connector_class(parsed.scheme)
+        query_name = parsed.pop('name')
+        if name is None:
+            name = query_name
+        cache_size = parsed.pop_int('cache_size', 16)
+        assert cache_size is not None
+        metrics = parsed.pop_bool('metrics', False)
+        register = parsed.pop_bool('register', register)
+        connector: Connector = connector_cls.from_url(parsed)
+        parsed.ensure_consumed()
+        if name is None:
+            remainder = '' if parsed.path_consumed else parsed.path.strip('/')
+            name = remainder or f'{parsed.scheme}-store-{new_object_id()[:8]}'
+        if wrap_connector is not None:
+            connector = wrap_connector(connector)
+        return cls(
+            name,
+            connector,
+            serializer=serializer,
+            deserializer=deserializer,
+            cache_size=cache_size,
+            metrics=metrics,
+            register=register,
+        )
+
     def close(self, clear: bool = False) -> None:
         """Unregister the store and close its connector.
 
         Args:
-            clear: also ask the connector to remove all stored objects.
+            clear: also ask the connector to remove all stored objects and
+                drop this store's local deserialized-object cache.
         """
         if self._registered:
             unregister_store(self.name)
             self._registered = False
+        if clear:
+            self.cache.clear()
         self.connector.close(clear=clear)
 
     def _record(self, operation: str, elapsed: float, nbytes: int = 0) -> None:
@@ -197,6 +288,7 @@ class Store:
             cached = self.cache.get(key, default=_MISSING)
             if cached is not _MISSING:
                 results[i] = cached
+                self._record('get_cached', 0.0)
             else:
                 to_fetch.append((i, key))
         if to_fetch:
@@ -204,13 +296,23 @@ class Store:
                 datas = self.connector.get_batch([key for _, key in to_fetch])
             nbytes = sum(len(d) for d in datas if d is not None)
             self._record('get_batch', t_get.elapsed, nbytes)
-            for (i, key), data in zip(to_fetch, datas):
-                if data is None:
-                    results[i] = None
-                else:
-                    obj = deserializer(data)
-                    self.cache.set(key, obj)
-                    results[i] = obj
+            # Batch ops emit the same per-operation metrics as their scalar
+            # counterparts: one aggregate deserialize record for the batch
+            # (only when something was actually deserialized, matching the
+            # scalar get) plus a get_miss per absent key.
+            hits = 0
+            with Timer() as t_des:
+                for (i, key), data in zip(to_fetch, datas):
+                    if data is None:
+                        results[i] = None
+                        self._record('get_miss', 0.0)
+                    else:
+                        obj = deserializer(data)
+                        self.cache.set(key, obj)
+                        results[i] = obj
+                        hits += 1
+            if hits:
+                self._record('deserialize', t_des.elapsed, nbytes)
         return [r if r is not _MISSING else None for r in results]
 
     def exists(self, key: Any) -> bool:
@@ -256,8 +358,12 @@ class Store:
                 resolving the returned proxy in *this* process is free.
             connector_kwargs: forwarded to the connector's ``put`` when it
                 supports extra keyword arguments (e.g. MultiConnector
-                constraints such as ``subset_tags``).
+                constraints such as ``subset_tags``); also embedded in the
+                proxy's factory so re-stores elsewhere can honour them.
+                Raises ``StoreError`` if the connector does not accept them.
         """
+        if connector_kwargs:
+            self._validate_put_kwargs(connector_kwargs)
         serializer = serializer if serializer is not None else self.serializer
         with Timer() as t_ser:
             data = serializer(obj)
@@ -270,11 +376,49 @@ class Store:
         self._record('put', t_put.elapsed, len(data))
         if cache_local and not evict:
             self.cache.set(key, obj)
-        factory: StoreFactory = StoreFactory(key, self.config(), evict=evict)
+        factory: StoreFactory = StoreFactory(
+            key, self.config(), evict=evict, connector_kwargs=connector_kwargs,
+        )
         with Timer() as t_proxy:
             proxy = Proxy(factory)
         self._record('proxy', t_proxy.elapsed, len(data))
         return proxy
+
+    def _validate_put_kwargs(self, connector_kwargs: dict[str, Any]) -> None:
+        """Reject ``put`` kwargs the connector would silently drop or choke on.
+
+        Wrapper connectors (e.g. CostedConnector) forward ``**kwargs`` to an
+        inner connector, so a ``**kwargs`` signature alone proves nothing —
+        follow the ``inner`` chain until a connector with an explicit
+        signature is found.
+        """
+        target: Connector = self.connector
+        seen: set[int] = set()
+        while id(target) not in seen:
+            seen.add(id(target))
+            try:
+                parameters = inspect.signature(target.put).parameters
+            except (TypeError, ValueError):  # pragma: no cover - builtin puts
+                return
+            accepts_var_kw = any(
+                p.kind is inspect.Parameter.VAR_KEYWORD
+                for p in parameters.values()
+            )
+            if not accepts_var_kw:
+                unsupported = sorted(
+                    k for k in connector_kwargs if k not in parameters
+                )
+                if unsupported:
+                    raise StoreError(
+                        f'connector {type(target).__name__} does not support '
+                        f'put keyword arguments {unsupported}; routing '
+                        'constraints would be silently lost',
+                    )
+                return
+            inner = getattr(target, 'inner', None)
+            if not isinstance(inner, Connector):
+                return  # genuinely accepts arbitrary kwargs
+            target = inner
 
     def proxy_batch(
         self,
@@ -300,11 +444,69 @@ class Store:
         self._record('put_batch', t_put.elapsed, total)
         config = self.config()
         proxies: list[Proxy] = []
-        for key, obj in zip(keys, objs):
+        for key, obj, data in zip(keys, objs, datas):
             if cache_local and not evict:
                 self.cache.set(key, obj)
-            proxies.append(Proxy(StoreFactory(key, config, evict=evict)))
+            # Mirror the scalar proxy() metrics: one timed 'proxy' record
+            # per proxy created.
+            with Timer() as t_proxy:
+                proxy = Proxy(StoreFactory(key, config, evict=evict))
+            self._record('proxy', t_proxy.elapsed, len(data))
+            proxies.append(proxy)
         return proxies
+
+    def future(
+        self,
+        *,
+        evict: bool = False,
+        polling_interval: float = 0.05,
+        timeout: float | None = 60.0,
+        serializer: Callable[[Any], bytes] | None = None,
+        **connector_kwargs: Any,
+    ) -> ProxyFuture:
+        """Return a :class:`~repro.store.future.ProxyFuture` for a value that
+        has not been produced yet.
+
+        The future's :meth:`~repro.store.future.ProxyFuture.proxy` can be
+        handed to consumers immediately; it blocks (bounded poll of the
+        mediated channel) on first use until the producer calls
+        :meth:`~repro.store.future.ProxyFuture.set_result`.  This enables
+        producer/consumer pipelining without barrier synchronization.
+
+        Args:
+            evict: evict the value when a consumer first resolves it.
+            polling_interval: seconds between existence polls on the
+                consumer side.
+            timeout: seconds a consumer waits for the producer before
+                raising ``ProxyFutureTimeoutError`` (``None`` = forever).
+            serializer: per-future serializer override.
+            connector_kwargs: forwarded to the connector's ``new_key`` —
+                e.g. MultiConnector routing constraints (``subset_tags``,
+                ``superset_tags``), applied without a size bound since the
+                value's size is unknown at allocation time.
+
+        Raises:
+            ProxyFutureError: if the connector does not support deferred
+                writes (``new_key``/``set``).
+        """
+        try:
+            if connector_kwargs:
+                key = self.connector.new_key(**connector_kwargs)  # type: ignore[call-arg]
+            else:
+                key = self.connector.new_key()
+        except NotImplementedError as e:
+            raise ProxyFutureError(
+                f'connector {type(self.connector).__name__} does not support '
+                'the deferred writes Store.future() requires',
+            ) from e
+        return ProxyFuture(
+            self,
+            key,
+            evict=evict,
+            polling_interval=polling_interval,
+            timeout=timeout,
+            serializer=serializer,
+        )
 
     def proxy_from_key(self, key: Any, *, evict: bool = False) -> Proxy:
         """Return a proxy for an object that is already stored under ``key``.

@@ -21,6 +21,7 @@ from typing import Callable
 from repro.exceptions import WorkflowError
 from repro.proxy import Proxy
 from repro.serialize import serialize
+from repro.store import ProxyFuture
 from repro.store import Store
 from repro.workflow.engine import WorkflowEngine
 
@@ -58,8 +59,20 @@ class ColmenaQueues:
         self.tasks: queue.Queue = queue.Queue()
         self.results: queue.Queue = queue.Queue()
 
-    def send_task(self, topic: str, *inputs: Any) -> None:
-        self.tasks.put((topic, inputs))
+    def send_task(
+        self,
+        topic: str,
+        *inputs: Any,
+        result_future: ProxyFuture | None = None,
+    ) -> None:
+        """Enqueue a task; ``result_future`` receives the task's value.
+
+        When a :class:`~repro.store.ProxyFuture` is supplied, the task
+        server writes the task's result into it as soon as the task
+        completes, so downstream consumers holding ``result_future.proxy()``
+        pipeline with the Thinker instead of waiting at the results queue.
+        """
+        self.tasks.put((topic, inputs, result_future))
 
     def get_result(self, timeout: float | None = 60.0) -> Result:
         try:
@@ -110,7 +123,7 @@ class TaskServer:
         topic: str,
         func: Callable[..., Any],
         *,
-        store: Store | None = None,
+        store: Store | str | None = None,
         threshold_bytes: int | None = None,
         proxy_results: bool = True,
     ) -> None:
@@ -119,16 +132,39 @@ class TaskServer:
         When ``store`` is provided, any input or result whose serialized size
         is at least ``threshold_bytes`` is replaced with a proxy from that
         store before being passed onward — the library-level integration the
-        paper describes.
+        paper describes.  A store URL string (``'redis://host:6379/ns'``)
+        is accepted in place of a Store instance and resolved through
+        ``Store.from_url``.
         """
         if threshold_bytes is not None and threshold_bytes < 0:
             raise ValueError('threshold_bytes must be non-negative')
+        if isinstance(store, str):
+            store = Store.from_url(store)
         self._topics[topic] = _TopicConfig(
             func=func,
             store=store,
             threshold_bytes=threshold_bytes,
             proxy_results=proxy_results,
         )
+
+    def result_future(self, topic: str, **future_kwargs: Any) -> ProxyFuture:
+        """Create a :class:`~repro.store.ProxyFuture` in ``topic``'s store.
+
+        Pass the returned future to :meth:`ColmenaQueues.send_task` (or
+        ``Thinker.submit``) and hand ``future.proxy()`` to downstream
+        consumers: they start immediately and block only when they first
+        touch the not-yet-computed result — producer/consumer pipelining
+        without a barrier at the results queue.
+        """
+        config = self._topics.get(topic)
+        if config is None:
+            raise WorkflowError(f'no function registered for topic {topic!r}')
+        if config.store is None:
+            raise WorkflowError(
+                f'topic {topic!r} has no store; result futures need a '
+                'mediated channel to flow through',
+            )
+        return config.store.future(**future_kwargs)
 
     def topics(self) -> list[str]:
         return sorted(self._topics)
@@ -185,10 +221,15 @@ class TaskServer:
                 continue
             if item is None:
                 break
-            topic, inputs = item
-            self._handle(topic, inputs)
+            topic, inputs, result_future = item
+            self._handle(topic, inputs, result_future)
 
-    def _handle(self, topic: str, inputs: tuple) -> None:
+    def _handle(
+        self,
+        topic: str,
+        inputs: tuple,
+        result_future: ProxyFuture | None = None,
+    ) -> None:
         record = Result(topic=topic, inputs=inputs)
         if self.fixed_overhead_s > 0:
             time.sleep(self.fixed_overhead_s)
@@ -197,6 +238,8 @@ class TaskServer:
             record.success = False
             record.error = f'no function registered for topic {topic!r}'
             record.time_returned = time.perf_counter()
+            if result_future is not None:
+                result_future.set_exception(WorkflowError(record.error))
             self.queues.results.put(record)
             return
         processed_inputs = []
@@ -213,17 +256,34 @@ class TaskServer:
         future = self.engine.submit(config.func, *processed_inputs)
         try:
             value = future.result()
-            value, result_size, result_proxied = (
-                self._maybe_proxy(config, value)
-                if config.proxy_results
-                else (value, len(serialize(value)), False)
-            )
-            record.value = value
-            record.result_bytes = result_size
-            record.proxied_result = result_proxied
+            if result_future is not None:
+                # Stream the value into the future *before* queue
+                # bookkeeping: consumers holding the future's proxy wake up
+                # as early as possible.  The write through the future IS the
+                # proxying — the record reuses the future's proxy instead of
+                # storing a second copy of the result.
+                result_future.set_result(value)
+                streamed = result_future.proxy()
+                record.value = streamed
+                record.result_bytes = len(serialize(streamed))
+                record.proxied_result = True
+            else:
+                value, result_size, result_proxied = (
+                    self._maybe_proxy(config, value)
+                    if config.proxy_results
+                    else (value, len(serialize(value)), False)
+                )
+                record.value = value
+                record.result_bytes = result_size
+                record.proxied_result = result_proxied
         except Exception as e:  # noqa: BLE001 - reported in the result record
             record.success = False
             record.error = f'{type(e).__name__}: {e}'
+            if result_future is not None and not result_future.done():
+                try:
+                    result_future.set_exception(e)
+                except Exception:  # noqa: BLE001 - channel itself is broken
+                    pass
         record.time_returned = time.perf_counter()
         self.tasks_processed += 1
         self.queues.results.put(record)
@@ -236,8 +296,13 @@ class Thinker:
         self.queues = queues
         self.results: list[Result] = []
 
-    def submit(self, topic: str, *inputs: Any) -> None:
-        self.queues.send_task(topic, *inputs)
+    def submit(
+        self,
+        topic: str,
+        *inputs: Any,
+        result_future: ProxyFuture | None = None,
+    ) -> None:
+        self.queues.send_task(topic, *inputs, result_future=result_future)
 
     def wait_for_result(self, timeout: float | None = 60.0) -> Result:
         result = self.queues.get_result(timeout=timeout)

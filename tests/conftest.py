@@ -18,10 +18,9 @@ def _clean_global_state():
 @pytest.fixture()
 def local_store(tmp_path):
     """A Store backed by a LocalConnector, unregistered on teardown."""
-    from repro.connectors.local import LocalConnector
     from repro.store import Store
 
-    store = Store('test-local-store', LocalConnector(), cache_size=4)
+    store = Store.from_url('local:///test-local-store?cache_size=4')
     yield store
     store.close(clear=True)
 
@@ -29,9 +28,8 @@ def local_store(tmp_path):
 @pytest.fixture()
 def file_store(tmp_path):
     """A Store backed by a FileConnector rooted in a temp directory."""
-    from repro.connectors.file import FileConnector
     from repro.store import Store
 
-    store = Store('test-file-store', FileConnector(str(tmp_path / 'data')))
+    store = Store.from_url(f'file://{tmp_path}/data?name=test-file-store')
     yield store
     store.close(clear=True)

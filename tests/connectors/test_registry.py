@@ -1,0 +1,105 @@
+"""Tests of the scheme-based connector registry and StoreURL parsing."""
+from __future__ import annotations
+
+import pytest
+
+from repro.connectors import Connector
+from repro.connectors import get_connector_class
+from repro.connectors import list_connectors
+from repro.connectors import register_connector
+from repro.connectors import unregister_connector
+from repro.connectors.file import FileConnector
+from repro.connectors.local import LocalConnector
+from repro.connectors.registry import StoreURL
+from repro.exceptions import ConnectorSchemeExistsError
+from repro.exceptions import UnknownConnectorSchemeError
+
+
+def test_builtin_connectors_self_register():
+    schemes = list_connectors()
+    for scheme in ('local', 'file', 'redis', 'endpoint', 'multi',
+                   'globus', 'zmq', 'ucx', 'margo'):
+        assert scheme in schemes, scheme
+    assert schemes['local'] is LocalConnector
+    assert schemes['file'] is FileConnector
+
+
+def test_get_connector_class_unknown_scheme():
+    with pytest.raises(UnknownConnectorSchemeError, match='warp-drive'):
+        get_connector_class('warp-drive')
+
+
+def test_register_collision_and_replace():
+    class FirstClaimant(LocalConnector):
+        pass
+
+    try:
+        register_connector('collision-test', FirstClaimant)
+        # Same class again: a no-op, not a collision.
+        register_connector('collision-test', FirstClaimant)
+
+        class SecondClaimant(LocalConnector):
+            pass
+
+        with pytest.raises(ConnectorSchemeExistsError, match='collision-test'):
+            register_connector('collision-test', SecondClaimant)
+        register_connector('collision-test', SecondClaimant, replace=True)
+        assert get_connector_class('collision-test') is SecondClaimant
+    finally:
+        unregister_connector('collision-test')
+
+
+def test_register_rejects_empty_scheme():
+    with pytest.raises(ValueError):
+        register_connector('', LocalConnector)
+
+
+def test_subclass_with_own_scheme_self_registers():
+    class AutoRegistered(LocalConnector):
+        scheme = 'auto-registered-test'
+
+    try:
+        assert get_connector_class('auto-registered-test') is AutoRegistered
+    finally:
+        unregister_connector('auto-registered-test')
+
+
+def test_subclass_without_scheme_does_not_steal_parents():
+    class Derived(LocalConnector):
+        pass
+
+    assert get_connector_class('local') is LocalConnector
+
+
+def test_base_connector_from_url_not_implemented():
+    with pytest.raises(NotImplementedError):
+        Connector.from_url('anything://x')
+
+
+def test_store_url_parsing_basics():
+    url = StoreURL('redis://example.org:6380/my-ns?launch=1&cache_size=8')
+    assert url.scheme == 'redis'
+    assert url.host == 'example.org'
+    assert url.port == 6380
+    assert url.path == '/my-ns'
+    assert url.pop_bool('launch') is True
+    assert url.pop_int('cache_size') == 8
+    url.ensure_consumed()
+
+
+def test_store_url_leftover_params_raise():
+    url = StoreURL('local://?unknown=1')
+    with pytest.raises(ValueError, match='unknown'):
+        url.ensure_consumed()
+
+
+def test_store_url_bool_rejects_garbage():
+    url = StoreURL('local://?flag=sometimes')
+    with pytest.raises(ValueError, match='flag'):
+        url.pop_bool('flag')
+
+
+def test_store_url_hostless_netloc():
+    url = StoreURL('endpoint://uuid-a,uuid-b/name')
+    assert url.netloc == 'uuid-a,uuid-b'
+    assert url.port is None

@@ -175,6 +175,91 @@ def test_metrics_recording():
     store.close()
 
 
+def test_batch_metrics_match_scalar_counterparts():
+    """get_batch records deserialize (and hits/misses), proxy_batch records proxy."""
+    store = Store('batch-metrics-store', LocalConnector(),
+                  metrics=True, cache_size=4, register=False)
+    keys = store.put_batch(['a', 'b', 'c'])
+    store.cache.clear()
+    fetched = store.get_batch(keys + ['missing-key'])
+    assert fetched[:3] == ['a', 'b', 'c'] and fetched[3] is None
+    store.get_batch(keys)  # all cache hits this time
+    proxies = store.proxy_batch(['x', 'y'])
+    assert [str(p) for p in proxies] == ['x', 'y']
+    summary = store.metrics_summary()
+    assert summary['deserialize']['count'] == 1  # one aggregate record per batch
+    assert summary['deserialize']['total_bytes'] > 0
+    assert summary['get_miss']['count'] == 1
+    assert summary['get_cached']['count'] == 3
+    assert summary['proxy']['count'] == 2
+    assert summary['proxy']['total_bytes'] > 0
+    store.close(clear=True)
+
+
+def test_close_clear_also_clears_local_cache():
+    store = Store('close-clear-store', LocalConnector(), register=False)
+    key = store.put({'cached': True})
+    store.get(key)  # populate the deserialized-object cache
+    assert store.is_cached(key)
+    store.close(clear=True)
+    assert not store.is_cached(key)
+    assert len(store.cache) == 0
+
+
+def test_from_config_warns_about_custom_serializer():
+    import pickle as _pickle
+
+    store = Store(
+        'custom-ser-store',
+        LocalConnector(),
+        serializer=_pickle.dumps,
+        deserializer=_pickle.loads,
+        register=False,
+    )
+    config = store.config()
+    assert config.custom_serializer and config.custom_deserializer
+    with pytest.warns(UserWarning, match='custom'):
+        clone = Store.from_config(config, register=False)
+    clone.close()
+    store.close(clear=True)
+
+
+class ReversingLocalConnector(LocalConnector):
+    """Module-level (so import-path-resolvable) subclass with NO own scheme."""
+
+    def put(self, data):
+        return super().put(bytes(data)[::-1])
+
+    def get(self, key):
+        data = super().get(key)
+        return None if data is None else data[::-1]
+
+
+def test_config_subclass_without_scheme_uses_import_path():
+    """A connector subclass that declares no scheme must NOT resolve to its
+    base class through the inherited scheme (silent wrong-class rebuild)."""
+    store = Store('subclass-cfg-store', ReversingLocalConnector(), register=False)
+    config = store.config()
+    assert config.scheme is None  # inherited 'local' must not be recorded
+    rebuilt = config.make_connector()
+    assert type(rebuilt) is ReversingLocalConnector
+    key = store.put('payload')
+    clone = Store.from_config(config, register=False)
+    assert clone.get(key) == 'payload'
+    store.close(clear=True)
+    clone.close()
+
+
+def test_get_batch_all_misses_records_no_deserialize():
+    store = Store('all-miss-store', LocalConnector(), metrics=True, register=False)
+    bogus = [store.connector.new_key(), store.connector.new_key()]
+    assert store.get_batch(bogus) == [None, None]
+    summary = store.metrics_summary()
+    assert 'deserialize' not in summary
+    assert summary['get_miss']['count'] == 2
+    store.close(clear=True)
+
+
 def test_metrics_disabled_by_default(local_store):
     local_store.put('x')
     assert local_store.metrics_summary() == {}

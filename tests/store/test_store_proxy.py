@@ -8,6 +8,7 @@ import pytest
 
 from repro.connectors.file import FileConnector
 from repro.connectors.local import LocalConnector
+from repro.exceptions import StoreError
 from repro.exceptions import StoreKeyError
 from repro.proxy import Proxy
 from repro.proxy import extract
@@ -177,5 +178,41 @@ def test_resolve_async_noop_when_cached(local_store):
 
 
 def test_proxy_connector_kwargs_rejected_for_plain_connector(local_store):
-    with pytest.raises(TypeError):
+    # Connectors whose put() does not accept routing kwargs raise a clear
+    # StoreError instead of silently dropping the constraints.
+    with pytest.raises(StoreError, match='subset_tags'):
         local_store.proxy('x', subset_tags=('gpu',))
+
+
+def test_proxy_connector_kwargs_rejected_through_wrapper():
+    """Validation follows wrapper connectors' inner chain instead of being
+    fooled by their pass-through **kwargs signature."""
+    from repro.simulation.costed import CostedConnector
+    from repro.simulation.costs import SharedFilesystemCost
+    from repro.simulation.network import Fabric
+
+    fabric = Fabric()
+    wrapped = CostedConnector(LocalConnector(), SharedFilesystemCost(fabric))
+    store = Store('wrapped-kwargs-store', wrapped, register=False)
+    with pytest.raises(StoreError, match='subset_tags'):
+        store.proxy('x', subset_tags=('gpu',))
+    store.close(clear=True)
+
+
+def test_proxy_connector_kwargs_carried_in_factory(tmp_path):
+    from repro.connectors.multi import MultiConnector
+    from repro.connectors.policy import Policy
+
+    conn = MultiConnector({
+        'gpu': (LocalConnector(), Policy(superset_tags=('gpu',), priority=5)),
+        'any': (LocalConnector(), Policy(priority=0)),
+    })
+    store = Store('kwargs-factory-store', conn, register=False)
+    p = store.proxy('weights', superset_tags=('gpu',))
+    factory = get_factory(p)
+    # The MultiConnector routing constraints survive inside the factory so a
+    # re-store elsewhere can honour them — and they round-trip a pickle.
+    assert factory.connector_kwargs == {'superset_tags': ('gpu',)}
+    restored = pickle.loads(pickle.dumps(factory))
+    assert restored.connector_kwargs == {'superset_tags': ('gpu',)}
+    store.close(clear=True)
