@@ -1,0 +1,190 @@
+"""Micro-benchmark of the (de)serialization hot path.
+
+Times serialize -> deserialize round trips for 1 KB / 1 MB / 64 MB payloads
+across the four payload kinds the paper's workloads exercise (raw bytes,
+str, NumPy arrays, pickled dataclasses), comparing the zero-copy
+buffer-aware serializer against the pre-buffer implementation (concatenated
+wire bytes, ``BytesIO`` NumPy writes, unconditional input materialization —
+kept inline below as the baseline).
+
+Run directly (also used as a CI step)::
+
+    PYTHONPATH=src python benchmarks/bench_serializer.py --out BENCH_serializer.json
+
+The JSON output accumulates the perf trajectory: per-case seconds/op,
+throughput, and the speedup of the new path over the legacy one.  The local
+connector put-copy check asserts the acceptance property that a ``put`` of
+serialized ``bytes`` stores zero copies.
+"""
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import io
+import json
+import pickle
+import platform
+import sys
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.connectors.local import LocalConnector
+from repro.serialize import SerializedObject
+from repro.serialize import deserialize
+from repro.serialize import serialize
+
+SIZES = {'1KB': 1024, '1MB': 1024 * 1024, '64MB': 64 * 1024 * 1024}
+KINDS = ('bytes', 'str', 'ndarray', 'dataclass')
+
+
+# --------------------------------------------------------------------------- #
+# Legacy (pre-buffer) serializer, kept verbatim as the comparison baseline
+# --------------------------------------------------------------------------- #
+def legacy_serialize(obj: Any) -> bytes:
+    if isinstance(obj, bytes):
+        return b'\x01' + obj
+    if isinstance(obj, (bytearray, memoryview)):
+        return b'\x01' + bytes(obj)
+    if isinstance(obj, str):
+        return b'\x02' + obj.encode('utf-8')
+    if isinstance(obj, np.ndarray):
+        buffer = io.BytesIO()
+        np.save(buffer, obj, allow_pickle=False)
+        return b'\x03' + buffer.getvalue()
+    return b'\x05' + pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def legacy_deserialize(data: bytes) -> Any:
+    data = bytes(data)
+    identifier, payload = data[:1], data[1:]
+    if identifier == b'\x01':
+        return payload
+    if identifier == b'\x02':
+        return payload.decode('utf-8')
+    if identifier == b'\x03':
+        return np.load(io.BytesIO(payload), allow_pickle=False)
+    return pickle.loads(payload)
+
+
+# --------------------------------------------------------------------------- #
+# Workloads
+# --------------------------------------------------------------------------- #
+@dataclasses.dataclass
+class ModelUpdate:
+    """Stand-in for the FL / molecular-design task payloads (Fig. 10/11)."""
+
+    round_id: int
+    weights: np.ndarray
+    name: str = 'bench'
+
+
+def make_payload(kind: str, nbytes: int) -> Any:
+    if kind == 'bytes':
+        return bytes(nbytes)
+    if kind == 'str':
+        return 'a' * nbytes
+    if kind == 'ndarray':
+        return np.zeros(nbytes // 8, dtype=np.float64)
+    if kind == 'dataclass':
+        return ModelUpdate(round_id=1, weights=np.zeros(nbytes // 8))
+    raise ValueError(kind)
+
+
+def iterations_for(nbytes: int) -> int:
+    if nbytes <= 4096:
+        return 2000
+    if nbytes <= 4 * 1024 * 1024:
+        return 40
+    return 4
+
+
+def time_roundtrip(ser, des, obj: Any, iterations: int) -> float:
+    """Best-of-three mean seconds per serialize+deserialize round trip."""
+    best = float('inf')
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            des(ser(obj))
+        elapsed = (time.perf_counter() - start) / iterations
+        best = min(best, elapsed)
+    return best
+
+
+def check_local_put_copy_free() -> bool:
+    """Acceptance: a put of serialized bytes reaches storage with 0 copies."""
+    payload = b'q' * (1024 * 1024)
+    serialized = serialize(payload)
+    if serialized.pieces[1] is not payload:  # serialize copied
+        return False
+    with LocalConnector() as connector:
+        key = connector.put(serialized)
+        stored = connector._store[key]
+        return (
+            isinstance(stored, SerializedObject)
+            and stored.pieces[1] is payload  # stored without copying
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument('--out', default='BENCH_serializer.json')
+    parser.add_argument(
+        '--max-size',
+        default='64MB',
+        choices=sorted(SIZES),
+        help='largest payload size to run (smaller = quicker smoke run)',
+    )
+    args = parser.parse_args(argv)
+
+    max_nbytes = SIZES[args.max_size]
+    results = []
+    for size_label, nbytes in SIZES.items():
+        if nbytes > max_nbytes:
+            continue
+        for kind in KINDS:
+            obj = make_payload(kind, nbytes)
+            iterations = iterations_for(nbytes)
+            new_s = time_roundtrip(serialize, deserialize, obj, iterations)
+            legacy_s = time_roundtrip(
+                legacy_serialize, legacy_deserialize, obj, iterations,
+            )
+            actual_nbytes = len(serialize(obj))
+            entry = {
+                'kind': kind,
+                'size': size_label,
+                'payload_bytes': actual_nbytes,
+                'iterations': iterations,
+                'new_s_per_op': new_s,
+                'legacy_s_per_op': legacy_s,
+                'new_MBps': actual_nbytes / new_s / 1e6,
+                'legacy_MBps': actual_nbytes / legacy_s / 1e6,
+                'speedup': legacy_s / new_s,
+            }
+            results.append(entry)
+            print(
+                f'{size_label:>5} {kind:<10} '
+                f'new {entry["new_MBps"]:>10.1f} MB/s   '
+                f'legacy {entry["legacy_MBps"]:>10.1f} MB/s   '
+                f'speedup {entry["speedup"]:>6.2f}x',
+            )
+
+    copy_free = check_local_put_copy_free()
+    print(f'local-connector put of serialized bytes is copy-free: {copy_free}')
+
+    report = {
+        'benchmark': 'serializer_roundtrip',
+        'python': sys.version.split()[0],
+        'platform': platform.platform(),
+        'local_put_copy_free': copy_free,
+        'results': results,
+    }
+    with open(args.out, 'w') as f:
+        json.dump(report, f, indent=2)
+    print(f'wrote {args.out}')
+    return 0
+
+
+if __name__ == '__main__':
+    raise SystemExit(main())

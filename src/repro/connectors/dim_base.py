@@ -14,6 +14,7 @@ from typing import Any
 
 from repro.connectors.protocol import Connector
 from repro.connectors.protocol import ConnectorCapabilities
+from repro.connectors.protocol import PutData
 from repro.connectors.protocol import new_object_id
 from repro.connectors.registry import StoreURL
 from repro.dim.client import DIMClient
@@ -39,6 +40,7 @@ class DIMConnectorBase(Connector):
 
     connector_name = 'dim'
     transport = 'memory'
+    supports_buffers = True
     capabilities = ConnectorCapabilities(
         storage='memory',
         intra_site=True,
@@ -55,7 +57,7 @@ class DIMConnectorBase(Connector):
         return f'{type(self).__name__}(node_id={self.node_id!r})'
 
     # -- primary operations --------------------------------------------- #
-    def put(self, data: bytes) -> DIMKey:
+    def put(self, data: PutData) -> DIMKey:
         return self._client.put(data)
 
     def get(self, key: DIMKey) -> bytes | None:
@@ -76,13 +78,13 @@ class DIMConnectorBase(Connector):
             address=self._client.local_node.address,
         )
 
-    def set(self, key: DIMKey, data: bytes) -> None:
+    def set(self, key: DIMKey, data: PutData) -> None:
         if key.node_id != self.node_id:
             raise ConnectorError(
                 f'cannot fill deferred key for node {key.node_id!r} from '
                 f'node {self.node_id!r}: DIM writes are node-local',
             )
-        self._client.local_node.put_local(key.object_id, bytes(data))
+        self._client.local_node.put_local(key.object_id, data)
 
     # -- configuration / lifecycle ---------------------------------------- #
     def config(self) -> dict[str, Any]:

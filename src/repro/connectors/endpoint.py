@@ -20,6 +20,7 @@ from typing import Sequence
 
 from repro.connectors.protocol import Connector
 from repro.connectors.protocol import ConnectorCapabilities
+from repro.connectors.protocol import PutData
 from repro.connectors.protocol import new_object_id
 from repro.connectors.registry import StoreURL
 from repro.endpoint.endpoint import Endpoint
@@ -54,6 +55,7 @@ class EndpointConnector(Connector):
 
     connector_name = 'endpoint'
     scheme = 'endpoint'
+    supports_buffers = True
     capabilities = ConnectorCapabilities(
         storage='hybrid',
         intra_site=True,
@@ -90,10 +92,10 @@ class EndpointConnector(Connector):
         )
 
     # -- primary operations --------------------------------------------- #
-    def put(self, data: bytes) -> EndpointKey:
+    def put(self, data: PutData) -> EndpointKey:
         endpoint = self._local_endpoint()
         object_id = new_object_id()
-        endpoint.set(object_id, bytes(data))
+        endpoint.set(object_id, data)
         assert endpoint.uuid is not None
         return EndpointKey(object_id=object_id, endpoint_id=endpoint.uuid)
 
@@ -115,12 +117,12 @@ class EndpointConnector(Connector):
         assert endpoint.uuid is not None
         return EndpointKey(object_id=new_object_id(), endpoint_id=endpoint.uuid)
 
-    def set(self, key: EndpointKey, data: bytes) -> None:
+    def set(self, key: EndpointKey, data: PutData) -> None:
         # The producer may by now be "running" on a different endpoint than
         # the one the key was allocated on; route the write to the key's
         # endpoint through the peer machinery.
         endpoint = self._local_endpoint()
-        endpoint.set(key.object_id, bytes(data), endpoint_id=key.endpoint_id)
+        endpoint.set(key.object_id, data, endpoint_id=key.endpoint_id)
 
     # -- configuration / lifecycle --------------------------------------- #
     def config(self) -> dict[str, Any]:

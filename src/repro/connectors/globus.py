@@ -24,8 +24,10 @@ from typing import Sequence
 
 from repro.connectors.protocol import Connector
 from repro.connectors.protocol import ConnectorCapabilities
+from repro.connectors.protocol import PutData
 from repro.connectors.protocol import new_object_id
 from repro.connectors.registry import StoreURL
+from repro.serialize.buffers import write_payload_to_path
 from repro.exceptions import ConnectorError
 from repro.exceptions import TransferError
 from repro.globus_sim.service import GlobusTransferService
@@ -88,6 +90,7 @@ class GlobusConnector(Connector):
 
     connector_name = 'globus'
     scheme = 'globus'
+    supports_buffers = True
     capabilities = ConnectorCapabilities(
         storage='disk',
         intra_site=True,
@@ -139,18 +142,18 @@ class GlobusConnector(Connector):
         return remotes
 
     # -- primary operations --------------------------------------------- #
-    def put(self, data: bytes) -> GlobusKey:
+    def put(self, data: PutData) -> GlobusKey:
         keys = self.put_batch([data])
         return keys[0]
 
-    def put_batch(self, datas: Sequence[bytes]) -> list[GlobusKey]:
+    def put_batch(self, datas: Sequence[PutData]) -> list[GlobusKey]:
         """Write the objects locally and submit a single transfer per remote endpoint."""
         local_uuid, local_path = self._local_endpoint()
         object_ids = []
         for data in datas:
             object_id = new_object_id()
-            with open(os.path.join(local_path, object_id), 'wb') as f:
-                f.write(data)
+            # Scatter/gather straight from the payload's segments.
+            write_payload_to_path(os.path.join(local_path, object_id), data)
             object_ids.append(object_id)
         task_ids: list[str] = []
         items = [(object_id, object_id) for object_id in object_ids]

@@ -12,18 +12,23 @@ from __future__ import annotations
 
 import threading
 from typing import Any
+from typing import Iterable
+from typing import Sequence
 
 from repro.connectors.protocol import Connector
 from repro.connectors.protocol import ConnectorCapabilities
 from repro.connectors.protocol import ConnectorKey
+from repro.connectors.protocol import PutData
 from repro.connectors.protocol import new_object_id
 from repro.connectors.registry import StoreURL
+from repro.serialize.buffers import SerializedObject
+from repro.serialize.buffers import freeze_payload
 
 __all__ = ['LocalConnector']
 
 # Named in-process stores so that a connector re-created from its config in
 # the *same* process (the common test situation) sees the same data.
-_GLOBAL_STORES: dict[str, dict[ConnectorKey, bytes]] = {}
+_GLOBAL_STORES: dict[str, dict[ConnectorKey, Any]] = {}
 _GLOBAL_LOCK = threading.Lock()
 
 
@@ -40,6 +45,7 @@ class LocalConnector(Connector):
 
     connector_name = 'local'
     scheme = 'local'
+    supports_buffers = True
     capabilities = ConnectorCapabilities(
         storage='memory',
         intra_site=False,
@@ -58,13 +64,16 @@ class LocalConnector(Connector):
         return f'LocalConnector(store_id={self.store_id!r})'
 
     # -- primary operations --------------------------------------------- #
-    def put(self, data: bytes) -> ConnectorKey:
+    def put(self, data: PutData) -> ConnectorKey:
         key = ConnectorKey(object_id=new_object_id(), connector=self.connector_name)
+        # freeze_payload keeps immutable bytes (and all-bytes
+        # SerializedObjects) by reference: a put of serialized ``bytes``
+        # data is stored with zero copies.
         with self._lock:
-            self._store[key] = bytes(data)
+            self._store[key] = freeze_payload(data)
         return key
 
-    def get(self, key: ConnectorKey) -> bytes | None:
+    def get(self, key: ConnectorKey) -> 'bytes | SerializedObject | None':
         with self._lock:
             return self._store.get(key)
 
@@ -76,13 +85,34 @@ class LocalConnector(Connector):
         with self._lock:
             self._store.pop(key, None)
 
+    # -- batch operations -------------------------------------------------- #
+    def put_batch(self, datas: Sequence[PutData]) -> list[ConnectorKey]:
+        keys = [
+            ConnectorKey(object_id=new_object_id(), connector=self.connector_name)
+            for _ in datas
+        ]
+        frozen = [freeze_payload(data) for data in datas]
+        with self._lock:
+            for key, data in zip(keys, frozen):
+                self._store[key] = data
+        return keys
+
+    def get_batch(self, keys: Iterable[ConnectorKey]) -> list[Any]:
+        with self._lock:
+            return [self._store.get(key) for key in keys]
+
+    def evict_batch(self, keys: Iterable[ConnectorKey]) -> None:
+        with self._lock:
+            for key in keys:
+                self._store.pop(key, None)
+
     # -- deferred writes -------------------------------------------------- #
     def new_key(self) -> ConnectorKey:
         return ConnectorKey(object_id=new_object_id(), connector=self.connector_name)
 
-    def set(self, key: ConnectorKey, data: bytes) -> None:
+    def set(self, key: ConnectorKey, data: PutData) -> None:
         with self._lock:
-            self._store[key] = bytes(data)
+            self._store[key] = freeze_payload(data)
 
     # -- configuration / lifecycle --------------------------------------- #
     def config(self) -> dict[str, Any]:

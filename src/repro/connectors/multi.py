@@ -18,11 +18,14 @@ from typing import Sequence
 from repro.connectors.policy import Policy
 from repro.connectors.protocol import Connector
 from repro.connectors.protocol import ConnectorCapabilities
+from repro.connectors.protocol import PutData
 from repro.connectors.protocol import connector_from_path
 from repro.connectors.protocol import connector_path
 from repro.connectors.registry import StoreURL
 from repro.connectors.registry import get_connector_class
 from repro.exceptions import NoPolicyMatchError
+from repro.serialize.buffers import payload_nbytes
+from repro.serialize.buffers import to_bytes
 
 __all__ = ['MultiConnector', 'MultiKey']
 
@@ -44,6 +47,7 @@ class MultiConnector(Connector):
 
     connector_name = 'multi'
     scheme = 'multi'
+    supports_buffers = True
     capabilities = ConnectorCapabilities(
         storage='hybrid',
         intra_site=True,
@@ -101,18 +105,22 @@ class MultiConnector(Connector):
     # -- primary operations --------------------------------------------- #
     def put(
         self,
-        data: bytes,
+        data: PutData,
         *,
         subset_tags: Iterable[str] = (),
         superset_tags: Iterable[str] = (),
     ) -> MultiKey:
-        label, connector = self._select(len(data), subset_tags, superset_tags)
+        label, connector = self._select(
+            payload_nbytes(data), subset_tags, superset_tags,
+        )
+        if not getattr(connector, 'supports_buffers', False):
+            data = to_bytes(data)
         inner_key = connector.put(data)
         return MultiKey(connector_label=label, inner_key=inner_key)
 
     def put_batch(
         self,
-        datas: Sequence[bytes],
+        datas: Sequence[PutData],
         *,
         subset_tags: Iterable[str] = (),
         superset_tags: Iterable[str] = (),
@@ -138,10 +146,13 @@ class MultiConnector(Connector):
         label, connector = self._select(None, subset_tags, superset_tags)
         return MultiKey(connector_label=label, inner_key=connector.new_key())
 
-    def set(self, key: MultiKey, data: bytes) -> None:
-        self.connector_for(key.connector_label).set(key.inner_key, data)
+    def set(self, key: MultiKey, data: PutData) -> None:
+        connector = self.connector_for(key.connector_label)
+        if not getattr(connector, 'supports_buffers', False):
+            data = to_bytes(data)
+        connector.set(key.inner_key, data)
 
-    def get(self, key: MultiKey) -> bytes | None:
+    def get(self, key: MultiKey) -> Any | None:
         connector = self.connector_for(key.connector_label)
         return connector.get(key.inner_key)
 

@@ -23,18 +23,25 @@ from typing import Any
 from typing import Iterable
 from typing import NamedTuple
 from typing import Sequence
+from typing import Union
 
 from repro.connectors.registry import StoreURL
 from repro.connectors.registry import register_connector
+from repro.serialize.buffers import BytesLike
+from repro.serialize.buffers import SerializedObject
 
 __all__ = [
     'Connector',
     'ConnectorCapabilities',
     'ConnectorKey',
+    'PutData',
     'connector_from_path',
     'connector_path',
     'new_object_id',
 ]
+
+PutData = Union[BytesLike, SerializedObject]
+"""Payload types accepted by ``Connector.put``/``put_batch``/``set``."""
 
 
 class ConnectorKey(NamedTuple):
@@ -105,6 +112,12 @@ class Connector(ABC):
     scheme: str | None = None
     #: Capability summary (Table 1).
     capabilities: ConnectorCapabilities = ConnectorCapabilities()
+    #: Whether ``put``/``put_batch``/``set`` consume
+    #: :class:`~repro.serialize.buffers.SerializedObject` segments without
+    #: first joining them into one contiguous byte string (the zero-copy
+    #: data path).  Connectors without the flag still accept a
+    #: ``SerializedObject`` — it is coerced with ``bytes()`` (one copy).
+    supports_buffers: bool = False
 
     def __init_subclass__(cls, **kwargs: Any) -> None:
         super().__init_subclass__(**kwargs)
@@ -116,12 +129,22 @@ class Connector(ABC):
 
     # -- primary operations --------------------------------------------- #
     @abstractmethod
-    def put(self, data: bytes) -> Any:
-        """Store ``data`` and return a unique, picklable key."""
+    def put(self, data: PutData) -> Any:
+        """Store ``data`` and return a unique, picklable key.
+
+        ``data`` may be any :data:`PutData`; connectors with
+        ``supports_buffers`` write a ``SerializedObject``'s segments
+        directly, others coerce it to contiguous bytes first.
+        """
 
     @abstractmethod
-    def get(self, key: Any) -> bytes | None:
-        """Return the byte string stored under ``key`` or ``None`` if absent."""
+    def get(self, key: Any) -> 'BytesLike | SerializedObject | None':
+        """Return the data stored under ``key`` or ``None`` if absent.
+
+        The result is a bytes-like view (possibly a ``memoryview`` over
+        received or memory-mapped data) or a stored ``SerializedObject``;
+        :func:`repro.serialize.deserialize` accepts every form.
+        """
 
     @abstractmethod
     def exists(self, key: Any) -> bool:
@@ -144,7 +167,7 @@ class Connector(ABC):
             f'{type(self).__name__} does not support deferred writes',
         )
 
-    def set(self, key: Any, data: bytes) -> None:
+    def set(self, key: Any, data: PutData) -> None:
         """Store ``data`` under the pre-allocated ``key`` (see :meth:`new_key`)."""
         raise NotImplementedError(
             f'{type(self).__name__} does not support deferred writes',
@@ -180,11 +203,11 @@ class Connector(ABC):
         """
 
     # -- batch operations ------------------------------------------------ #
-    def put_batch(self, datas: Sequence[bytes]) -> list[Any]:
-        """Store several byte strings, returning one key per input."""
+    def put_batch(self, datas: Sequence[PutData]) -> list[Any]:
+        """Store several payloads, returning one key per input."""
         return [self.put(data) for data in datas]
 
-    def get_batch(self, keys: Iterable[Any]) -> list[bytes | None]:
+    def get_batch(self, keys: Iterable[Any]) -> 'list[BytesLike | SerializedObject | None]':
         """Retrieve several keys, returning ``None`` for any missing key."""
         return [self.get(key) for key in keys]
 

@@ -14,10 +14,13 @@ convenient mode for tests and examples.
 from __future__ import annotations
 
 from typing import Any
+from typing import Iterable
+from typing import Sequence
 
 from repro.connectors.protocol import Connector
 from repro.connectors.protocol import ConnectorCapabilities
 from repro.connectors.protocol import ConnectorKey
+from repro.connectors.protocol import PutData
 from repro.connectors.protocol import new_object_id
 from repro.connectors.registry import StoreURL
 from repro.kvserver.client import KVClient
@@ -39,6 +42,7 @@ class RedisConnector(Connector):
 
     connector_name = 'redis'
     scheme = 'redis'
+    supports_buffers = True
     capabilities = ConnectorCapabilities(
         storage='hybrid',
         intra_site=True,
@@ -60,12 +64,14 @@ class RedisConnector(Connector):
         return f'RedisConnector(host={self.host!r}, port={self.port})'
 
     # -- primary operations --------------------------------------------- #
-    def put(self, data: bytes) -> ConnectorKey:
+    def put(self, data: PutData) -> ConnectorKey:
         key = ConnectorKey(object_id=new_object_id(), connector=self.connector_name)
-        self._client.set(key.object_id, bytes(data))
+        # The KV client scatter/gathers the payload's segments straight out
+        # of the caller's buffers (pickle-5 out-of-band) — no local copy.
+        self._client.set(key.object_id, data)
         return key
 
-    def get(self, key: ConnectorKey) -> bytes | None:
+    def get(self, key: ConnectorKey) -> 'bytes | bytearray | memoryview | None':
         return self._client.get(key.object_id)
 
     def exists(self, key: ConnectorKey) -> bool:
@@ -74,12 +80,29 @@ class RedisConnector(Connector):
     def evict(self, key: ConnectorKey) -> None:
         self._client.delete(key.object_id)
 
+    # -- batch operations (one MSET/MGET round trip per batch) ------------- #
+    def put_batch(self, datas: Sequence[PutData]) -> list[ConnectorKey]:
+        keys = [
+            ConnectorKey(object_id=new_object_id(), connector=self.connector_name)
+            for _ in datas
+        ]
+        self._client.mset(
+            [(key.object_id, data) for key, data in zip(keys, datas)],
+        )
+        return keys
+
+    def get_batch(self, keys: Iterable[ConnectorKey]) -> list[Any]:
+        return self._client.mget([key.object_id for key in keys])
+
+    def evict_batch(self, keys: Iterable[ConnectorKey]) -> None:
+        self._client.mdel([key.object_id for key in keys])
+
     # -- deferred writes -------------------------------------------------- #
     def new_key(self) -> ConnectorKey:
         return ConnectorKey(object_id=new_object_id(), connector=self.connector_name)
 
-    def set(self, key: ConnectorKey, data: bytes) -> None:
-        self._client.set(key.object_id, bytes(data))
+    def set(self, key: ConnectorKey, data: PutData) -> None:
+        self._client.set(key.object_id, data)
 
     # -- configuration / lifecycle --------------------------------------- #
     def config(self) -> dict[str, Any]:

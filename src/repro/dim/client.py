@@ -40,7 +40,7 @@ class DIMClient:
             return client
 
     # -- operations ---------------------------------------------------------- #
-    def put(self, data: bytes) -> DIMKey:
+    def put(self, data) -> DIMKey:
         object_id = new_object_id()
         self.local_node.put_local(object_id, data)
         return DIMKey(

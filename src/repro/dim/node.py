@@ -2,9 +2,11 @@
 from __future__ import annotations
 
 import threading
+from typing import Any
 from typing import NamedTuple
 
 from repro.kvserver.server import KVServer
+from repro.serialize.buffers import freeze_payload
 
 __all__ = ['DIMKey', 'DIMNode', 'get_local_node', 'reset_nodes', 'lookup_node']
 
@@ -38,7 +40,7 @@ class DIMNode:
             raise ValueError(f'unknown DIM transport {transport!r}')
         self.node_id = node_id
         self.transport = transport
-        self._data: dict[str, bytes] = {}
+        self._data: dict[str, Any] = {}
         self._lock = threading.Lock()
         self._server: KVServer | None = None
         if transport == 'tcp':
@@ -54,9 +56,10 @@ class DIMNode:
         return (self._server.host, self._server.port)
 
     # -- local (RDMA-like) access ------------------------------------------ #
-    def put_local(self, object_id: str, data: bytes) -> None:
+    def put_local(self, object_id: str, data: Any) -> None:
         if self.transport == 'tcp':
-            # Store through the server so remote clients see the object.
+            # Store through the server so remote clients see the object; the
+            # KV client sends the payload's segments out-of-band (no copy).
             from repro.kvserver.client import KVClient
 
             host, port = self.address  # type: ignore[misc]
@@ -64,9 +67,9 @@ class DIMNode:
                 client.set(object_id, data)
         else:
             with self._lock:
-                self._data[object_id] = bytes(data)
+                self._data[object_id] = freeze_payload(data)
 
-    def get_local(self, object_id: str) -> bytes | None:
+    def get_local(self, object_id: str) -> Any | None:
         with self._lock:
             return self._data.get(object_id)
 

@@ -171,7 +171,7 @@ class Endpoint:
     # ------------------------------------------------------------------ #
     # Client-facing operations
     # ------------------------------------------------------------------ #
-    def set(self, object_id: str, data: bytes, *, endpoint_id: str | None = None) -> None:
+    def set(self, object_id: str, data, *, endpoint_id: str | None = None) -> None:
         response = self._submit('set', object_id, data=data, endpoint_id=endpoint_id)
         if not response.success:
             raise EndpointError(f'set failed: {response.error}')

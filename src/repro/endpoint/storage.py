@@ -11,6 +11,11 @@ from __future__ import annotations
 import os
 import threading
 from collections import OrderedDict
+from typing import Any
+
+from repro.serialize.buffers import freeze_payload
+from repro.serialize.buffers import payload_nbytes
+from repro.serialize.buffers import write_payload_to_path
 
 __all__ = ['EndpointStorage']
 
@@ -39,7 +44,7 @@ class EndpointStorage:
             os.makedirs(dump_dir, exist_ok=True)
         self.max_memory_bytes = max_memory_bytes
         self.dump_dir = dump_dir
-        self._memory: OrderedDict[str, bytes] = OrderedDict()
+        self._memory: OrderedDict[str, Any] = OrderedDict()
         self._on_disk: set[str] = set()
         self._memory_bytes = 0
         self._lock = threading.Lock()
@@ -54,20 +59,22 @@ class EndpointStorage:
             return
         while self._memory_bytes > self.max_memory_bytes and self._memory:
             object_id, data = self._memory.popitem(last=False)
-            self._memory_bytes -= len(data)
-            with open(self._disk_path(object_id), 'wb') as f:
-                f.write(data)
+            self._memory_bytes -= payload_nbytes(data)
+            # Multi-segment payloads spill with one writev, no join.
+            write_payload_to_path(self._disk_path(object_id), data)
             self._on_disk.add(object_id)
 
     # -- operations ----------------------------------------------------------- #
-    def set(self, object_id: str, data: bytes) -> None:
-        data = bytes(data)
+    def set(self, object_id: str, data: Any) -> None:
+        # Retained in this process's memory: keep immutable payloads by
+        # reference, snapshot mutable ones (see freeze_payload).
+        data = freeze_payload(data)
         with self._lock:
             previous = self._memory.pop(object_id, None)
             if previous is not None:
-                self._memory_bytes -= len(previous)
+                self._memory_bytes -= payload_nbytes(previous)
             self._memory[object_id] = data
-            self._memory_bytes += len(data)
+            self._memory_bytes += payload_nbytes(data)
             if object_id in self._on_disk:
                 self._on_disk.discard(object_id)
                 try:
@@ -76,7 +83,7 @@ class EndpointStorage:
                     pass
             self._spill_if_needed_locked()
 
-    def get(self, object_id: str) -> bytes | None:
+    def get(self, object_id: str) -> Any | None:
         with self._lock:
             data = self._memory.get(object_id)
             if data is not None:
@@ -94,7 +101,7 @@ class EndpointStorage:
         with self._lock:
             data = self._memory.pop(object_id, None)
             if data is not None:
-                self._memory_bytes -= len(data)
+                self._memory_bytes -= payload_nbytes(data)
             if object_id in self._on_disk:
                 self._on_disk.discard(object_id)
                 try:

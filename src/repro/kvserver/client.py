@@ -3,18 +3,35 @@
 The client keeps one persistent TCP connection (created lazily and re-created
 on failure) and serializes requests over it behind a lock, matching how a
 Redis client connection is typically used by a single connector instance.
+
+Payload values are transmitted zero-copy: :meth:`KVClient.set` wraps the
+payload's segments in :class:`pickle.PickleBuffer`, so the wire protocol
+scatter/gathers them straight from the caller's memory (a ``bytes`` object,
+a NumPy array buffer, ...) without building an intermediate copy.  ``get``
+returns the buffer received from the server (a ``bytes``-like view over the
+freshly received data), again without a defensive copy.
 """
 from __future__ import annotations
 
+import pickle
 import socket
 import threading
 from typing import Any
+from typing import Iterable
+from typing import Sequence
 
 from repro.exceptions import ConnectorError
 from repro.kvserver.protocol import recv_message
 from repro.kvserver.protocol import send_message
+from repro.serialize.buffers import SerializedObject
+from repro.serialize.buffers import segments_of
 
 __all__ = ['KVClient']
+
+
+def _wrap_value(data: 'bytes | bytearray | memoryview | SerializedObject') -> list:
+    """Payload segments wrapped for out-of-band transmission."""
+    return [pickle.PickleBuffer(segment) for segment in segments_of(data)]
 
 
 class KVClient:
@@ -76,11 +93,27 @@ class KVClient:
         """Return True if the server responds to a PING."""
         return self._request('PING') == 'PONG'
 
-    def set(self, key: str, value: bytes) -> None:
-        self._request('SET', key, value)
+    def set(self, key: str, value: 'bytes | bytearray | memoryview | SerializedObject') -> None:
+        self._request('SET', key, _wrap_value(value))
 
-    def get(self, key: str) -> bytes | None:
+    def get(self, key: str) -> 'bytes | bytearray | memoryview | None':
+        """Return the stored value (a bytes-like view of the received data)."""
         return self._request('GET', key)
+
+    def mset(
+        self,
+        items: Sequence[tuple[str, 'bytes | bytearray | memoryview | SerializedObject']],
+    ) -> None:
+        """Store several key/value pairs in one round trip."""
+        self._request('MSET', None, [(k, _wrap_value(v)) for k, v in items])
+
+    def mget(self, keys: Iterable[str]) -> 'list[bytes | bytearray | memoryview | None]':
+        """Fetch several keys in one round trip (``None`` for missing keys)."""
+        return self._request('MGET', None, list(keys))
+
+    def mdel(self, keys: Iterable[str]) -> int:
+        """Delete several keys in one round trip; returns how many existed."""
+        return int(self._request('MDEL', None, list(keys)))
 
     def exists(self, key: str) -> bool:
         return bool(self._request('EXISTS', key))

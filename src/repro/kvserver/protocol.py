@@ -1,8 +1,20 @@
 """Wire protocol shared by the SimKV server and client.
 
-Messages are length-prefixed: a 4-byte big-endian unsigned length followed by
-a pickled payload.  Requests are ``(command, key, value)`` tuples; responses
-are ``(status, payload)`` tuples where ``status`` is ``'ok'`` or ``'error'``.
+Messages are framed as::
+
+    uint32 pickle_len | uint32 n_buffers | n_buffers x uint64 buffer_len
+    pickle bytes | buffer 0 | ... | buffer n-1
+
+The pickle section is produced with protocol 5 and a ``buffer_callback``:
+any :class:`pickle.PickleBuffer` inside the message (payload segments of a
+``SET``/``MSET``, response values of a ``GET``/``MGET``) travels *out of
+band* — its bytes are never copied into the pickle stream.  The sender
+pushes header, pickle and raw buffers through one scatter/gather
+(``sendmsg``) loop; the receiver reads each buffer straight into a fresh
+``bytearray`` via ``recv_into`` and hands the views to ``pickle.loads``.
+
+Requests are ``(command, key, value)`` tuples; responses are
+``(status, payload)`` tuples where ``status`` is ``'ok'`` or ``'error'``.
 Pickle is acceptable here because both ends are this library (SimKV is an
 internal substrate, not an internet-facing service).
 """
@@ -13,6 +25,8 @@ import socket
 import struct
 from typing import Any
 
+from repro.serialize.buffers import vectored_write
+
 __all__ = [
     'COMMANDS',
     'recv_message',
@@ -20,15 +34,41 @@ __all__ = [
 ]
 
 #: Commands understood by the server.
-COMMANDS = frozenset({'SET', 'GET', 'EXISTS', 'DEL', 'FLUSH', 'PING', 'SIZE', 'SHUTDOWN'})
+COMMANDS = frozenset({
+    'SET', 'GET', 'EXISTS', 'DEL', 'FLUSH', 'PING', 'SIZE', 'SHUTDOWN',
+    'MSET', 'MGET', 'MDEL',
+})
 
-_HEADER = struct.Struct('>I')
+_HEADER = struct.Struct('>II')
+_U64 = struct.Struct('>Q')
+
+
+def _sendmsg_all(sock: socket.socket, buffers: list[memoryview]) -> None:
+    """Send every buffer with scatter/gather writes, handling partial sends."""
+    vectored_write(sock.sendmsg, buffers)
 
 
 def send_message(sock: socket.socket, message: Any) -> None:
-    """Pickle ``message`` and send it with a length prefix."""
-    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-    sock.sendall(_HEADER.pack(len(payload)) + payload)
+    """Pickle ``message`` (buffers out-of-band) and send it with one frame.
+
+    ``PickleBuffer``-wrapped segments inside ``message`` are transmitted
+    without ever being copied into the pickle stream.
+    """
+    pickle_buffers: list[pickle.PickleBuffer] = []
+    payload = pickle.dumps(
+        message, protocol=5, buffer_callback=pickle_buffers.append,
+    )
+    # Out-of-band buffers come from segments_of()/PickleBuffer wrapping of
+    # flat byte views, so raw() cannot fail with BufferError here (pickle
+    # itself rejects non-contiguous PickleBuffers even in-band).
+    raws = [b.raw() for b in pickle_buffers]
+    header = b''.join(
+        [
+            _HEADER.pack(len(payload), len(raws)),
+            *(_U64.pack(r.nbytes) for r in raws),
+        ],
+    )
+    _sendmsg_all(sock, [memoryview(header), memoryview(payload), *raws])
 
 
 def _recv_exact(sock: socket.socket, nbytes: int) -> bytes | None:
@@ -43,13 +83,40 @@ def _recv_exact(sock: socket.socket, nbytes: int) -> bytes | None:
     return b''.join(chunks)
 
 
+def _recv_into_exact(sock: socket.socket, buffer: bytearray) -> bool:
+    """Fill ``buffer`` completely from the socket; False on a closed peer."""
+    view = memoryview(buffer)
+    while len(view) > 0:
+        received = sock.recv_into(view, len(view))
+        if received == 0:
+            return False
+        view = view[received:]
+    return True
+
+
 def recv_message(sock: socket.socket) -> Any | None:
-    """Receive one length-prefixed message; ``None`` on a cleanly closed socket."""
+    """Receive one framed message; ``None`` on a cleanly closed socket.
+
+    Out-of-band buffers are received straight into fresh ``bytearray``
+    objects (one allocation, no join) and surface inside the unpickled
+    message as writable buffer views.
+    """
     header = _recv_exact(sock, _HEADER.size)
     if header is None:
         return None
-    (length,) = _HEADER.unpack(header)
-    payload = _recv_exact(sock, length)
+    pickle_len, n_buffers = _HEADER.unpack(header)
+    buffers: list[bytearray] = []
+    if n_buffers:
+        lengths_raw = _recv_exact(sock, _U64.size * n_buffers)
+        if lengths_raw is None:
+            return None
+        for i in range(n_buffers):
+            (length,) = _U64.unpack_from(lengths_raw, i * _U64.size)
+            buffers.append(bytearray(length))
+    payload = _recv_exact(sock, pickle_len)
     if payload is None:
         return None
-    return pickle.loads(payload)
+    for buffer in buffers:
+        if not _recv_into_exact(sock, buffer):
+            return None
+    return pickle.loads(payload, buffers=buffers)

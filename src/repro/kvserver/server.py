@@ -29,7 +29,9 @@ class KVServer:
         self.host = host
         self._requested_port = port
         self.port: int | None = None
-        self._data: dict[str, bytes] = {}
+        # Values are whatever buffer the protocol layer received into
+        # (bytes, bytearray, or a view thereof) — stored without copying.
+        self._data: dict[str, Any] = {}
         self._lock = threading.Lock()
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
@@ -115,7 +117,30 @@ class KVServer:
                     return
 
     # -- command handling --------------------------------------------------- #
+    @staticmethod
+    def _own_value(value: Any) -> 'bytes | bytearray | memoryview | None':
+        """Normalize a SET payload into a buffer the server can own.
+
+        Clients send payloads as a list of out-of-band buffer segments
+        (views over the bytearrays the protocol layer received into — fresh
+        memory this server exclusively owns, so single segments are stored
+        without a copy).  Plain ``bytes``/``bytearray`` values are accepted
+        for backward compatibility.
+        """
+        if isinstance(value, (bytes, bytearray)):
+            return value
+        if isinstance(value, list):
+            segments = [v for v in value if len(v)]
+            if not segments:
+                return b''
+            if len(segments) == 1:
+                return segments[0]
+            return b''.join(segments)
+        return None
+
     def _handle(self, request: Any) -> tuple[str, Any]:
+        import pickle
+
         try:
             command, key, value = request
         except (TypeError, ValueError):
@@ -124,14 +149,52 @@ class KVServer:
         if command == 'PING':
             return ('ok', 'PONG')
         if command == 'SET':
-            if not isinstance(value, (bytes, bytearray)):
+            data = self._own_value(value)
+            if data is None:
                 return ('error', 'SET value must be bytes')
             with self._lock:
-                self._data[key] = bytes(value)
+                self._data[key] = data
             return ('ok', True)
         if command == 'GET':
             with self._lock:
-                return ('ok', self._data.get(key))
+                data = self._data.get(key)
+            # Out-of-band response: the payload bytes bypass the pickle
+            # stream and go straight from storage to the socket.
+            return ('ok', pickle.PickleBuffer(data) if data else data)
+        if command == 'MSET':
+            if not isinstance(value, list):
+                return ('error', 'MSET value must be a list of (key, value) pairs')
+            owned = []
+            for entry in value:
+                try:
+                    entry_key, entry_value = entry
+                except (TypeError, ValueError):
+                    return ('error', f'malformed MSET entry: {entry!r}')
+                data = self._own_value(entry_value)
+                if data is None:
+                    return ('error', 'MSET values must be bytes')
+                owned.append((entry_key, data))
+            with self._lock:
+                for entry_key, data in owned:
+                    self._data[entry_key] = data
+            return ('ok', True)
+        if command == 'MGET':
+            if not isinstance(value, list):
+                return ('error', 'MGET value must be a list of keys')
+            with self._lock:
+                datas = [self._data.get(k) for k in value]
+            return (
+                'ok',
+                [pickle.PickleBuffer(d) if d else d for d in datas],
+            )
+        if command == 'MDEL':
+            if not isinstance(value, list):
+                return ('error', 'MDEL value must be a list of keys')
+            with self._lock:
+                removed = sum(
+                    1 for k in value if self._data.pop(k, None) is not None
+                )
+            return ('ok', removed)
         if command == 'EXISTS':
             with self._lock:
                 return ('ok', key in self._data)

@@ -1,65 +1,161 @@
-"""Default object serialization.
+"""Default object serialization (zero-copy wire format).
 
-The :class:`~repro.store.Store` serializes Python objects to byte strings
-before handing them to a :class:`~repro.connectors.Connector` (which only
-operates on bytes).  The default serializer uses cheap fast paths for
-``bytes``, ``str`` and NumPy arrays, and falls back to pickle for everything
-else.  Custom per-type serializers can be registered through
+The :class:`~repro.store.Store` serializes Python objects before handing them
+to a :class:`~repro.connectors.Connector`.  The default serializer uses cheap
+fast paths for ``bytes``, ``str`` and NumPy arrays and falls back to pickle
+for everything else.  Custom per-type serializers can be registered through
 :mod:`repro.serialize.registry`.
 
-Wire format: a one-byte identifier followed by the payload.
+``serialize`` returns a :class:`~repro.serialize.buffers.SerializedObject`:
+a one-byte identifier header plus buffer segments that alias the source
+object's memory wherever possible (raw byte payloads, NumPy array buffers,
+pickle protocol 5 out-of-band buffers).  Joining the segments yields the
+contiguous wire bytes; buffer-aware connectors skip the join entirely.
+
+Wire format (the concatenation of the segments): a one-byte identifier
+followed by the payload.
 
 ====  =======================================================
 byte  payload
 ====  =======================================================
 0x01  raw bytes (no transformation)
 0x02  UTF-8 encoded ``str``
-0x03  NumPy array in ``.npy`` format (``numpy.save``)
+0x03  NumPy array in ``.npy`` format (header + raw array data)
 0x04  payload produced by a registered custom serializer; the
       identifier name (UTF-8) and a newline precede the payload
-0x05  pickle (highest protocol)
+0x05  pickle (in-band, highest protocol)
+0x06  pickle protocol 5 with out-of-band buffers::
+
+          uint32 n  |  uint64 pickle_len  |  n x uint64 buffer_len
+          pickle bytes  |  buffer 0  |  ...  |  buffer n-1
 ====  =======================================================
+
+``deserialize`` accepts ``bytes``, ``bytearray``, ``memoryview`` (and any
+other single contiguous buffer, e.g. an ``mmap``) or a ``SerializedObject``
+and never materializes the input up front: payloads are parsed through
+``memoryview`` slices, NumPy arrays are reconstructed with ``np.frombuffer``
+over the received buffer, and pickle-5 buffers are handed to
+``pickle.loads(..., buffers=...)`` as views.  Deserialized arrays are
+uniformly **read-only** — they alias storage they do not own (received
+buffers, memory-mapped files, a same-process producer's memory); call
+``np.copy`` on a fetched array before mutating it.
 """
 from __future__ import annotations
 
+import ast
 import io
 import pickle
+import struct
 from typing import Any
-from typing import Union
 
 import numpy as np
 
 from repro.exceptions import SerializationError
+from repro.serialize.buffers import BytesLike
+from repro.serialize.buffers import SerializedObject
+from repro.serialize.registry import default_registry
 
-BytesLike = Union[bytes, bytearray, memoryview]
+# The Proxy class is imported lazily (repro.proxy imports this module) and
+# cached: the isinstance check runs on every serialize call.
+_PROXY_CLS: type | None = None
 
 _IDENT_BYTES = b'\x01'
 _IDENT_STR = b'\x02'
 _IDENT_NUMPY = b'\x03'
 _IDENT_CUSTOM = b'\x04'
 _IDENT_PICKLE = b'\x05'
+_IDENT_PICKLE5 = b'\x06'
 
-__all__ = ['serialize', 'deserialize', 'BytesLike']
+_U32 = struct.Struct('>I')
+_U64 = struct.Struct('>Q')
+
+__all__ = ['serialize', 'deserialize', 'BytesLike', 'SerializedObject']
 
 
-def serialize(obj: Any) -> bytes:
-    """Serialize ``obj`` to bytes using the default scheme.
+def _pickle_segments(obj: Any) -> SerializedObject:
+    """Pickle ``obj``, keeping large buffers out-of-band (wire id 0x06).
+
+    Objects without picklable buffers (the common small-object case) produce
+    the classic in-band 0x05 format with zero extra overhead.
+    """
+    buffers: list[pickle.PickleBuffer] = []
+    payload = pickle.dumps(
+        obj, protocol=pickle.HIGHEST_PROTOCOL, buffer_callback=buffers.append,
+    )
+    if not buffers:
+        return SerializedObject([_IDENT_PICKLE, payload])
+    try:
+        raws = [b.raw() for b in buffers]
+    except BufferError:
+        # A contributing buffer is non-contiguous: fall back to in-band.
+        return SerializedObject(
+            [_IDENT_PICKLE, pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)],
+        )
+    header = b''.join(
+        [
+            _IDENT_PICKLE5,
+            _U32.pack(len(raws)),
+            _U64.pack(len(payload)),
+            *(_U64.pack(r.nbytes) for r in raws),
+        ],
+    )
+    return SerializedObject([header, payload, *raws])
+
+
+def _numpy_segments(arr: np.ndarray) -> SerializedObject:
+    """Serialize an ndarray as ``.npy`` header + a view of its data buffer."""
+    if arr.dtype.hasobject:
+        raise SerializationError(
+            'object-dtype NumPy arrays cannot use the array fast path '
+            '(allow_pickle is disabled); wrap the data in a picklable '
+            'container instead',
+        )
+    if not (arr.flags.c_contiguous or arr.flags.f_contiguous):
+        arr = np.ascontiguousarray(arr)
+    try:
+        header_io = io.BytesIO()
+        np.lib.format.write_array_header_1_0(
+            header_io, np.lib.format.header_data_from_array_1_0(arr),
+        )
+        # 'A' keeps whichever memory order the array already has, so the
+        # flat view aliases the array's buffer instead of copying it.
+        flat = arr.reshape(-1, order='A')
+        raw = memoryview(flat).cast('B')
+    except (ValueError, BufferError, TypeError):
+        # Dtypes outside the buffer protocol (datetime64, timedelta64, ...):
+        # fall back to NumPy's own writer — one copy, same wire bytes.
+        buffer = io.BytesIO()
+        np.save(buffer, arr, allow_pickle=False)
+        return SerializedObject([_IDENT_NUMPY, buffer.getvalue()])
+    return SerializedObject([_IDENT_NUMPY, header_io.getvalue(), raw])
+
+
+def serialize(obj: Any) -> SerializedObject:
+    """Serialize ``obj`` using the default scheme.
+
+    Returns a :class:`SerializedObject` whose segments alias ``obj``'s
+    memory where possible; ``bytes(result)`` yields the contiguous wire
+    bytes for non-buffer-aware consumers.
 
     Raises:
         SerializationError: if the object cannot be serialized (e.g. pickling
             fails for an unpicklable object).
     """
-    # Import here to avoid a circular import at module load time: the registry
-    # module imports nothing from here, but user code commonly imports both.
-    from repro.proxy.proxy import Proxy
-    from repro.serialize.registry import default_registry
+    global _PROXY_CLS
+    if _PROXY_CLS is None:
+        # Deferred to avoid a circular import at module load time.
+        from repro.proxy.proxy import Proxy
+
+        _PROXY_CLS = Proxy
 
     # Proxies are handled before any isinstance-based dispatch: isinstance
     # checks would transparently resolve the proxy (and then serialize the
     # full target), whereas the whole point of communicating a proxy is that
     # only its factory travels.  Pickling a proxy does exactly that.
-    if issubclass(type(obj), Proxy):
-        return _IDENT_PICKLE + pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if issubclass(type(obj), _PROXY_CLS):
+        return SerializedObject(
+            [_IDENT_PICKLE, pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)],
+        )
 
     custom = default_registry.find(obj)
     if custom is not None:
@@ -76,54 +172,153 @@ def serialize(obj: Any) -> bytes:
                 f'Registered serializer {name!r} must return bytes, got '
                 f'{type(payload).__name__}',
             )
-        return _IDENT_CUSTOM + name.encode('utf-8') + b'\n' + bytes(payload)
+        return SerializedObject(
+            [_IDENT_CUSTOM + name.encode('utf-8') + b'\n', payload],
+        )
 
     if isinstance(obj, bytes):
-        return _IDENT_BYTES + obj
+        return SerializedObject([_IDENT_BYTES, obj])
     if isinstance(obj, (bytearray, memoryview)):
-        return _IDENT_BYTES + bytes(obj)
+        # Zero-copy: the segment aliases the caller's buffer until the
+        # connector writes (or freezes) it.  Views that cannot be cast to a
+        # flat byte view (anything not C-contiguous) are materialized here.
+        if isinstance(obj, memoryview) and not obj.c_contiguous:
+            return SerializedObject([_IDENT_BYTES, bytes(obj)])
+        return SerializedObject([_IDENT_BYTES, obj])
     if isinstance(obj, str):
-        return _IDENT_STR + obj.encode('utf-8')
+        return SerializedObject([_IDENT_STR, obj.encode('utf-8')])
     if isinstance(obj, np.ndarray):
-        buffer = io.BytesIO()
-        np.save(buffer, obj, allow_pickle=False)
-        return _IDENT_NUMPY + buffer.getvalue()
+        return _numpy_segments(obj)
     try:
-        return _IDENT_PICKLE + pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        return _pickle_segments(obj)
+    except SerializationError:
+        raise
     except Exception as e:  # noqa: BLE001
         raise SerializationError(
             f'Object of type {type(obj).__name__} could not be pickled: {e}',
         ) from e
 
 
-def deserialize(data: BytesLike) -> Any:
-    """Inverse of :func:`serialize`.
+# --------------------------------------------------------------------------- #
+# Deserialization
+# --------------------------------------------------------------------------- #
+def _parse_npy_header(
+    view: memoryview,
+) -> 'tuple[np.dtype, tuple, str, int] | None':
+    """Parse a ``.npy`` magic + format header held at the start of ``view``.
+
+    Returns ``(dtype, shape, order, data_start)`` or ``None`` when the
+    container is not a known ``.npy`` version (callers fall back to NumPy's
+    own reader).
 
     Raises:
-        SerializationError: if ``data`` is not bytes produced by
-            :func:`serialize` or the payload cannot be decoded.
+        SerializationError: for object-dtype arrays (pickled payloads are
+            never loaded from the array fast path).
     """
-    from repro.serialize.registry import default_registry
-
-    if not isinstance(data, (bytes, bytearray, memoryview)):
+    if bytes(view[:6]) != b'\x93NUMPY':
+        return None
+    major = view[6]
+    if major == 1:
+        (hlen,) = struct.unpack('<H', view[8:10])
+        data_start = 10 + hlen
+        header_bytes = bytes(view[10:data_start])
+    elif major in (2, 3):
+        (hlen,) = struct.unpack('<I', view[8:12])
+        data_start = 12 + hlen
+        header_bytes = bytes(view[12:data_start])
+    else:
+        return None
+    header = ast.literal_eval(header_bytes.decode('latin1'))
+    try:
+        dtype = np.lib.format.descr_to_dtype(header['descr'])
+    except AttributeError:  # pragma: no cover - very old numpy
+        dtype = np.dtype(header['descr'])
+    if dtype.hasobject:
         raise SerializationError(
-            f'deserialize expects bytes, got {type(data).__name__}',
+            'refusing to load an object-dtype array (allow_pickle disabled)',
         )
-    data = bytes(data)
-    if len(data) == 0:
-        raise SerializationError('cannot deserialize an empty byte string')
+    order = 'F' if header.get('fortran_order') else 'C'
+    return dtype, tuple(header['shape']), order, data_start
 
-    identifier, payload = data[:1], data[1:]
-    if identifier == _IDENT_BYTES:
-        return payload
-    if identifier == _IDENT_STR:
-        return payload.decode('utf-8')
-    if identifier == _IDENT_NUMPY:
-        buffer = io.BytesIO(payload)
-        return np.load(buffer, allow_pickle=False)
-    if identifier == _IDENT_CUSTOM:
-        name_bytes, _, body = payload.partition(b'\n')
-        name = name_bytes.decode('utf-8')
+
+def _npy_from_buffer(
+    raw: memoryview,
+    dtype: np.dtype,
+    shape: tuple,
+    order: str,
+) -> np.ndarray:
+    """Zero-copy array over ``raw``; always read-only.
+
+    The array aliases storage it does not own (received buffers, mmapped
+    files, an in-process producer's memory), so it is uniformly marked
+    read-only regardless of connector — mutating a fetched array would
+    otherwise silently corrupt shared or producer state on some channels
+    and not others.  Consumers that need to mutate call ``np.copy``.
+    """
+    count = 1
+    for dim in shape:
+        count *= dim
+    arr = np.frombuffer(raw, dtype=dtype, count=count)
+    arr.flags.writeable = False
+    return arr.reshape(shape, order=order)
+
+
+def _read_npy(view: memoryview) -> np.ndarray:
+    """Parse a ``.npy`` payload from ``view`` without copying the array data."""
+    parsed = _parse_npy_header(view)
+    if parsed is None:
+        # Unknown container: fall back to NumPy's own reader (one copy).
+        return np.load(io.BytesIO(bytes(view)), allow_pickle=False)
+    dtype, shape, order, data_start = parsed
+    return _npy_from_buffer(view[data_start:], dtype, shape, order)
+
+
+def _read_pickle5(payload: memoryview) -> Any:
+    """Decode the 0x06 layout: sliced views feed ``pickle.loads`` buffers."""
+    (nbuffers,) = _U32.unpack(payload[:4])
+    (pickle_len,) = _U64.unpack(payload[4:12])
+    lens_end = 12 + 8 * nbuffers
+    lengths = [
+        _U64.unpack(payload[12 + 8 * i:20 + 8 * i])[0] for i in range(nbuffers)
+    ]
+    offset = lens_end + pickle_len
+    pickled = payload[lens_end:offset]
+    buffers: list[memoryview] = []
+    for length in lengths:
+        # toreadonly: reconstructed arrays alias storage they do not own,
+        # so they surface uniformly read-only (same rule as _npy_from_buffer).
+        buffers.append(payload[offset:offset + length].toreadonly())
+        offset += length
+    return pickle.loads(pickled, buffers=buffers)
+
+
+def _find_newline(view: memoryview) -> int:
+    """Index of the first ``\\n`` in ``view`` (searched in small chunks)."""
+    chunk_size = 4096
+    for start in range(0, len(view), chunk_size):
+        idx = bytes(view[start:start + chunk_size]).find(b'\n')
+        if idx >= 0:
+            return start + idx
+    return -1
+
+
+def _deserialize_view(view: memoryview) -> Any:
+    """Deserialize a contiguous wire payload held in a flat byte view."""
+    identifier = view[0]
+    payload = view[1:]
+    if identifier == _IDENT_BYTES[0]:
+        return bytes(payload)
+    if identifier == _IDENT_STR[0]:
+        return str(payload, 'utf-8')
+    if identifier == _IDENT_NUMPY[0]:
+        return _read_npy(payload)
+    if identifier == _IDENT_CUSTOM[0]:
+        sep = _find_newline(payload)
+        if sep < 0:
+            raise SerializationError(
+                'custom-serializer payload is missing its name delimiter',
+            )
+        name = bytes(payload[:sep]).decode('utf-8')
         entry = default_registry.get(name)
         if entry is None:
             raise SerializationError(
@@ -132,16 +327,110 @@ def deserialize(data: BytesLike) -> Any:
             )
         _, _, deserializer = entry
         try:
-            return deserializer(body)
+            # Registered deserializers are documented to take bytes.
+            return deserializer(bytes(payload[sep + 1:]))
         except Exception as e:  # noqa: BLE001
             raise SerializationError(
                 f'Registered deserializer {name!r} failed: {e}',
             ) from e
-    if identifier == _IDENT_PICKLE:
+    if identifier == _IDENT_PICKLE[0]:
         try:
             return pickle.loads(payload)
         except Exception as e:  # noqa: BLE001
             raise SerializationError(f'Unpickling failed: {e}') from e
+    if identifier == _IDENT_PICKLE5[0]:
+        try:
+            return _read_pickle5(payload)
+        except Exception as e:  # noqa: BLE001
+            raise SerializationError(f'Unpickling failed: {e}') from e
     raise SerializationError(
-        f'Unknown serialization identifier byte: {identifier!r}',
+        f'Unknown serialization identifier byte: {bytes([identifier])!r}',
     )
+
+
+def _deserialize_structured(data: SerializedObject) -> Any:
+    """Fast paths over an intact segment structure (no join, no copies).
+
+    Fires when ``data`` still has the exact segment shape :func:`serialize`
+    produced — the in-process round trip and buffer-aware connectors that
+    store segments as-is.  Any other shape falls back to the contiguous
+    reader over the joined bytes.
+    """
+    pieces = data.pieces
+    if not pieces:
+        raise SerializationError('cannot deserialize an empty byte string')
+    head = pieces[0]
+    if not isinstance(head, (bytes, bytearray)):
+        head = memoryview(head)
+    if len(pieces) == 2 and len(head) == 1:
+        if head[0] == _IDENT_BYTES[0]:
+            payload = pieces[1]
+            return payload if isinstance(payload, bytes) else bytes(payload)
+        if head[0] == _IDENT_STR[0]:
+            return str(pieces[1], 'utf-8')
+        if head[0] == _IDENT_PICKLE[0]:
+            try:
+                return pickle.loads(pieces[1])
+            except Exception as e:  # noqa: BLE001
+                raise SerializationError(f'Unpickling failed: {e}') from e
+    if len(pieces) == 3 and len(head) == 1 and head[0] == _IDENT_NUMPY[0]:
+        header = pieces[1]
+        raw = pieces[2]
+        combined = memoryview(bytes(header))  # header is small
+        arr_view = raw if isinstance(raw, memoryview) else memoryview(raw)
+        return _read_npy_split(combined, arr_view.cast('B'))
+    if len(head) >= 1 and head[0] == _IDENT_PICKLE5[0] and len(pieces) >= 3:
+        # head = ident + counts/lengths; pieces[1] = pickle; rest = buffers.
+        try:
+            pickled = pieces[1]
+            buffers = [
+                (p if isinstance(p, memoryview) else memoryview(p)).toreadonly()
+                for p in pieces[2:]
+            ]
+            return pickle.loads(pickled, buffers=buffers)
+        except Exception as e:  # noqa: BLE001
+            raise SerializationError(f'Unpickling failed: {e}') from e
+    joined = bytes(data)
+    if not joined:
+        raise SerializationError('cannot deserialize an empty byte string')
+    return _deserialize_view(_flat_view(joined))
+
+
+def _read_npy_split(header_view: memoryview, raw: memoryview) -> np.ndarray:
+    """Like :func:`_read_npy` but with the header and data in two buffers."""
+    parsed = _parse_npy_header(header_view)
+    if parsed is None:
+        raise SerializationError('corrupt npy header segment')
+    dtype, shape, order, _data_start = parsed
+    return _npy_from_buffer(raw, dtype, shape, order)
+
+
+def _flat_view(data: Any) -> memoryview:
+    view = data if isinstance(data, memoryview) else memoryview(data)
+    if view.format != 'B' or view.ndim != 1:
+        view = view.cast('B')
+    return view
+
+
+def deserialize(data: 'BytesLike | SerializedObject') -> Any:
+    """Inverse of :func:`serialize`.
+
+    Accepts ``bytes``, ``bytearray``, ``memoryview`` (or any contiguous
+    buffer such as an ``mmap``) and :class:`SerializedObject` without
+    materializing the input; large payloads are parsed as views.
+
+    Raises:
+        SerializationError: if ``data`` is not a payload produced by
+            :func:`serialize` or the payload cannot be decoded.
+    """
+    if isinstance(data, SerializedObject):
+        return _deserialize_structured(data)
+    try:
+        view = _flat_view(data)
+    except TypeError:
+        raise SerializationError(
+            f'deserialize expects bytes, got {type(data).__name__}',
+        ) from None
+    if len(view) == 0:
+        raise SerializationError('cannot deserialize an empty byte string')
+    return _deserialize_view(view)

@@ -17,6 +17,7 @@ from typing import Any
 from typing import Sequence
 
 from repro.connectors.protocol import Connector
+from repro.serialize.buffers import payload_nbytes
 from repro.simulation.clock import VirtualClock
 from repro.simulation.context import current_host
 from repro.simulation.costs import TransferCostModel
@@ -85,6 +86,8 @@ class CostedConnector(Connector):
         self.charge_clock = charge_clock
         self.ledger = CostLedger()
         self.capabilities = inner.capabilities
+        # Buffer support is inherited: the wrapper forwards payloads as-is.
+        self.supports_buffers = getattr(inner, 'supports_buffers', False)
         # A costed wrapper's config() describes the *inner* connector, so a
         # scheme-carrying StoreConfig must name the inner connector's scheme
         # for proxies to be resolvable in other processes.
@@ -123,36 +126,42 @@ class CostedConnector(Connector):
         self._charge(cost)
 
     # -- connector protocol --------------------------------------------------- #
-    def put(self, data: bytes, **kwargs: Any) -> Any:
+    def put(self, data: Any, **kwargs: Any) -> Any:
+        nbytes = payload_nbytes(data)
         key = self.inner.put(data, **kwargs) if kwargs else self.inner.put(data)
-        self._charge_put(key, len(data))
+        self._charge_put(key, nbytes)
         return key
 
-    def put_batch(self, datas: Sequence[bytes]) -> list[Any]:
-        keys = self.inner.put_batch(datas)
-        for key, data in zip(keys, datas):
-            self._charge_put(key, len(data))
+    def put_batch(self, datas: Sequence[Any], **kwargs: Any) -> list[Any]:
+        nbytes = [payload_nbytes(data) for data in datas]
+        keys = (
+            self.inner.put_batch(datas, **kwargs)
+            if kwargs
+            else self.inner.put_batch(datas)
+        )
+        for key, n in zip(keys, nbytes):
+            self._charge_put(key, n)
         return keys
 
-    def get(self, key: Any) -> bytes | None:
+    def get(self, key: Any) -> Any | None:
         data = self.inner.get(key)
         if data is not None:
-            self._charge_get(key, len(data))
+            self._charge_get(key, payload_nbytes(data))
         return data
 
-    def get_batch(self, keys: Sequence[Any]) -> list[bytes | None]:
+    def get_batch(self, keys: Sequence[Any]) -> list[Any]:
         datas = self.inner.get_batch(keys)
         for key, data in zip(keys, datas):
             if data is not None:
-                self._charge_get(key, len(data))
+                self._charge_get(key, payload_nbytes(data))
         return datas
 
-    def new_key(self) -> Any:
-        return self.inner.new_key()
+    def new_key(self, **kwargs: Any) -> Any:
+        return self.inner.new_key(**kwargs) if kwargs else self.inner.new_key()
 
-    def set(self, key: Any, data: bytes) -> None:
+    def set(self, key: Any, data: Any) -> None:
         self.inner.set(key, data)
-        self._charge_put(key, len(data))
+        self._charge_put(key, payload_nbytes(data))
 
     def exists(self, key: Any) -> bool:
         return self.inner.exists(key)

@@ -22,6 +22,7 @@ from typing import TypeVar
 from repro.exceptions import ProxyFutureError
 from repro.exceptions import ProxyFutureTimeoutError
 from repro.proxy.proxy import Proxy
+from repro.serialize.buffers import payload_nbytes
 from repro.store.factory import StoreFactory
 from repro.store.metrics import Timer
 
@@ -163,10 +164,11 @@ class ProxyFuture(Generic[T]):
         )
         with Timer() as t_ser:
             data = serializer(obj)
-        self._store._record('serialize', t_ser.elapsed, len(data))
+        nbytes = payload_nbytes(data)
+        self._store._record('serialize', t_ser.elapsed, nbytes)
         with Timer() as t_set:
-            self._store.connector.set(self.key, data)
-        self._store._record('set', t_set.elapsed, len(data))
+            self._store.connector.set(self.key, self._store._outbound(data))
+        self._store._record('set', t_set.elapsed, nbytes)
         if not self.evict and not isinstance(obj, _ProducerFailure):
             self._store.cache.set(self.key, obj)
         self._done = True

@@ -25,6 +25,8 @@ from repro.connectors.registry import get_connector_class
 from repro.exceptions import ProxyFutureError
 from repro.exceptions import StoreError
 from repro.proxy.proxy import Proxy
+from repro.serialize.buffers import payload_nbytes
+from repro.serialize.buffers import to_bytes
 from repro.serialize.serializer import deserialize as default_deserializer
 from repro.serialize.serializer import serialize as default_serializer
 from repro.store.config import StoreConfig
@@ -213,6 +215,29 @@ class Store:
         if self.metrics is not None:
             self.metrics.record(operation, elapsed, nbytes)
 
+    def _outbound(self, data: Any) -> Any:
+        """Adapt a serialized payload to what the connector can consume.
+
+        Buffer-aware connectors (``supports_buffers``) receive the
+        ``SerializedObject`` and scatter/gather its segments; legacy
+        connectors get one contiguous byte string (a single join — the only
+        copy on that path).
+        """
+        if getattr(self.connector, 'supports_buffers', False):
+            return data
+        return to_bytes(data)
+
+    def _inbound(self, data: Any, deserializer: Callable[[bytes], Any]) -> Any:
+        """Adapt connector output for the deserializer.
+
+        The default deserializer consumes every buffer form natively;
+        custom deserializers are documented to take ``bytes`` and get a
+        materialized payload.
+        """
+        if deserializer is default_deserializer:
+            return data
+        return to_bytes(data)
+
     # ------------------------------------------------------------------ #
     # Object-level operations
     # ------------------------------------------------------------------ #
@@ -221,10 +246,10 @@ class Store:
         serializer = serializer if serializer is not None else self.serializer
         with Timer() as t_ser:
             data = serializer(obj)
-        self._record('serialize', t_ser.elapsed, len(data))
+        self._record('serialize', t_ser.elapsed, payload_nbytes(data))
         with Timer() as t_put:
-            key = self.connector.put(data)
-        self._record('put', t_put.elapsed, len(data))
+            key = self.connector.put(self._outbound(data))
+        self._record('put', t_put.elapsed, payload_nbytes(data))
         return key
 
     def put_batch(
@@ -237,10 +262,10 @@ class Store:
         serializer = serializer if serializer is not None else self.serializer
         with Timer() as t_ser:
             datas = [serializer(obj) for obj in objs]
-        total = sum(len(d) for d in datas)
+        total = sum(payload_nbytes(d) for d in datas)
         self._record('serialize', t_ser.elapsed, total)
         with Timer() as t_put:
-            keys = self.connector.put_batch(datas)
+            keys = self.connector.put_batch([self._outbound(d) for d in datas])
         self._record('put_batch', t_put.elapsed, total)
         return keys
 
@@ -266,10 +291,11 @@ class Store:
         if data is None:
             self._record('get_miss', t_get.elapsed)
             return default
-        self._record('get', t_get.elapsed, len(data))
+        nbytes = payload_nbytes(data)
+        self._record('get', t_get.elapsed, nbytes)
         with Timer() as t_des:
-            obj = deserializer(data)
-        self._record('deserialize', t_des.elapsed, len(data))
+            obj = deserializer(self._inbound(data, deserializer))
+        self._record('deserialize', t_des.elapsed, nbytes)
         self.cache.set(key, obj)
         return obj
 
@@ -294,7 +320,7 @@ class Store:
         if to_fetch:
             with Timer() as t_get:
                 datas = self.connector.get_batch([key for _, key in to_fetch])
-            nbytes = sum(len(d) for d in datas if d is not None)
+            nbytes = sum(payload_nbytes(d) for d in datas if d is not None)
             self._record('get_batch', t_get.elapsed, nbytes)
             # Batch ops emit the same per-operation metrics as their scalar
             # counterparts: one aggregate deserialize record for the batch
@@ -307,7 +333,7 @@ class Store:
                         results[i] = None
                         self._record('get_miss', 0.0)
                     else:
-                        obj = deserializer(data)
+                        obj = deserializer(self._inbound(data, deserializer))
                         self.cache.set(key, obj)
                         results[i] = obj
                         hits += 1
@@ -367,13 +393,14 @@ class Store:
         serializer = serializer if serializer is not None else self.serializer
         with Timer() as t_ser:
             data = serializer(obj)
-        self._record('serialize', t_ser.elapsed, len(data))
+        nbytes = payload_nbytes(data)
+        self._record('serialize', t_ser.elapsed, nbytes)
         with Timer() as t_put:
             if connector_kwargs:
-                key = self.connector.put(data, **connector_kwargs)  # type: ignore[call-arg]
+                key = self.connector.put(self._outbound(data), **connector_kwargs)  # type: ignore[call-arg]
             else:
-                key = self.connector.put(data)
-        self._record('put', t_put.elapsed, len(data))
+                key = self.connector.put(self._outbound(data))
+        self._record('put', t_put.elapsed, nbytes)
         if cache_local and not evict:
             self.cache.set(key, obj)
         factory: StoreFactory = StoreFactory(
@@ -381,23 +408,28 @@ class Store:
         )
         with Timer() as t_proxy:
             proxy = Proxy(factory)
-        self._record('proxy', t_proxy.elapsed, len(data))
+        self._record('proxy', t_proxy.elapsed, nbytes)
         return proxy
 
-    def _validate_put_kwargs(self, connector_kwargs: dict[str, Any]) -> None:
+    def _validate_put_kwargs(
+        self,
+        connector_kwargs: dict[str, Any],
+        method: str = 'put',
+    ) -> None:
         """Reject ``put`` kwargs the connector would silently drop or choke on.
 
         Wrapper connectors (e.g. CostedConnector) forward ``**kwargs`` to an
         inner connector, so a ``**kwargs`` signature alone proves nothing —
         follow the ``inner`` chain until a connector with an explicit
-        signature is found.
+        signature is found.  ``method`` selects which operation's signature
+        is checked (``put`` for proxies, ``put_batch`` for batch proxies).
         """
         target: Connector = self.connector
         seen: set[int] = set()
         while id(target) not in seen:
             seen.add(id(target))
             try:
-                parameters = inspect.signature(target.put).parameters
+                parameters = inspect.signature(getattr(target, method)).parameters
             except (TypeError, ValueError):  # pragma: no cover - builtin puts
                 return
             accepts_var_kw = any(
@@ -427,20 +459,38 @@ class Store:
         evict: bool = False,
         serializer: Callable[[Any], bytes] | None = None,
         cache_local: bool = True,
+        **connector_kwargs: Any,
     ) -> list[Proxy]:
         """Proxy several objects with a single connector batch put.
 
         Connectors with expensive per-transfer setup (e.g. the Globus
         connector, which starts one transfer task per batch) benefit greatly
         from this over calling :meth:`proxy` in a loop.
+
+        Args:
+            objs: the objects to proxy.
+            evict: evict each object when its proxy is first resolved.
+            serializer: per-call serializer override.
+            cache_local: also place the objects in the local cache.
+            connector_kwargs: forwarded to the connector's ``put_batch``
+                (e.g. MultiConnector routing constraints such as
+                ``subset_tags``) and embedded in every proxy's factory, the
+                same contract as the scalar :meth:`proxy`.  Raises
+                ``StoreError`` if the connector does not accept them.
         """
+        if connector_kwargs:
+            self._validate_put_kwargs(connector_kwargs, method='put_batch')
         serializer = serializer if serializer is not None else self.serializer
         with Timer() as t_ser:
             datas = [serializer(obj) for obj in objs]
-        total = sum(len(d) for d in datas)
+        total = sum(payload_nbytes(d) for d in datas)
         self._record('serialize', t_ser.elapsed, total)
+        outbound = [self._outbound(d) for d in datas]
         with Timer() as t_put:
-            keys = self.connector.put_batch(datas)
+            if connector_kwargs:
+                keys = self.connector.put_batch(outbound, **connector_kwargs)  # type: ignore[call-arg]
+            else:
+                keys = self.connector.put_batch(outbound)
         self._record('put_batch', t_put.elapsed, total)
         config = self.config()
         proxies: list[Proxy] = []
@@ -450,8 +500,15 @@ class Store:
             # Mirror the scalar proxy() metrics: one timed 'proxy' record
             # per proxy created.
             with Timer() as t_proxy:
-                proxy = Proxy(StoreFactory(key, config, evict=evict))
-            self._record('proxy', t_proxy.elapsed, len(data))
+                proxy = Proxy(
+                    StoreFactory(
+                        key,
+                        config,
+                        evict=evict,
+                        connector_kwargs=connector_kwargs,
+                    ),
+                )
+            self._record('proxy', t_proxy.elapsed, payload_nbytes(data))
             proxies.append(proxy)
         return proxies
 

@@ -20,6 +20,7 @@ from typing import Callable
 
 from repro.exceptions import WorkflowError
 from repro.serialize import deserialize
+from repro.serialize import freeze_payload
 from repro.serialize import serialize
 
 __all__ = ['WorkflowEngine', 'WorkflowFuture', 'EngineStats']
@@ -122,10 +123,18 @@ class WorkflowEngine:
 
     # -- submission --------------------------------------------------------- #
     def submit(self, func: Callable[..., Any], *args: Any, **kwargs: Any) -> WorkflowFuture:
-        """Serialize the inputs, ship them through the hub, and run the task."""
+        """Serialize the inputs, ship them through the hub, and run the task.
+
+        NumPy arrays among the arguments arrive at the task **read-only**
+        (the zero-copy deserializer's uniform rule — they alias the queued
+        payload); tasks that mutate an array input must ``np.copy`` it.
+        """
         if not self._running.is_set():
             raise WorkflowError('engine has been shut down')
-        payload = serialize((args, kwargs))
+        # freeze_payload: the queued payload outlives this call, so its
+        # segments must not alias argument buffers the caller may mutate
+        # before a worker dequeues the task (snapshot semantics).
+        payload = freeze_payload(serialize((args, kwargs)))
         payload = self._extra_hop_copies(payload)
         self.stats.tasks_submitted += 1
         self.stats.input_bytes += len(payload)
@@ -133,7 +142,7 @@ class WorkflowEngine:
         self._queue.put(task)
         return task.future
 
-    def _extra_hop_copies(self, payload: bytes) -> bytes:
+    def _extra_hop_copies(self, payload):
         """Model the intermediate components each payload passes through.
 
         Each hop re-serializes the payload and base64-encodes/decodes it, as
@@ -142,8 +151,10 @@ class WorkflowEngine:
         """
         import base64
 
+        from repro.serialize import to_bytes
+
         for _ in range(self.extra_hops):
-            encoded = base64.b64encode(payload)
+            encoded = base64.b64encode(to_bytes(payload))
             payload = base64.b64decode(encoded)
             payload = serialize(deserialize(payload))
             self.stats.serialization_passes += 1
@@ -158,7 +169,9 @@ class WorkflowEngine:
             try:
                 args, kwargs = deserialize(task.payload)
                 result = task.func(*args, **kwargs)
-                result_payload = serialize(result)
+                # Same snapshot rule: the future's payload may be read after
+                # the worker (or caller) mutates arrays the result aliases.
+                result_payload = freeze_payload(serialize(result))
                 result_payload = self._extra_hop_copies(result_payload)
                 self.stats.result_bytes += len(result_payload)
                 self.stats.tasks_completed += 1

@@ -9,11 +9,15 @@ from __future__ import annotations
 
 import pickle
 
+import numpy as np
 import pytest
 
 from repro.connectors.protocol import Connector
 from repro.connectors.protocol import connector_from_path
 from repro.connectors.protocol import connector_path
+from repro.serialize import SerializedObject
+from repro.serialize import deserialize
+from repro.serialize import serialize
 
 
 class ConnectorBehavior:
@@ -72,6 +76,45 @@ class ConnectorBehavior:
         keys = connector.put_batch([b'a', b'b', b'c'])
         connector.evict_batch(keys)
         assert all(not connector.exists(k) for k in keys)
+
+    def test_put_accepts_buffer_inputs(self, connector: Connector):
+        payload = b'buffer input payload'
+        for data in (bytearray(payload), memoryview(payload)):
+            key = connector.put(data)
+            assert bytes(connector.get(key)) == payload
+
+    def test_put_serialized_object_roundtrip(self, connector: Connector):
+        # The buffer path every Store.put takes: a multi-segment
+        # SerializedObject goes in, the stored bytes deserialize back.
+        obj = {'name': 'zc', 'blob': b'x' * 2048, 'n': 7}
+        key = connector.put(serialize(obj))
+        assert deserialize(connector.get(key)) == obj
+
+    def test_put_serialized_ndarray_roundtrip(self, connector: Connector):
+        arr = np.arange(4096, dtype=np.float64).reshape(64, 64)
+        key = connector.put(serialize(arr))
+        restored = deserialize(connector.get(key))
+        assert np.array_equal(restored, arr)
+        assert restored.dtype == arr.dtype
+
+    def test_put_batch_serialized_objects(self, connector: Connector):
+        objs = [b'raw', 'text', list(range(10))]
+        keys = connector.put_batch([serialize(o) for o in objs])
+        restored = [deserialize(d) for d in connector.get_batch(keys)]
+        assert restored == objs
+
+    def test_put_empty_serialized_payload(self, connector: Connector):
+        key = connector.put(serialize(b''))
+        data = connector.get(key)
+        assert data is not None
+        assert deserialize(data) == b''
+
+    def test_put_multi_segment_equals_joined(self, connector: Connector):
+        serialized = serialize(np.arange(1000))
+        assert isinstance(serialized, SerializedObject)
+        key_segments = connector.put(serialized)
+        key_joined = connector.put(bytes(serialized))
+        assert bytes(connector.get(key_segments)) == bytes(connector.get(key_joined))
 
     def test_keys_are_picklable(self, connector: Connector):
         key = connector.put(b'data')

@@ -67,3 +67,40 @@ def test_repr_mentions_address(kv_server):
         assert str(kv_server.port) in repr(conn)
     finally:
         conn.close()
+
+
+def test_put_batch_uses_one_round_trip(kv_server):
+    conn = RedisConnector(kv_server.host, kv_server.port)
+    try:
+        requests: list[str] = []
+        original = conn._client._request
+
+        def counting_request(command, key=None, value=None):
+            requests.append(command)
+            return original(command, key, value)
+
+        conn._client._request = counting_request
+        keys = conn.put_batch([f'item-{i}'.encode() for i in range(8)])
+        assert requests == ['MSET']
+        requests.clear()
+        assert [bytes(d) for d in conn.get_batch(keys)] == [
+            f'item-{i}'.encode() for i in range(8)
+        ]
+        assert requests == ['MGET']
+        requests.clear()
+        conn.evict_batch(keys)
+        assert requests == ['MDEL']
+        assert not any(conn.exists(k) for k in keys)
+    finally:
+        conn.close(clear=True)
+
+
+def test_mget_returns_none_for_missing(kv_server):
+    conn = RedisConnector(kv_server.host, kv_server.port)
+    try:
+        keys = conn.put_batch([b'a', b'b'])
+        conn.evict(keys[0])
+        got = conn.get_batch(keys)
+        assert got[0] is None and bytes(got[1]) == b'b'
+    finally:
+        conn.close(clear=True)

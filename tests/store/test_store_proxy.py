@@ -216,3 +216,29 @@ def test_proxy_connector_kwargs_carried_in_factory(tmp_path):
     restored = pickle.loads(pickle.dumps(factory))
     assert restored.connector_kwargs == {'superset_tags': ('gpu',)}
     store.close(clear=True)
+
+
+def test_proxy_batch_connector_kwargs_carried_in_factory():
+    from repro.connectors.multi import MultiConnector
+    from repro.connectors.policy import Policy
+
+    gpu_conn = LocalConnector()
+    conn = MultiConnector({
+        'gpu': (gpu_conn, Policy(superset_tags=('gpu',), priority=5)),
+        'any': (LocalConnector(), Policy(priority=0)),
+    })
+    store = Store('batch-kwargs-store', conn, register=False)
+    proxies = store.proxy_batch(['a', 'b'], superset_tags=('gpu',))
+    # The batch path forwards the routing constraints to the connector ...
+    for p in proxies:
+        factory = get_factory(p)
+        assert factory.key.connector_label == 'gpu'
+        # ... and embeds them in every factory, like the scalar proxy().
+        assert factory.connector_kwargs == {'superset_tags': ('gpu',)}
+    assert [str(p) for p in proxies] == ['a', 'b']
+    store.close(clear=True)
+
+
+def test_proxy_batch_connector_kwargs_rejected_for_plain_connector(local_store):
+    with pytest.raises(StoreError, match='subset_tags'):
+        local_store.proxy_batch(['x'], subset_tags=('gpu',))

@@ -76,3 +76,22 @@ def test_result_timeout():
         with pytest.raises(WorkflowError):
             future.result(timeout=0.01)
         assert future.result(timeout=5) == 1
+
+
+def test_submit_snapshots_mutable_arguments():
+    import threading
+
+    import numpy as np
+
+    gate = threading.Event()
+
+    def passthrough(arr):
+        gate.wait(5)  # dequeue after the caller has mutated its array
+        return float(arr.sum())
+
+    with WorkflowEngine(n_workers=1) as engine:
+        data = np.ones(1000)
+        future = engine.submit(passthrough, data)
+        data[:] = 0.0  # must not affect the already-queued payload
+        gate.set()
+        assert future.result(timeout=5) == 1000.0
