@@ -1,5 +1,6 @@
 """Caching utilities used by stores to avoid repeated gets and deserializations."""
 from repro.cache.lru import CacheStats
 from repro.cache.lru import LRUCache
+from repro.cache.lru import estimate_nbytes
 
-__all__ = ['CacheStats', 'LRUCache']
+__all__ = ['CacheStats', 'LRUCache', 'estimate_nbytes']

@@ -6,19 +6,45 @@ process performs neither communication nor deserialization (Section 3.5 of
 the paper).  The cache is deliberately simple: a bounded ordered dict with a
 lock, plus hit/miss statistics used by the Store metrics and the ablation
 benchmarks.
+
+Alongside the entry bound, an optional ``max_bytes`` bound caps the
+*resident bytes* of cached values (sizes are estimated with a best-effort
+``sizeof``).  An individual value larger than ``max_bytes`` is simply not
+cached — a multi-GB proxy resolution cannot silently evict the entire
+working set.
 """
 from __future__ import annotations
 
+import sys
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any
+from typing import Callable
 from typing import Hashable
 from typing import Iterator
 
-__all__ = ['LRUCache', 'CacheStats']
+__all__ = ['LRUCache', 'CacheStats', 'estimate_nbytes']
 
 _MISSING = object()
+
+
+def estimate_nbytes(value: Any) -> int:
+    """Best-effort resident size of a cached value in bytes.
+
+    Buffer-like objects report their true payload size (``nbytes``/``len``);
+    everything else falls back to ``sys.getsizeof`` — shallow, but cheap and
+    monotone enough to bound a cache.
+    """
+    nbytes = getattr(value, 'nbytes', None)
+    if isinstance(nbytes, int):
+        return nbytes
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    try:
+        return sys.getsizeof(value)
+    except TypeError:  # pragma: no cover - exotic objects
+        return 0
 
 
 @dataclass
@@ -42,20 +68,42 @@ class CacheStats:
 
 
 class LRUCache:
-    """Least-recently-used cache with a fixed maximum number of entries.
+    """Least-recently-used cache bounded by entries and (optionally) bytes.
 
     Args:
         maxsize: maximum number of entries; ``0`` disables caching entirely
             (every lookup misses) while keeping the same interface.
+        max_bytes: optional bound on total estimated resident bytes.  Values
+            individually larger than the bound are not cached at all rather
+            than evicting everything else.
+        sizeof: optional override for the per-value size estimate.
     """
 
-    def __init__(self, maxsize: int = 16) -> None:
+    def __init__(
+        self,
+        maxsize: int = 16,
+        *,
+        max_bytes: int | None = None,
+        sizeof: Callable[[Any], int] | None = None,
+    ) -> None:
         if maxsize < 0:
             raise ValueError('maxsize must be non-negative')
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError('max_bytes must be non-negative')
         self.maxsize = maxsize
+        self.max_bytes = max_bytes
+        self._sizeof = sizeof if sizeof is not None else estimate_nbytes
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._sizes: dict[Hashable, int] = {}
+        self._resident_bytes = 0
         self._lock = threading.Lock()
         self.stats = CacheStats()
+
+    @property
+    def resident_bytes(self) -> int:
+        """Estimated bytes currently held by cached values."""
+        with self._lock:
+            return self._resident_bytes
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Return the cached value for ``key`` or ``default``; counts a hit/miss."""
@@ -73,27 +121,51 @@ class LRUCache:
         with self._lock:
             return key in self._data
 
+    def _drop(self, key: Hashable) -> None:
+        self._data.pop(key, None)
+        self._resident_bytes -= self._sizes.pop(key, 0)
+
     def set(self, key: Hashable, value: Any) -> None:
-        """Insert or update ``key``; evicts the least recently used entry if full."""
+        """Insert or update ``key``; evicts least recently used entries while
+        either bound (entries or bytes) is exceeded."""
         if self.maxsize == 0:
             return
+        size = self._sizeof(value)
         with self._lock:
+            if self.max_bytes is not None and size > self.max_bytes:
+                # Caching this value would evict the whole working set;
+                # leave the cache as-is (and drop any stale entry).
+                self._drop(key)
+                return
             if key in self._data:
                 self._data.move_to_end(key)
+                self._resident_bytes -= self._sizes.get(key, 0)
             self._data[key] = value
-            while len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
+            self._sizes[key] = size
+            self._resident_bytes += size
+            while len(self._data) > self.maxsize or (
+                self.max_bytes is not None
+                and self._resident_bytes > self.max_bytes
+                and len(self._data) > 1
+            ):
+                evicted_key, _ = self._data.popitem(last=False)
+                self._resident_bytes -= self._sizes.pop(evicted_key, 0)
                 self.stats.evictions += 1
 
     def evict(self, key: Hashable) -> bool:
         """Remove ``key`` from the cache; returns whether it was present."""
         with self._lock:
-            return self._data.pop(key, _MISSING) is not _MISSING
+            present = key in self._data
+            if present:
+                self._drop(key)
+            return present
 
     def clear(self) -> None:
         """Remove every cached entry (statistics are preserved)."""
         with self._lock:
             self._data.clear()
+            self._sizes.clear()
+            self._resident_bytes = 0
 
     def __len__(self) -> int:
         with self._lock:

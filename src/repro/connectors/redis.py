@@ -23,6 +23,8 @@ from repro.connectors.protocol import ConnectorKey
 from repro.connectors.protocol import PutData
 from repro.connectors.protocol import new_object_id
 from repro.connectors.registry import StoreURL
+from repro.kvserver.client import DEFAULT_POOL_SIZE
+from repro.kvserver.client import DEFAULT_TIMEOUT
 from repro.kvserver.client import KVClient
 from repro.kvserver.server import launch_server
 
@@ -38,6 +40,11 @@ class RedisConnector(Connector):
             in-process server is started and its ephemeral port recorded so
             that ``config()`` round-trips point at the same server.
         launch: start an in-process server if one is not already reachable.
+        pool_size: connections the pipelined KV client pools; requests from
+            concurrent store users round-robin across them, so a bulk
+            transfer does not head-of-line block small operations.
+        timeout: per-request inactivity bound (seconds) — a request fails
+            only after its connection receives nothing for this long.
     """
 
     connector_name = 'redis'
@@ -51,14 +58,24 @@ class RedisConnector(Connector):
         tags=('redis', 'central-server'),
     )
 
-    def __init__(self, host: str = '127.0.0.1', port: int = 0, *, launch: bool = False) -> None:
+    def __init__(
+        self,
+        host: str = '127.0.0.1',
+        port: int = 0,
+        *,
+        launch: bool = False,
+        pool_size: int = DEFAULT_POOL_SIZE,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
         if launch:
             server = launch_server(host, port)
             assert server.port is not None
             host, port = server.host, server.port
         self.host = host
         self.port = port
-        self._client = KVClient(host, port)
+        self.pool_size = pool_size
+        self.timeout = timeout
+        self._client = KVClient(host, port, pool_size=pool_size, timeout=timeout)
 
     def __repr__(self) -> str:
         return f'RedisConnector(host={self.host!r}, port={self.port})'
@@ -106,20 +123,30 @@ class RedisConnector(Connector):
 
     # -- configuration / lifecycle --------------------------------------- #
     def config(self) -> dict[str, Any]:
-        return {'host': self.host, 'port': self.port}
+        return {
+            'host': self.host,
+            'port': self.port,
+            'pool_size': self.pool_size,
+            'timeout': self.timeout,
+        }
 
     @classmethod
     def from_url(cls, url: StoreURL | str) -> 'RedisConnector':
-        """Build from ``redis://host:port[/name][?launch=1]``.
+        """Build from ``redis://host:port[/name][?launch=1&pool_size=4&timeout=30]``.
 
         The path (if any) is left for ``Store.from_url`` to use as the store
         name, mirroring Redis database-namespace URLs.
         """
         url = StoreURL.parse(url)
+        pool_size = url.pop_int('pool_size', DEFAULT_POOL_SIZE)
+        timeout = url.pop_float('timeout', DEFAULT_TIMEOUT)
+        assert pool_size is not None and timeout is not None
         return cls(
             host=url.host or '127.0.0.1',
             port=url.port or 0,
             launch=url.pop_bool('launch', False),
+            pool_size=pool_size,
+            timeout=timeout,
         )
 
     def close(self, clear: bool = False) -> None:

@@ -17,8 +17,18 @@ substrate provides two transports that exercise the same architecture:
 """
 from repro.dim.node import DIMKey
 from repro.dim.node import DIMNode
+from repro.dim.node import DIMShard
 from repro.dim.node import get_local_node
 from repro.dim.node import reset_nodes
+from repro.dim.client import DEFAULT_SHARD_THRESHOLD
 from repro.dim.client import DIMClient
 
-__all__ = ['DIMClient', 'DIMKey', 'DIMNode', 'get_local_node', 'reset_nodes']
+__all__ = [
+    'DEFAULT_SHARD_THRESHOLD',
+    'DIMClient',
+    'DIMKey',
+    'DIMNode',
+    'DIMShard',
+    'get_local_node',
+    'reset_nodes',
+]

@@ -3,46 +3,299 @@
 A :class:`DIMClient` is bound to the local node (where it puts new objects)
 and can fetch objects from any node named in a :class:`DIMKey`: memory nodes
 are reached through the in-process registry (standing in for RDMA reads of
-remote memory), TCP nodes through a cached socket client per address.
+remote memory), TCP nodes through a cached pipelined socket client per
+address (a small connection pool each, so concurrent fetches get parallel
+streams).
+
+Two transport-level optimizations ride on top of the plain routing:
+
+* **Sharding** — when ``peers`` names the store's other nodes, objects at
+  least ``shard_threshold`` bytes are striped across them in contiguous
+  chunks (zero-copy memoryview slices of the payload's segments) written in
+  parallel; the returned key carries the ordered shard locations, and a get
+  fetches every shard concurrently and reassembles them without a join
+  (as a :class:`~repro.serialize.buffers.SerializedObject`).  A single
+  multi-hundred-MB transfer therefore uses every node's bandwidth instead
+  of one node's.
+* **Batching** — ``get_batch``/``put_batch``/``evict_batch`` group plain
+  keys by node and issue one ``MGET``/``MSET``/``MDEL`` wire round trip per
+  node (in parallel across nodes) instead of one round trip per key.
 """
 from __future__ import annotations
 
 import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+from typing import Iterable
+from typing import NamedTuple
 from typing import Optional
+from typing import Sequence
 
 from repro.connectors.protocol import new_object_id
 from repro.dim.node import DIMKey
+from repro.dim.node import DIMShard
 from repro.dim.node import get_local_node
 from repro.dim.node import lookup_node
 from repro.exceptions import ConnectorError
+from repro.kvserver.client import DEFAULT_POOL_SIZE
+from repro.kvserver.client import DEFAULT_TIMEOUT
 from repro.kvserver.client import KVClient
+from repro.serialize.buffers import SerializedObject
+from repro.serialize.buffers import payload_nbytes
+from repro.serialize.buffers import segments_of
 
-__all__ = ['DIMClient']
+__all__ = ['DIMClient', 'DEFAULT_SHARD_THRESHOLD']
+
+#: Objects at least this large are striped across peer nodes (when
+#: configured).  64 MiB keeps small/medium objects on one node (one round
+#: trip) while multi-hundred-MB tensors engage every node's bandwidth.
+DEFAULT_SHARD_THRESHOLD = 64 * 1024 * 1024
+
+#: Upper bound on threads used for one sharded transfer.
+_MAX_PARALLEL_TRANSFERS = 8
+
+
+class _Target(NamedTuple):
+    """A resolved shard target: an in-process node or a remote address."""
+
+    node_id: str
+    address: tuple[str, int] | None  # None = reachable only in-process
 
 
 class DIMClient:
-    """Puts objects on the local node and gets them from any node."""
+    """Puts objects on the local node and gets them from any node.
 
-    def __init__(self, node_id: str, transport: str = 'memory') -> None:
+    Args:
+        node_id: logical identity of the local node.
+        transport: ``'memory'`` (RDMA stand-in) or ``'tcp'``.
+        peers: the store's shard targets — node ids (spawned/looked up
+            in-process, the same way the local node is) or
+            ``(node_id, host, port)`` tuples for nodes in other processes
+            (TCP transport only).  Sharding stripes across exactly this
+            list; include the local node's id if it should hold a stripe.
+            Empty (the default) disables sharding.
+        shard_threshold: minimum payload size (bytes) for striping; ``0``
+            disables sharding regardless of ``peers``.
+        pool_size: connections pooled per remote node (parallel streams).
+        timeout: per-request inactivity bound passed to the KV clients.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        transport: str = 'memory',
+        *,
+        peers: Sequence[Any] = (),
+        shard_threshold: int = DEFAULT_SHARD_THRESHOLD,
+        pool_size: int = DEFAULT_POOL_SIZE,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
         self.node_id = node_id
         self.transport = transport
         self.local_node = get_local_node(node_id, transport)
+        self.peers = tuple(tuple(p) if isinstance(p, (list, tuple)) else p for p in peers)
+        self.shard_threshold = shard_threshold
+        self.pool_size = pool_size
+        self.timeout = timeout
         self._tcp_clients: dict[tuple[str, int], KVClient] = {}
+        self._executor: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
 
     # -- helpers ------------------------------------------------------------ #
     def _tcp_client(self, address: tuple[str, int]) -> KVClient:
+        address = tuple(address)  # type: ignore[assignment]
         with self._lock:
             client = self._tcp_clients.get(address)
             if client is None:
-                client = KVClient(*address)
+                client = KVClient(
+                    *address, pool_size=self.pool_size, timeout=self.timeout,
+                )
                 self._tcp_clients[address] = client
             return client
 
+    def _resolve_peer(self, peer: Any) -> _Target:
+        if isinstance(peer, str):
+            node = get_local_node(peer, self.transport)
+            return _Target(peer, node.address)
+        if isinstance(peer, tuple) and len(peer) == 3:
+            node_id, host, port = peer
+            if self.transport != 'tcp':
+                raise ConnectorError(
+                    f'addressed peer {peer!r} requires the tcp transport',
+                )
+            return _Target(str(node_id), (str(host), int(port)))
+        raise ConnectorError(
+            f'malformed DIM peer {peer!r}: expected a node id or '
+            '(node_id, host, port)',
+        )
+
+    def _parallel(self, tasks: 'list[Any]') -> list[Any]:
+        """Run thunks concurrently (parallel streams for multi-node I/O).
+
+        The executor is created lazily and kept for the client's lifetime —
+        sharded transfers and multi-node batches must not pay thread
+        spawn/join per operation (the thread churn this transport removes).
+        """
+        if len(tasks) == 1:
+            return [tasks[0]()]
+        with self._lock:
+            pool = self._executor
+            if pool is None:
+                pool = ThreadPoolExecutor(
+                    max_workers=_MAX_PARALLEL_TRANSFERS,
+                    thread_name_prefix='dim-transfer',
+                )
+                self._executor = pool
+        # Every task is awaited even after a failure (so a caller knows all
+        # side effects have landed before it cleans up); the first error is
+        # then re-raised.
+        futures = [pool.submit(task) for task in tasks]
+        results: list[Any] = []
+        first_error: BaseException | None = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as e:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = e
+                results.append(None)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    # -- sharding ------------------------------------------------------------ #
+    @staticmethod
+    def _split_segments(segments: list[memoryview], count: int) -> list[list[memoryview]]:
+        """Split flat byte segments into ``count`` contiguous chunk views.
+
+        Pure slicing — no bytes are copied; each chunk is a list of views
+        into the caller's payload memory.
+        """
+        total = sum(len(s) for s in segments)
+        base, extra = divmod(total, count)
+        chunks: list[list[memoryview]] = []
+        queue = list(segments)
+        for i in range(count):
+            want = base + (1 if i < extra else 0)
+            chunk: list[memoryview] = []
+            while want > 0:
+                head = queue[0]
+                if len(head) <= want:
+                    chunk.append(head)
+                    want -= len(head)
+                    queue.pop(0)
+                else:
+                    chunk.append(head[:want])
+                    queue[0] = head[want:]
+                    want = 0
+            chunks.append(chunk)
+        return chunks
+
+    def _put_shard(self, target: _Target, object_id: str, chunk: list[memoryview]) -> None:
+        payload = SerializedObject(chunk)
+        if self.transport == 'tcp' and target.address is not None:
+            self._tcp_client(target.address).set(object_id, payload)
+        else:
+            get_local_node(target.node_id, self.transport).put_local(object_id, payload)
+
+    def _put_sharded(self, object_id: str, data: Any, nbytes: int) -> DIMKey:
+        targets = [self._resolve_peer(peer) for peer in self.peers]
+        chunks = self._split_segments(segments_of(data), len(targets))
+        shards = tuple(
+            DIMShard(
+                object_id=f'{object_id}.s{i}',
+                node_id=target.node_id,
+                transport=self.transport,
+                address=target.address,
+                nbytes=sum(len(piece) for piece in chunk),
+            )
+            for i, (target, chunk) in enumerate(zip(targets, chunks))
+        )
+        try:
+            self._parallel(
+                [
+                    (lambda t=target, s=shard, c=chunk: self._put_shard(t, s.object_id, c))
+                    for target, shard, chunk in zip(targets, shards, chunks)
+                ],
+            )
+        except Exception:
+            # The key never reaches the caller, so stripes already written
+            # to healthy nodes would leak forever — best-effort clean-up.
+            self._evict_shards(shards, best_effort=True)
+            raise
+        return DIMKey(
+            object_id=object_id,
+            node_id=self.node_id,
+            transport=self.transport,
+            address=self.local_node.address,
+            shards=shards,
+        )
+
+    def _get_shard(self, shard: DIMShard) -> Any | None:
+        if shard.transport == 'memory':
+            node = lookup_node(shard.node_id, 'memory')
+            if node is None:
+                raise ConnectorError(
+                    f'node {shard.node_id!r} is not reachable from this '
+                    'process (memory-transport DIM nodes are process-local)',
+                )
+            return node.get_local(shard.object_id)
+        if shard.address is None:
+            raise ConnectorError(f'TCP DIM shard missing an address: {shard!r}')
+        return self._tcp_client(shard.address).get(shard.object_id)
+
+    @staticmethod
+    def _assemble_shards(parts: Sequence[Any]) -> Optional[SerializedObject]:
+        """Reassemble fetched stripes as segment views (``None`` if any miss)."""
+        if any(part is None for part in parts):
+            return None
+        pieces: list[Any] = []
+        for part in parts:
+            if isinstance(part, SerializedObject):
+                pieces.extend(part.pieces)
+            else:
+                pieces.append(part)
+        return SerializedObject(pieces)
+
+    def _get_sharded(self, key: DIMKey) -> Optional[SerializedObject]:
+        assert key.shards is not None
+        parts = self._parallel(
+            [(lambda s=shard: self._get_shard(s)) for shard in key.shards],
+        )
+        return self._assemble_shards(parts)
+
+    def _shardable(self, nbytes: int) -> bool:
+        return (
+            bool(self.peers)
+            and self.shard_threshold > 0
+            and nbytes >= self.shard_threshold
+        )
+
     # -- operations ---------------------------------------------------------- #
+    def put_local(self, object_id: str, data: Any) -> None:
+        """Store on the local node, honouring this client's transport knobs.
+
+        TCP writes go through this client's own pooled connection (so the
+        configured ``pool_size``/``timeout`` apply) rather than the shared
+        node's default client.
+        """
+        if self.transport == 'tcp' and self.local_node.address is not None:
+            self._tcp_client(self.local_node.address).set(object_id, data)
+        else:
+            self.local_node.put_local(object_id, data)
+
+    def _put_local_batch(self, items: Sequence[tuple[str, Any]]) -> None:
+        if self.transport == 'tcp' and self.local_node.address is not None:
+            self._tcp_client(self.local_node.address).mset(items)
+        else:
+            self.local_node.put_local_batch(items)
+
     def put(self, data) -> DIMKey:
         object_id = new_object_id()
-        self.local_node.put_local(object_id, data)
+        nbytes = payload_nbytes(data)
+        if self._shardable(nbytes):
+            return self._put_sharded(object_id, data, nbytes)
+        self.put_local(object_id, data)
         return DIMKey(
             object_id=object_id,
             node_id=self.node_id,
@@ -51,6 +304,8 @@ class DIMClient:
         )
 
     def get(self, key: DIMKey) -> Optional[bytes]:
+        if key.shards:
+            return self._get_sharded(key)
         if key.transport == 'memory':
             node = lookup_node(key.node_id, 'memory')
             if node is None:
@@ -64,6 +319,8 @@ class DIMClient:
         return self._tcp_client(key.address).get(key.object_id)
 
     def exists(self, key: DIMKey) -> bool:
+        if key.shards:
+            return all(self._shard_exists(shard) for shard in key.shards)
         if key.transport == 'memory':
             node = lookup_node(key.node_id, 'memory')
             return node is not None and node.exists_local(key.object_id)
@@ -71,7 +328,18 @@ class DIMClient:
             return False
         return self._tcp_client(key.address).exists(key.object_id)
 
+    def _shard_exists(self, shard: DIMShard) -> bool:
+        if shard.transport == 'memory':
+            node = lookup_node(shard.node_id, 'memory')
+            return node is not None and node.exists_local(shard.object_id)
+        if shard.address is None:
+            return False
+        return self._tcp_client(shard.address).exists(shard.object_id)
+
     def evict(self, key: DIMKey) -> None:
+        if key.shards:
+            self._evict_shards(key.shards)
+            return
         if key.transport == 'memory':
             node = lookup_node(key.node_id, 'memory')
             if node is not None:
@@ -80,8 +348,130 @@ class DIMClient:
         if key.address is not None:
             self._tcp_client(key.address).delete(key.object_id)
 
+    def _evict_shards(
+        self,
+        shards: Iterable[DIMShard],
+        by_address: 'dict[tuple[str, int], list[str]] | None' = None,
+        *,
+        best_effort: bool = False,
+    ) -> None:
+        """Evict shards, folding TCP deletions into ``by_address`` batches.
+
+        ``by_address`` may be pre-seeded with plain-key deletions (see
+        :meth:`evict_batch`) so each node still receives exactly one MDEL.
+        With ``best_effort`` an unreachable node does not stop the clean-up
+        of the remaining nodes (used when undoing a failed sharded put).
+        """
+        by_address = {} if by_address is None else by_address
+        for shard in shards:
+            if shard.transport == 'memory':
+                node = lookup_node(shard.node_id, 'memory')
+                if node is not None:
+                    node.evict_local(shard.object_id)
+            elif shard.address is not None:
+                by_address.setdefault(tuple(shard.address), []).append(shard.object_id)
+        first_error: ConnectorError | None = None
+        for address, object_ids in by_address.items():
+            try:
+                self._tcp_client(address).mdel(object_ids)
+            except ConnectorError as e:
+                # Keep deleting on the remaining (healthy) nodes either
+                # way; an unreachable node must not leak their stripes.
+                if first_error is None:
+                    first_error = e
+        if first_error is not None and not best_effort:
+            raise first_error
+
+    # -- batch operations ----------------------------------------------------- #
+    def put_batch(self, datas: Sequence[Any]) -> list[DIMKey]:
+        """Store several payloads; small TCP payloads share one MSET."""
+        keys: list[DIMKey | None] = [None] * len(datas)
+        plain: list[tuple[int, str, Any]] = []
+        for i, data in enumerate(datas):
+            nbytes = payload_nbytes(data)
+            if self._shardable(nbytes):
+                keys[i] = self._put_sharded(new_object_id(), data, nbytes)
+            else:
+                plain.append((i, new_object_id(), data))
+        if plain:
+            self._put_local_batch(
+                [(object_id, data) for _, object_id, data in plain],
+            )
+            for i, object_id, _ in plain:
+                keys[i] = DIMKey(
+                    object_id=object_id,
+                    node_id=self.node_id,
+                    transport=self.transport,
+                    address=self.local_node.address,
+                )
+        return keys  # type: ignore[return-value]
+
+    def get_batch(self, keys: Sequence[DIMKey]) -> list[Any]:
+        """Fetch several keys: one MGET per node, in parallel across nodes.
+
+        Sharded keys contribute their individual stripe fetches to the same
+        parallel round as the per-node MGETs (flat — no nested fan-out), so
+        a batch of large striped objects overlaps their transfers instead of
+        draining one object at a time.
+        """
+        results: list[Any] = [None] * len(keys)
+        by_address: dict[tuple[str, int], list[tuple[int, str]]] = {}
+        shard_parts: dict[int, list[Any]] = {}
+        thunks: list[Any] = []
+        for i, key in enumerate(keys):
+            if key.shards:
+                shard_parts[i] = [None] * len(key.shards)
+                # One thunk per stripe keeps stripes of one object parallel:
+                for j, shard in enumerate(key.shards):
+                    thunks.append(
+                        lambda i=i, j=j, s=shard: shard_parts[i].__setitem__(
+                            j, self._get_shard(s),
+                        ),
+                    )
+            elif key.transport == 'memory' or key.address is None:
+                results[i] = self.get(key)
+            else:
+                by_address.setdefault(tuple(key.address), []).append(
+                    (i, key.object_id),
+                )
+
+        def fetch(address: tuple[str, int], wanted: list[tuple[int, str]]) -> None:
+            values = self._tcp_client(address).mget(
+                [object_id for _, object_id in wanted],
+            )
+            for (i, _), value in zip(wanted, values):
+                results[i] = value
+
+        thunks.extend(
+            (lambda a=address, w=wanted: fetch(a, w))
+            for address, wanted in by_address.items()
+        )
+        if thunks:
+            self._parallel(thunks)
+        for i, parts in shard_parts.items():
+            results[i] = self._assemble_shards(parts)
+        return results
+
+    def evict_batch(self, keys: Sequence[DIMKey]) -> None:
+        """Evict several keys: one MDEL per node."""
+        by_address: dict[tuple[str, int], list[str]] = {}
+        shards: list[DIMShard] = []
+        for key in keys:
+            if key.shards:
+                shards.extend(key.shards)
+            elif key.transport == 'memory':
+                node = lookup_node(key.node_id, 'memory')
+                if node is not None:
+                    node.evict_local(key.object_id)
+            elif key.address is not None:
+                by_address.setdefault(tuple(key.address), []).append(key.object_id)
+        self._evict_shards(shards, by_address)
+
     def close(self) -> None:
         with self._lock:
             for client in self._tcp_clients.values():
                 client.close()
             self._tcp_clients.clear()
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False)

@@ -4,11 +4,37 @@ from __future__ import annotations
 import threading
 from typing import Any
 from typing import NamedTuple
+from typing import Sequence
 
 from repro.kvserver.server import KVServer
 from repro.serialize.buffers import freeze_payload
 
-__all__ = ['DIMKey', 'DIMNode', 'get_local_node', 'reset_nodes', 'lookup_node']
+__all__ = [
+    'DIMKey',
+    'DIMNode',
+    'DIMShard',
+    'get_local_node',
+    'reset_nodes',
+    'lookup_node',
+]
+
+
+class DIMShard(NamedTuple):
+    """One stripe of a sharded object and the node server holding it.
+
+    Attributes:
+        object_id: shard-unique object identifier.
+        node_id: logical node name the shard lives on.
+        transport: ``'memory'`` or ``'tcp'``.
+        address: ``(host, port)`` for TCP nodes, ``None`` for memory nodes.
+        nbytes: payload size of this shard.
+    """
+
+    object_id: str
+    node_id: str
+    transport: str
+    address: tuple[str, int] | None
+    nbytes: int
 
 
 class DIMKey(NamedTuple):
@@ -19,12 +45,16 @@ class DIMKey(NamedTuple):
         node_id: logical node name the object lives on.
         transport: ``'memory'`` or ``'tcp'``.
         address: ``(host, port)`` for TCP nodes, ``None`` for memory nodes.
+        shards: for large objects striped across nodes, the ordered shard
+            locations whose concatenation is the object (``None`` for plain
+            single-node objects).
     """
 
     object_id: str
     node_id: str
     transport: str
     address: tuple[str, int] | None
+    shards: tuple[DIMShard, ...] | None = None
 
 
 class DIMNode:
@@ -43,6 +73,7 @@ class DIMNode:
         self._data: dict[str, Any] = {}
         self._lock = threading.Lock()
         self._server: KVServer | None = None
+        self._client: Any = None
         if transport == 'tcp':
             self._server = KVServer()
             self._server.start()
@@ -55,19 +86,38 @@ class DIMNode:
         assert self._server.port is not None
         return (self._server.host, self._server.port)
 
+    def _own_client(self):
+        """Persistent pipelined client to this node's own server (tcp only)."""
+        client = self._client
+        if client is None:
+            with self._lock:
+                if self._client is None:
+                    from repro.kvserver.client import KVClient
+
+                    host, port = self.address  # type: ignore[misc]
+                    self._client = KVClient(host, port)
+                client = self._client
+        return client
+
     # -- local (RDMA-like) access ------------------------------------------ #
     def put_local(self, object_id: str, data: Any) -> None:
         if self.transport == 'tcp':
             # Store through the server so remote clients see the object; the
             # KV client sends the payload's segments out-of-band (no copy).
-            from repro.kvserver.client import KVClient
-
-            host, port = self.address  # type: ignore[misc]
-            with KVClient(host, port) as client:
-                client.set(object_id, data)
+            self._own_client().set(object_id, data)
         else:
             with self._lock:
                 self._data[object_id] = freeze_payload(data)
+
+    def put_local_batch(self, items: Sequence[tuple[str, Any]]) -> None:
+        """Store several objects — one MSET round trip for TCP nodes."""
+        if self.transport == 'tcp':
+            self._own_client().mset(items)
+        else:
+            frozen = [(object_id, freeze_payload(data)) for object_id, data in items]
+            with self._lock:
+                for object_id, data in frozen:
+                    self._data[object_id] = data
 
     def get_local(self, object_id: str) -> Any | None:
         with self._lock:
@@ -82,6 +132,9 @@ class DIMNode:
             self._data.pop(object_id, None)
 
     def close(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
         if self._server is not None:
             self._server.stop()
         with self._lock:

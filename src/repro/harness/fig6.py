@@ -140,6 +140,11 @@ def run_figure6(
         columns=['system', 'method', 'input_bytes', 'roundtrip_s'],
     )
     table.add_note('times are virtual seconds on the simulated testbed fabric')
+    table.add_note(
+        'real-wire transport concurrency (pipelining, batched commands, '
+        'sharded transfers) is measured separately by '
+        'benchmarks/bench_kv_transport.py -> BENCH_kv.json',
+    )
     for system in systems:
         for method in _METHODS:
             for size in sizes:

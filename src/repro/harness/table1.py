@@ -26,4 +26,10 @@ def run_table1() -> ResultTable:
         'LocalConnector and MultiConnector are additions of this reproduction; '
         'the remaining rows correspond to Table 1 of the paper.',
     )
+    table.add_note(
+        'RedisConnector and the DIM family (Margo/UCX/ZMQ) share the '
+        'concurrent SimKV transport: pipelined multiplexing clients, '
+        'MSET/MGET/MDEL batch wire commands, and optional striping of '
+        'large objects across nodes (peers/shard_threshold).',
+    )
     return table

@@ -1,32 +1,59 @@
-"""Client for the SimKV server.
+"""Pipelined, multiplexing client for the SimKV server.
 
-The client keeps one persistent TCP connection (created lazily and re-created
-on failure) and serializes requests over it behind a lock, matching how a
-Redis client connection is typically used by a single connector instance.
+Earlier revisions held one socket behind a lock, so every request paid a
+full round trip before the next could start and N threads sharing a client
+(the normal situation: one connector instance per Store) ran at 1/N of the
+wire's capability.  This client removes that serialization:
+
+* Every request carries a **request id**; a reader thread per connection
+  receives response frames and hands each to the waiter registered under
+  its id.  Many requests from many threads are therefore *in flight on one
+  connection at once* — the send path only locks long enough to write the
+  frame (the pickling happens outside the lock).
+* A small **connection pool** (``pool_size``) spreads requests round-robin
+  across sockets, so a large transfer streaming down one connection does
+  not head-of-line block small operations, and sharded transfers to one
+  node get true parallel streams.
+* A request that fails because a pooled connection went stale (the server
+  restarted, an idle socket was torn down) is transparently **retried
+  once** on a fresh connection — SimKV commands are idempotent, so a
+  reconnectable failure no longer surfaces as a ``ConnectorError``.
 
 Payload values are transmitted zero-copy: :meth:`KVClient.set` wraps the
 payload's segments in :class:`pickle.PickleBuffer`, so the wire protocol
-scatter/gathers them straight from the caller's memory (a ``bytes`` object,
-a NumPy array buffer, ...) without building an intermediate copy.  ``get``
-returns the buffer received from the server (a ``bytes``-like view over the
-freshly received data), again without a defensive copy.
+scatter/gathers them straight from the caller's memory without building an
+intermediate copy.  ``get`` returns the buffer received by the reader
+thread (a ``bytes``-like view over freshly received data), again without a
+defensive copy.
 """
 from __future__ import annotations
 
 import pickle
 import socket
+import struct
 import threading
+import time
 from typing import Any
 from typing import Iterable
 from typing import Sequence
 
 from repro.exceptions import ConnectorError
-from repro.kvserver.protocol import recv_message
-from repro.kvserver.protocol import send_message
+from repro.kvserver.protocol import StreamDecoder
+from repro.kvserver.protocol import encode_message
 from repro.serialize.buffers import SerializedObject
 from repro.serialize.buffers import segments_of
+from repro.serialize.buffers import vectored_write
 
-__all__ = ['KVClient']
+__all__ = ['DEFAULT_POOL_SIZE', 'DEFAULT_TIMEOUT', 'KVClient']
+
+#: Default number of pooled connections per client.  Two keeps small
+#: operations flowing while a bulk transfer occupies the other socket;
+#: sharded DIM transfers raise it per node for parallel streams.
+DEFAULT_POOL_SIZE = 2
+
+#: Default per-request inactivity bound (seconds), shared by every
+#: connector that builds a :class:`KVClient`.
+DEFAULT_TIMEOUT = 10.0
 
 
 def _wrap_value(data: 'bytes | bytearray | memoryview | SerializedObject') -> list:
@@ -34,53 +61,260 @@ def _wrap_value(data: 'bytes | bytearray | memoryview | SerializedObject') -> li
     return [pickle.PickleBuffer(segment) for segment in segments_of(data)]
 
 
-class KVClient:
-    """Blocking client for a :class:`~repro.kvserver.server.KVServer`."""
+class _StaleConnectionError(Exception):
+    """A pooled connection died under a request (candidate for one retry)."""
 
-    def __init__(self, host: str, port: int, *, timeout: float = 10.0) -> None:
+
+class _Pending:
+    """A waiter for one in-flight request."""
+
+    __slots__ = ('event', 'result', 'error')
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: tuple[Any, Any] | None = None
+        self.error: Exception | None = None
+
+
+class _Connection:
+    """One pooled socket: a send lock, a reader thread, and in-flight waiters.
+
+    The reader thread is the only consumer of the socket; it dispatches
+    each ``(request_id, status, payload)`` response to the matching waiter.
+    Sends are serialized by ``_send_lock`` but *responses are not awaited
+    under it*, which is what allows pipelining.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float) -> None:
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # The reader thread owns all receives and blocks until frames
+        # arrive; request waits are bounded client-side by *inactivity*
+        # (see request()), so recv never times out.  Sends are bounded in
+        # the kernel instead (SO_SNDTIMEO does not affect recv): a server
+        # that stops reading makes sendmsg fail after ~timeout rather than
+        # blocking the sender (and _send_lock) forever.
+        self.sock.settimeout(None)
+        try:
+            self.sock.setsockopt(
+                socket.SOL_SOCKET,
+                socket.SO_SNDTIMEO,
+                struct.pack('ll', int(timeout), int((timeout % 1.0) * 1e6)),
+            )
+        except (OSError, ValueError):  # pragma: no cover - niche platforms
+            pass
+        self._send_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._pending: dict[int, _Pending] = {}
+        self._next_id = 0
+        self.dead = False
+        self.dead_error: Exception | None = None
+        #: Monotonic timestamp of the last bytes received — a large response
+        #: that is still streaming keeps refreshing this, so waiters do not
+        #: time out on transfers that are making progress.
+        self.last_activity = time.monotonic()
+        self._reader = threading.Thread(
+            target=self._read_loop, name='simkv-client-reader', daemon=True,
+        )
+        self._reader.start()
+
+    # -- receive side ------------------------------------------------------ #
+    def _touch(self, _nbytes: int) -> None:
+        self.last_activity = time.monotonic()
+
+    def _read_loop(self) -> None:
+        decoder = StreamDecoder()
+        while True:
+            try:
+                message = decoder.read_message(self.sock, on_bytes=self._touch)
+            except Exception as e:  # noqa: BLE001 - any failure kills the conn
+                self._fail(e)
+                return
+            if message is None:
+                self._fail(ConnectionError('SimKV server closed the connection'))
+                return
+            try:
+                request_id, status, payload = message
+            except (TypeError, ValueError):
+                self._fail(ConnectorError(f'malformed SimKV response: {message!r}'))
+                return
+            with self._state_lock:
+                pending = self._pending.pop(request_id, None)
+            if pending is not None:
+                pending.result = (status, payload)
+                pending.event.set()
+
+    def _fail(self, error: Exception) -> None:
+        """Mark the connection dead and wake every in-flight waiter."""
+        with self._state_lock:
+            if self.dead:
+                return
+            self.dead = True
+            self.dead_error = error
+            pending, self._pending = self._pending, {}
+        for waiter in pending.values():
+            waiter.error = error
+            waiter.event.set()
+        # shutdown() (unlike a bare close()) reliably wakes a reader thread
+        # blocked in recv so join_reader() returns promptly.
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - platform dependent
+            pass
+
+    def join_reader(self, timeout: float = 2.0) -> None:
+        """Wait for the reader thread to exit (after :meth:`_fail`).
+
+        Leaving the daemon reader alive at interpreter shutdown can crash
+        teardown (it may hold buffer exports over memory being finalized),
+        so :meth:`KVClient.close` joins it.  A reader joining itself (a
+        failure detected *on* the reader thread) is skipped.
+        """
+        if self._reader is not threading.current_thread():
+            self._reader.join(timeout=timeout)
+
+    # -- send side --------------------------------------------------------- #
+    def request(self, message_tail: tuple, timeout: float | None) -> tuple[Any, Any]:
+        """Issue one request and wait for its response.
+
+        ``timeout`` bounds *inactivity*, not total duration: as long as the
+        connection keeps receiving bytes (a large response streaming in, or
+        other pipelined responses), the wait continues — matching the
+        per-``recv`` socket timeout of the pre-pipelining client.
+
+        Raises ``_StaleConnectionError`` when the connection died (before,
+        during, or after the send) — the caller may retry on a fresh one.
+        """
+        waiter = _Pending()
+        with self._state_lock:
+            if self.dead:
+                raise _StaleConnectionError(self.dead_error)
+            request_id = self._next_id
+            self._next_id += 1
+            self._pending[request_id] = waiter
+        # Pickle outside the send lock so concurrent senders only serialize
+        # on the actual socket write.
+        segments = encode_message((request_id, *message_tail))
+        try:
+            with self._send_lock:
+                vectored_write(self.sock.sendmsg, segments)
+        except OSError as e:
+            with self._state_lock:
+                self._pending.pop(request_id, None)
+            self._fail(e)
+            raise _StaleConnectionError(e) from e
+        sent_at = time.monotonic()
+        if timeout is None:
+            waiter.event.wait()
+        else:
+            while not waiter.event.is_set():
+                idle_for = time.monotonic() - max(self.last_activity, sent_at)
+                remaining = timeout - idle_for
+                if remaining <= 0:
+                    with self._state_lock:
+                        self._pending.pop(request_id, None)
+                    raise ConnectorError(
+                        f'SimKV request timed out after {timeout}s of '
+                        'connection inactivity',
+                    )
+                waiter.event.wait(remaining)
+        if waiter.error is not None:
+            raise _StaleConnectionError(waiter.error)
+        assert waiter.result is not None
+        return waiter.result
+
+    def close(self) -> None:
+        self._fail(ConnectionError('client closed the connection'))
+        self.join_reader()
+
+
+class KVClient:
+    """Pipelined client for a :class:`~repro.kvserver.server.KVServer`.
+
+    Args:
+        host: server host name.
+        port: server port.
+        timeout: seconds to wait for a connect, and the per-request
+            *inactivity* bound — a request only times out once its
+            connection has received no bytes for this long, so large
+            transfers that are still streaming never trip it.
+        pool_size: number of pooled connections requests round-robin over.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = DEFAULT_TIMEOUT,
+        pool_size: int = DEFAULT_POOL_SIZE,
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError('pool_size must be at least 1')
         self.host = host
         self.port = port
         self.timeout = timeout
-        self._sock: socket.socket | None = None
-        self._lock = threading.Lock()
+        self.pool_size = pool_size
+        self._pool: list[_Connection | None] = [None] * pool_size
+        self._pool_lock = threading.Lock()
+        # Per-slot locks so a blocking (re)connect of one slot never stalls
+        # requests using the other, healthy pooled connections.
+        self._slot_locks = [threading.Lock() for _ in range(pool_size)]
+        self._round_robin = 0
 
     # -- connection management -------------------------------------------- #
-    def _connect(self) -> socket.socket:
-        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        return sock
-
-    def _request(self, command: str, key: str | None = None, value: Any = None) -> Any:
-        with self._lock:
-            if self._sock is None:
+    def _connection(self) -> _Connection:
+        """Return the next pooled connection, (re)connecting a dead slot."""
+        with self._pool_lock:
+            index = self._round_robin % self.pool_size
+            self._round_robin += 1
+        with self._slot_locks[index]:
+            connection = self._pool[index]
+            if connection is None or connection.dead:
                 try:
-                    self._sock = self._connect()
+                    connection = _Connection(self.host, self.port, self.timeout)
                 except OSError as e:
                     raise ConnectorError(
-                        f'cannot connect to SimKV server at {self.host}:{self.port}: {e}',
+                        f'cannot connect to SimKV server at '
+                        f'{self.host}:{self.port}: {e}',
                     ) from e
+                self._pool[index] = connection
+            return connection
+
+    def _request(self, command: str, key: str | None = None, value: Any = None) -> Any:
+        """Issue ``command`` and return its payload.
+
+        A request that fails because its pooled connection went stale is
+        retried on a fresh connection (every SimKV command is idempotent).
+        Up to ``pool_size`` stale connections may be encountered before a
+        fresh one (e.g. after a server restart every pooled socket is
+        dead), so stale failures do not consume the retry — the request
+        only fails after ``pool_size + 1`` attempts.
+        """
+        last_error: Exception | None = None
+        for _attempt in range(self.pool_size + 1):
+            connection = self._connection()
             try:
-                send_message(self._sock, (command, key, value))
-                response = recv_message(self._sock)
-            except OSError as e:
-                self.close()
-                raise ConnectorError(f'SimKV request failed: {e}') from e
-            if response is None:
-                self.close()
-                raise ConnectorError('SimKV server closed the connection')
-            status, payload = response
+                status, payload = connection.request((command, key, value), self.timeout)
+            except _StaleConnectionError as e:
+                last_error = e.__cause__ or (e.args[0] if e.args else e)
+                continue
             if status != 'ok':
                 raise ConnectorError(f'SimKV error: {payload}')
             return payload
+        raise ConnectorError(f'SimKV request failed: {last_error}')
 
     def close(self) -> None:
-        """Close the underlying socket (a later request reconnects)."""
-        if self._sock is not None:
-            try:
-                self._sock.close()
-            except OSError:  # pragma: no cover
-                pass
-            self._sock = None
+        """Close every pooled connection (a later request reconnects)."""
+        with self._pool_lock:
+            connections = [c for c in self._pool if c is not None]
+            self._pool = [None] * self.pool_size
+        for connection in connections:
+            connection.close()
 
     def __enter__(self) -> 'KVClient':
         return self

@@ -13,10 +13,20 @@ pushes header, pickle and raw buffers through one scatter/gather
 (``sendmsg``) loop; the receiver reads each buffer straight into a fresh
 ``bytearray`` via ``recv_into`` and hands the views to ``pickle.loads``.
 
-Requests are ``(command, key, value)`` tuples; responses are
-``(status, payload)`` tuples where ``status`` is ``'ok'`` or ``'error'``.
+Requests are ``(request_id, command, key, value)`` tuples; responses are
+``(request_id, status, payload)`` tuples where ``status`` is ``'ok'`` or
+``'error'``.  Request ids let many requests share one connection: a
+pipelined client tags each request and a reader thread matches responses
+back to waiters, so the transport no longer serializes round trips.
 Pickle is acceptable here because both ends are this library (SimKV is an
 internal substrate, not an internet-facing service).
+
+Two consumption styles are provided on the receive side:
+
+* :func:`recv_message` — blocking, used by the client reader thread.
+* :class:`StreamDecoder` — an incremental state machine fed from a
+  non-blocking socket, used by the event-loop server.  Both read
+  out-of-band buffers straight into pre-sized ``bytearray`` objects.
 """
 from __future__ import annotations
 
@@ -29,6 +39,9 @@ from repro.serialize.buffers import vectored_write
 
 __all__ = [
     'COMMANDS',
+    'MAX_FRAME_BYTES',
+    'StreamDecoder',
+    'encode_message',
     'recv_message',
     'send_message',
 ]
@@ -42,17 +55,33 @@ COMMANDS = frozenset({
 _HEADER = struct.Struct('>II')
 _U64 = struct.Struct('>Q')
 
+#: Defensive bound on one frame (pickle stream + out-of-band buffers).
+#: Real payloads are far smaller; without it a corrupt or desynchronized
+#: stream could drive multi-GB allocations straight from wire headers.
+MAX_FRAME_BYTES = 1 << 34  # 16 GiB
+_MAX_BUFFERS = 1 << 20
+
+
+def _check_frame(pickle_len: int, n_buffers: int, buffer_bytes: int = 0) -> None:
+    """Reject frame dimensions no legitimate sender produces."""
+    if n_buffers > _MAX_BUFFERS or pickle_len + buffer_bytes > MAX_FRAME_BYTES:
+        raise ValueError(
+            f'corrupt or oversized SimKV frame: pickle_len={pickle_len}, '
+            f'n_buffers={n_buffers}, buffer_bytes={buffer_bytes}',
+        )
+
 
 def _sendmsg_all(sock: socket.socket, buffers: list[memoryview]) -> None:
     """Send every buffer with scatter/gather writes, handling partial sends."""
     vectored_write(sock.sendmsg, buffers)
 
 
-def send_message(sock: socket.socket, message: Any) -> None:
-    """Pickle ``message`` (buffers out-of-band) and send it with one frame.
+def encode_message(message: Any) -> list[memoryview]:
+    """Pickle ``message`` (buffers out-of-band) into wire-order segments.
 
-    ``PickleBuffer``-wrapped segments inside ``message`` are transmitted
-    without ever being copied into the pickle stream.
+    ``PickleBuffer``-wrapped segments inside ``message`` are *aliased*, not
+    copied: the returned list holds views over the caller's memory, ready
+    for one scatter/gather send (or an event loop's outgoing queue).
     """
     pickle_buffers: list[pickle.PickleBuffer] = []
     payload = pickle.dumps(
@@ -68,7 +97,12 @@ def send_message(sock: socket.socket, message: Any) -> None:
             *(_U64.pack(r.nbytes) for r in raws),
         ],
     )
-    _sendmsg_all(sock, [memoryview(header), memoryview(payload), *raws])
+    return [memoryview(header), memoryview(payload), *raws]
+
+
+def send_message(sock: socket.socket, message: Any) -> None:
+    """Pickle ``message`` (buffers out-of-band) and send it with one frame."""
+    _sendmsg_all(sock, encode_message(message))
 
 
 def _recv_exact(sock: socket.socket, nbytes: int) -> bytes | None:
@@ -105,14 +139,18 @@ def recv_message(sock: socket.socket) -> Any | None:
     if header is None:
         return None
     pickle_len, n_buffers = _HEADER.unpack(header)
+    _check_frame(pickle_len, n_buffers)
     buffers: list[bytearray] = []
     if n_buffers:
         lengths_raw = _recv_exact(sock, _U64.size * n_buffers)
         if lengths_raw is None:
             return None
-        for i in range(n_buffers):
-            (length,) = _U64.unpack_from(lengths_raw, i * _U64.size)
-            buffers.append(bytearray(length))
+        lengths = [
+            _U64.unpack_from(lengths_raw, i * _U64.size)[0]
+            for i in range(n_buffers)
+        ]
+        _check_frame(pickle_len, n_buffers, sum(lengths))
+        buffers = [bytearray(length) for length in lengths]
     payload = _recv_exact(sock, pickle_len)
     if payload is None:
         return None
@@ -120,3 +158,146 @@ def recv_message(sock: socket.socket) -> Any | None:
         if not _recv_into_exact(sock, buffer):
             return None
     return pickle.loads(payload, buffers=buffers)
+
+
+# --------------------------------------------------------------------------- #
+# Incremental decoding for the non-blocking event-loop server
+# --------------------------------------------------------------------------- #
+_STAGE_HEADER = 0
+_STAGE_LENGTHS = 1
+_STAGE_PICKLE = 2
+_STAGE_BUFFERS = 3
+
+_NO_MESSAGE = object()
+
+
+class StreamDecoder:
+    """Incremental frame decoder fed from a non-blocking socket.
+
+    The decoder keeps exactly one fill target at a time (frame header,
+    buffer-length table, pickle bytes, or the current out-of-band buffer)
+    and reads into it with ``recv_into`` — the same one-allocation,
+    no-join receive path as :func:`recv_message`, restartable at any byte
+    boundary so a single event-loop thread can interleave many
+    connections.
+    """
+
+    __slots__ = (
+        '_stage', '_target', '_filled',
+        '_pickle', '_buffers', '_buffer_index',
+    )
+
+    def __init__(self) -> None:
+        self._reset()
+
+    def _reset(self) -> None:
+        self._stage = _STAGE_HEADER
+        self._target = memoryview(bytearray(_HEADER.size))
+        self._filled = 0
+        self._pickle: bytearray | None = None
+        self._buffers: list[bytearray] = []
+        self._buffer_index = 0
+
+    def _begin(self, stage: int, size: int) -> None:
+        self._stage = stage
+        self._target = memoryview(bytearray(size))
+        self._filled = 0
+
+    def _next_buffer_stage(self) -> Any:
+        """Advance to the next non-empty out-of-band buffer (or finish)."""
+        while self._buffer_index < len(self._buffers):
+            buffer = self._buffers[self._buffer_index]
+            if len(buffer):
+                self._stage = _STAGE_BUFFERS
+                self._target = memoryview(buffer)
+                self._filled = 0
+                return _NO_MESSAGE
+            self._buffer_index += 1
+        return self._finish()
+
+    def _finish(self) -> Any:
+        assert self._pickle is not None
+        message = pickle.loads(bytes(self._pickle), buffers=self._buffers)
+        self._reset()
+        return message
+
+    def _advance(self) -> Any:
+        """Handle a completely filled target; returns a message when done."""
+        if self._stage == _STAGE_HEADER:
+            pickle_len, n_buffers = _HEADER.unpack(self._target)
+            _check_frame(pickle_len, n_buffers)
+            self._pickle = bytearray(pickle_len)
+            if n_buffers:
+                self._begin(_STAGE_LENGTHS, _U64.size * n_buffers)
+            else:
+                self._stage = _STAGE_PICKLE
+                self._target = memoryview(self._pickle)
+                self._filled = 0
+            return _NO_MESSAGE
+        if self._stage == _STAGE_LENGTHS:
+            raw = self._target
+            lengths = [
+                _U64.unpack_from(raw, i * _U64.size)[0]
+                for i in range(len(raw) // _U64.size)
+            ]
+            assert self._pickle is not None
+            _check_frame(len(self._pickle), len(lengths), sum(lengths))
+            self._buffers = [bytearray(length) for length in lengths]
+            self._stage = _STAGE_PICKLE
+            self._target = memoryview(self._pickle)
+            self._filled = 0
+            return _NO_MESSAGE
+        if self._stage == _STAGE_PICKLE:
+            if self._buffers:
+                self._buffer_index = 0
+                return self._next_buffer_stage()
+            return self._finish()
+        # _STAGE_BUFFERS: current buffer filled, move to the next one.
+        self._buffer_index += 1
+        return self._next_buffer_stage()
+
+    def read_message(
+        self,
+        sock: socket.socket,
+        on_bytes: Any = None,
+    ) -> Any | None:
+        """Blocking receive of one message; ``None`` on a closed peer.
+
+        ``on_bytes(n)`` is invoked after every successful ``recv_into`` so a
+        caller can observe byte-level progress (e.g. to distinguish a large
+        transfer that is still streaming from a dead connection).
+        """
+        while True:
+            received = sock.recv_into(self._target[self._filled:])
+            if received == 0:
+                return None
+            if on_bytes is not None:
+                on_bytes(received)
+            self._filled += received
+            if self._filled == len(self._target):
+                message = self._advance()
+                if message is not _NO_MESSAGE:
+                    return message
+
+    def read_from(self, sock: socket.socket) -> tuple[list[Any], bool]:
+        """Drain readable bytes from ``sock``; returns ``(messages, closed)``.
+
+        Reads until the socket would block (``messages`` holds every frame
+        completed by the drained bytes) or the peer closes/errors
+        (``closed`` is True; partially received frames are discarded).
+        """
+        messages: list[Any] = []
+        while True:
+            try:
+                received = sock.recv_into(self._target[self._filled:])
+            except (BlockingIOError, InterruptedError):
+                return messages, False
+            except OSError:
+                return messages, True
+            if received == 0:
+                return messages, True
+            self._filled += received
+            if self._filled == len(self._target):
+                message = self._advance()
+                if message is not _NO_MESSAGE:
+                    messages.append(message)

@@ -1,20 +1,50 @@
-"""The SimKV server: a threaded TCP key-value store.
+"""The SimKV server: a non-blocking, event-loop TCP key-value store.
 
-One server instance holds an in-memory ``dict`` guarded by a lock and serves
-any number of concurrent client connections, each handled by its own thread
-(the workload is I/O bound so Python threads are adequate, as the HPC Python
-guidance recommends for network-bound servers).
+One server instance holds an in-memory ``dict`` and serves any number of
+concurrent client connections from a single ``selectors`` event loop —
+no thread is spawned per connection, so thousands of pipelined clients
+cost one file descriptor each instead of a Python thread each.  The loop
+keeps the scatter/gather zero-copy framing of the wire protocol: requests
+are decoded incrementally with ``recv_into`` into pre-sized buffers
+(:class:`~repro.kvserver.protocol.StreamDecoder`) and responses are queued
+as wire-order segments flushed with non-blocking ``sendmsg``, so payload
+bytes go straight between storage and the socket without intermediate
+joins.
+
+Shutdown drains: :meth:`KVServer.stop` closes the listener, keeps the loop
+running until every already-received request has been answered and every
+queued response byte flushed (bounded by ``drain_timeout``), and only then
+closes the client connections.
 """
 from __future__ import annotations
 
+import selectors
 import socket
 import threading
+import time
+from collections import deque
+from itertools import islice
 from typing import Any
 
-from repro.kvserver.protocol import recv_message
-from repro.kvserver.protocol import send_message
+from repro.kvserver.protocol import StreamDecoder
+from repro.kvserver.protocol import encode_message
+from repro.serialize.buffers import IOV_MAX
 
 __all__ = ['KVServer', 'launch_server']
+
+
+class _ClientConn:
+    """Per-connection state tracked by the event loop."""
+
+    __slots__ = ('sock', 'decoder', 'out', 'events')
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.decoder = StreamDecoder()
+        #: Outgoing wire segments not yet accepted by the kernel.
+        self.out: deque[memoryview] = deque()
+        #: Currently registered selector interest mask.
+        self.events = selectors.EVENT_READ
 
 
 class KVServer:
@@ -23,51 +53,74 @@ class KVServer:
     Args:
         host: interface to bind (default loopback).
         port: TCP port; ``0`` picks a free ephemeral port.
+        drain_timeout: maximum seconds :meth:`stop` keeps serving to drain
+            in-flight requests and flush queued responses.
     """
 
-    def __init__(self, host: str = '127.0.0.1', port: int = 0) -> None:
+    def __init__(
+        self,
+        host: str = '127.0.0.1',
+        port: int = 0,
+        *,
+        drain_timeout: float = 5.0,
+    ) -> None:
         self.host = host
         self._requested_port = port
         self.port: int | None = None
+        self.drain_timeout = drain_timeout
         # Values are whatever buffer the protocol layer received into
         # (bytes, bytearray, or a view thereof) — stored without copying.
         self._data: dict[str, Any] = {}
         self._lock = threading.Lock()
         self._listener: socket.socket | None = None
-        self._accept_thread: threading.Thread | None = None
-        self._client_threads: list[threading.Thread] = []
+        self._selector: selectors.BaseSelector | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._wake_recv: socket.socket | None = None
+        self._wake_send: socket.socket | None = None
+        self._conns: dict[socket.socket, _ClientConn] = {}
         self._running = threading.Event()
 
     # -- lifecycle -------------------------------------------------------- #
     def start(self) -> tuple[str, int]:
-        """Bind, listen and start accepting connections; returns (host, port)."""
+        """Bind, listen and start the event loop; returns (host, port)."""
         if self._running.is_set():
             return (self.host, self.port or 0)
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self.host, self._requested_port))
         listener.listen(128)
+        listener.setblocking(False)
         self._listener = listener
         self.port = listener.getsockname()[1]
+        self._wake_recv, self._wake_send = socket.socketpair()
+        self._wake_recv.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(listener, selectors.EVENT_READ, 'listener')
+        self._selector.register(self._wake_recv, selectors.EVENT_READ, 'wake')
         self._running.set()
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name='simkv-accept', daemon=True,
+        self._loop_thread = threading.Thread(
+            target=self._serve_loop, name='simkv-loop', daemon=True,
         )
-        self._accept_thread.start()
+        self._loop_thread.start()
         return (self.host, self.port)
 
     def stop(self) -> None:
-        """Stop accepting connections and close the listener."""
+        """Drain in-flight requests, then close every connection.
+
+        New connections are refused immediately; requests whose bytes have
+        already reached the server are still answered and queued response
+        bytes are flushed, bounded by ``drain_timeout``.
+        """
         if not self._running.is_set():
             return
         self._running.clear()
-        if self._listener is not None:
+        if self._wake_send is not None:
             try:
-                self._listener.close()
-            except OSError:  # pragma: no cover - platform dependent
+                self._wake_send.send(b'\x00')
+            except OSError:  # pragma: no cover - loop already gone
                 pass
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=2)
+        if self._loop_thread is not None:
+            self._loop_thread.join(timeout=self.drain_timeout + 2)
         with self._lock:
             self._data.clear()
 
@@ -86,35 +139,159 @@ class KVServer:
         with self._lock:
             return len(self._data)
 
-    # -- networking -------------------------------------------------------- #
-    def _accept_loop(self) -> None:
-        assert self._listener is not None
-        while self._running.is_set():
-            try:
-                conn, _addr = self._listener.accept()
-            except OSError:
-                break  # listener closed during shutdown
-            thread = threading.Thread(
-                target=self._serve_client, args=(conn,), daemon=True,
-            )
-            thread.start()
-            self._client_threads.append(thread)
-
-    def _serve_client(self, conn: socket.socket) -> None:
-        with conn:
-            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    # -- event loop -------------------------------------------------------- #
+    def _serve_loop(self) -> None:
+        selector = self._selector
+        assert selector is not None
+        draining = False
+        drain_deadline = 0.0
+        try:
             while True:
+                if draining:
+                    if time.monotonic() >= drain_deadline:
+                        break
+                    events = selector.select(timeout=0.02)
+                    if not events and not any(c.out for c in self._conns.values()):
+                        break  # quiet pass with nothing left to flush: drained
+                else:
+                    events = selector.select(timeout=None)
+                for key, _mask in events:
+                    if key.data == 'listener':
+                        self._accept_ready()
+                    elif key.data == 'wake':
+                        self._drain_wake_pipe()
+                        if not self._running.is_set() and not draining:
+                            draining = True
+                            drain_deadline = time.monotonic() + self.drain_timeout
+                            self._close_listener()
+                    else:
+                        # Fault isolation: a malformed frame or per-request
+                        # failure kills only the offending connection — the
+                        # threaded server confined such errors to one client
+                        # thread and the event loop must do no worse.
+                        try:
+                            self._service_conn(key.data, _mask)
+                        except Exception:  # noqa: BLE001
+                            self._close_conn(key.data)
+        finally:
+            self._running.clear()
+            self._teardown()
+
+    def _accept_ready(self) -> None:
+        assert self._listener is not None and self._selector is not None
+        while True:
+            try:
+                sock, _addr = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return  # listener closed during shutdown
+            sock.setblocking(False)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = _ClientConn(sock)
+            self._conns[sock] = conn
+            self._selector.register(sock, selectors.EVENT_READ, conn)
+
+    def _drain_wake_pipe(self) -> None:
+        assert self._wake_recv is not None
+        while True:
+            try:
+                if not self._wake_recv.recv(4096):
+                    return
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:  # pragma: no cover - torn down concurrently
+                return
+
+    def _close_listener(self) -> None:
+        if self._listener is None:
+            return
+        try:
+            assert self._selector is not None
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError):  # pragma: no cover - already gone
+            pass
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - platform dependent
+            pass
+
+    def _service_conn(self, conn: _ClientConn, mask: int) -> None:
+        closed = False
+        if mask & selectors.EVENT_READ:
+            messages, closed = conn.decoder.read_from(conn.sock)
+            for request in messages:
+                conn.out.extend(encode_message(self._handle(request)))
+        if conn.out:
+            # Optimistic flush: most responses fit the socket buffer, so
+            # this usually completes without a round through the selector.
+            if not self._flush(conn):
+                closed = True
+        if closed:
+            self._close_conn(conn)
+        else:
+            self._update_interest(conn)
+
+    def _flush(self, conn: _ClientConn) -> bool:
+        """Write queued segments until empty or the socket would block.
+
+        Returns False when the connection failed and must be closed.
+        """
+        out = conn.out
+        while out:
+            batch = list(islice(out, 0, IOV_MAX))
+            try:
+                sent = conn.sock.sendmsg(batch)
+            except (BlockingIOError, InterruptedError):
+                return True
+            except OSError:
+                return False
+            while sent:
+                head = out[0]
+                if sent >= len(head):
+                    sent -= len(head)
+                    out.popleft()
+                else:
+                    out[0] = head[sent:]
+                    sent = 0
+        return True
+
+    def _update_interest(self, conn: _ClientConn) -> None:
+        wanted = selectors.EVENT_READ
+        if conn.out:
+            wanted |= selectors.EVENT_WRITE
+        if wanted != conn.events:
+            conn.events = wanted
+            assert self._selector is not None
+            self._selector.modify(conn.sock, wanted, conn)
+
+    def _close_conn(self, conn: _ClientConn) -> None:
+        assert self._selector is not None
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError):  # pragma: no cover - already gone
+            pass
+        self._conns.pop(conn.sock, None)
+        try:
+            conn.sock.close()
+        except OSError:  # pragma: no cover - platform dependent
+            pass
+
+    def _teardown(self) -> None:
+        self._close_listener()
+        for conn in list(self._conns.values()):
+            self._close_conn(conn)
+        if self._selector is not None:
+            self._selector.close()
+        for wake in (self._wake_recv, self._wake_send):
+            if wake is not None:
                 try:
-                    request = recv_message(conn)
-                except (OSError, EOFError):  # pragma: no cover - abrupt close
-                    return
-                if request is None:
-                    return
-                response = self._handle(request)
-                try:
-                    send_message(conn, response)
-                except OSError:  # pragma: no cover - client vanished
-                    return
+                    wake.close()
+                except OSError:  # pragma: no cover - platform dependent
+                    pass
+        self._wake_recv = self._wake_send = None
+        self._selector = None
+        self._listener = None
 
     # -- command handling --------------------------------------------------- #
     @staticmethod
@@ -138,14 +315,31 @@ class KVServer:
             return b''.join(segments)
         return None
 
-    def _handle(self, request: Any) -> tuple[str, Any]:
+    def _handle(self, request: Any) -> tuple[Any, str, Any]:
+        """Execute one request; returns the ``(request_id, status, payload)``.
+
+        Requests are ``(request_id, command, key, value)``; bare legacy
+        ``(command, key, value)`` triples are still accepted and answered
+        with a ``None`` request id.
+        """
+        request_id: Any = None
+        try:
+            if isinstance(request, tuple) and len(request) == 4:
+                request_id, command, key, value = request
+            else:
+                command, key, value = request
+        except (TypeError, ValueError):
+            return (request_id, 'error', f'malformed request: {request!r}')
+        try:
+            status, payload = self._execute(str(command).upper(), key, value)
+        except Exception as e:  # noqa: BLE001 - one bad request must not
+            # take down the connection (let alone the event loop).
+            status, payload = 'error', f'internal error: {e!r}'
+        return (request_id, status, payload)
+
+    def _execute(self, command: str, key: Any, value: Any) -> tuple[str, Any]:
         import pickle
 
-        try:
-            command, key, value = request
-        except (TypeError, ValueError):
-            return ('error', f'malformed request: {request!r}')
-        command = str(command).upper()
         if command == 'PING':
             return ('ok', 'PONG')
         if command == 'SET':

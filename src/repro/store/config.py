@@ -61,6 +61,7 @@ class StoreConfig:
             the legacy fallback used when ``scheme`` is unset or unknown.
         connector_config: the connector's ``config()`` dictionary.
         cache_size: number of deserialized objects the store caches.
+        cache_max_bytes: optional resident-byte bound on that cache.
         metrics: whether operation metrics are recorded.
         scheme: URI scheme of the connector; resolved through the connector
             registry first, ahead of the import path.
@@ -73,6 +74,7 @@ class StoreConfig:
     connector: str | None = None
     connector_config: dict[str, Any] = field(default_factory=dict)
     cache_size: int = 16
+    cache_max_bytes: int | None = None
     metrics: bool = False
     scheme: str | None = None
     custom_serializer: bool = False
@@ -86,6 +88,7 @@ class StoreConfig:
             connector=connector_path(store.connector),
             connector_config=store.connector.config(),
             cache_size=store.cache.maxsize,
+            cache_max_bytes=store.cache.max_bytes,
             metrics=store.metrics is not None,
             scheme=_scheme_of(store.connector),
             custom_serializer=getattr(store, '_custom_serializer', False),

@@ -56,6 +56,10 @@ class Store:
         cache_size: number of deserialized objects cached per process (0
             disables caching).  Caching happens *after* deserialization so
             repeated proxy resolutions avoid duplicate deserializations.
+        cache_max_bytes: optional bound on the estimated resident bytes of
+            the deserialized-object cache; objects individually larger than
+            the bound are not cached (rather than silently evicting the
+            whole working set).
         metrics: record per-operation timing/byte metrics.
         register: automatically register the store globally by name (the
             common case); set to ``False`` for anonymous, short-lived stores.
@@ -69,6 +73,7 @@ class Store:
         serializer: Callable[[Any], bytes] | None = None,
         deserializer: Callable[[bytes], Any] | None = None,
         cache_size: int = 16,
+        cache_max_bytes: int | None = None,
         metrics: bool = False,
         register: bool = True,
     ) -> None:
@@ -84,7 +89,7 @@ class Store:
         self.deserializer = (
             deserializer if deserializer is not None else default_deserializer
         )
-        self.cache = LRUCache(cache_size)
+        self.cache = LRUCache(cache_size, max_bytes=cache_max_bytes)
         self.metrics: StoreMetrics | None = StoreMetrics() if metrics else None
         self._registered = False
         if register:
@@ -128,6 +133,7 @@ class Store:
             config.name,
             config.make_connector(),
             cache_size=config.cache_size,
+            cache_max_bytes=config.cache_max_bytes,
             metrics=config.metrics,
             register=register,
         )
@@ -153,9 +159,10 @@ class Store:
             Store.from_url('file:///tmp/proxystore-data?name=bulk-store')
             Store.from_url('local://shared-id')
 
-        Reserved query parameters: ``name``, ``cache_size``, ``metrics``,
-        ``register``.  Everything else must be consumed by the connector's
-        ``from_url`` — leftovers raise ``ValueError`` so typos fail loudly.
+        Reserved query parameters: ``name``, ``cache_size``,
+        ``cache_max_bytes``, ``metrics``, ``register``.  Everything else
+        must be consumed by the connector's ``from_url`` — leftovers raise
+        ``ValueError`` so typos fail loudly.
 
         Args:
             url: store URL (or an already-parsed :class:`StoreURL`).
@@ -178,6 +185,7 @@ class Store:
             name = query_name
         cache_size = parsed.pop_int('cache_size', 16)
         assert cache_size is not None
+        cache_max_bytes = parsed.pop_int('cache_max_bytes')
         metrics = parsed.pop_bool('metrics', False)
         register = parsed.pop_bool('register', register)
         connector: Connector = connector_cls.from_url(parsed)
@@ -193,6 +201,7 @@ class Store:
             serializer=serializer,
             deserializer=deserializer,
             cache_size=cache_size,
+            cache_max_bytes=cache_max_bytes,
             metrics=metrics,
             register=register,
         )
@@ -595,14 +604,17 @@ class Store:
             return {}
         return self.metrics.as_dict()
 
-    def cache_stats(self) -> dict[str, float]:
-        """Return cache hit/miss statistics for this store."""
+    def cache_stats(self) -> dict[str, Any]:
+        """Return cache hit/miss and residency statistics for this store."""
         stats = self.cache.stats
         return {
             'hits': stats.hits,
             'misses': stats.misses,
             'evictions': stats.evictions,
             'hit_rate': stats.hit_rate,
+            'entries': len(self.cache),
+            'resident_bytes': self.cache.resident_bytes,
+            'max_bytes': self.cache.max_bytes,
         }
 
 

@@ -132,3 +132,72 @@ def test_most_recently_set_key_is_always_present(keys):
         cache.set(key, key * 2)
         assert cache.exists(key)
         assert cache.get(key) == key * 2
+
+
+# --------------------------------------------------------------------------- #
+# Byte-bounded caching (max_bytes)
+# --------------------------------------------------------------------------- #
+def test_max_bytes_evicts_by_size():
+    cache = LRUCache(100, max_bytes=1000)
+    cache.set('a', b'x' * 400)
+    cache.set('b', b'x' * 400)
+    assert cache.resident_bytes == 800
+    cache.set('c', b'x' * 400)   # exceeds 1000 resident -> evicts 'a'
+    assert not cache.exists('a')
+    assert cache.exists('b') and cache.exists('c')
+    assert cache.resident_bytes == 800
+    assert cache.stats.evictions == 1
+
+
+def test_value_larger_than_max_bytes_is_not_cached():
+    cache = LRUCache(100, max_bytes=1000)
+    cache.set('small-1', b'x' * 100)
+    cache.set('small-2', b'x' * 100)
+    cache.set('huge', b'x' * 10_000)   # must NOT evict the working set
+    assert not cache.exists('huge')
+    assert cache.exists('small-1') and cache.exists('small-2')
+    assert cache.resident_bytes == 200
+    assert cache.stats.evictions == 0
+
+
+def test_oversized_update_drops_stale_entry():
+    cache = LRUCache(100, max_bytes=1000)
+    cache.set('k', b'x' * 100)
+    cache.set('k', b'x' * 5000)   # grew past the bound: stale copy removed
+    assert not cache.exists('k')
+    assert cache.resident_bytes == 0
+
+
+def test_resident_bytes_tracks_updates_and_evictions():
+    cache = LRUCache(100, max_bytes=10_000)
+    cache.set('k', b'x' * 100)
+    cache.set('k', b'x' * 300)   # update replaces, not accumulates
+    assert cache.resident_bytes == 300
+    cache.evict('k')
+    assert cache.resident_bytes == 0
+    cache.set('a', b'x' * 50)
+    cache.clear()
+    assert cache.resident_bytes == 0
+
+
+def test_max_bytes_uses_nbytes_attribute():
+    class Tensor:
+        nbytes = 700
+
+    cache = LRUCache(100, max_bytes=1000)
+    cache.set('t1', Tensor())
+    cache.set('t2', Tensor())   # 1400 > 1000 -> evicts t1
+    assert not cache.exists('t1')
+    assert cache.exists('t2')
+
+
+def test_negative_max_bytes_rejected():
+    with pytest.raises(ValueError):
+        LRUCache(4, max_bytes=-1)
+
+
+def test_entry_bound_still_applies_with_max_bytes():
+    cache = LRUCache(2, max_bytes=1_000_000)
+    for i in range(5):
+        cache.set(i, b'x')
+    assert len(cache) == 2

@@ -95,7 +95,8 @@ def test_malformed_request_errors(server):
 
     with socket.create_connection((server.host, server.port)) as sock:
         send_message(sock, ('only', 'two'))
-        status, payload = recv_message(sock)
+        request_id, status, payload = recv_message(sock)
+        assert request_id is None
         assert status == 'error'
         assert 'malformed' in payload
 

@@ -216,3 +216,11 @@ def test_from_url_wrap_connector():
         assert wrapped and store.connector is wrapped[0]
     finally:
         store.close(clear=True)
+
+
+def test_from_url_cache_max_bytes():
+    store = Store.from_url('local://?cache_size=4&cache_max_bytes=4096', register=False)
+    try:
+        assert store.cache.max_bytes == 4096
+    finally:
+        store.close(clear=True)

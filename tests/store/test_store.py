@@ -267,3 +267,63 @@ def test_metrics_disabled_by_default(local_store):
 
 def test_repr(local_store):
     assert 'test-local-store' in repr(local_store)
+
+
+def test_get_batch_consults_cache_before_connector():
+    class CountingConnector(LocalConnector):
+        def __init__(self):
+            super().__init__()
+            self.batch_requests: list[int] = []
+
+        def get_batch(self, keys):
+            keys = list(keys)
+            self.batch_requests.append(len(keys))
+            return super().get_batch(keys)
+
+    connector = CountingConnector()
+    store = Store('batch-cache-store', connector, cache_size=8, register=False)
+    keys = store.put_batch(['a', 'b', 'c'])
+    store.get(keys[0])  # now cached
+    values = store.get_batch(keys)
+    assert values == ['a', 'b', 'c']
+    # Only the two uncached keys reached the connector.
+    assert connector.batch_requests == [2]
+    values = store.get_batch(keys)
+    assert values == ['a', 'b', 'c']
+    assert connector.batch_requests == [2]  # fully served from cache
+    store.close()
+
+
+def test_cache_stats_reports_resident_bytes():
+    store = Store(
+        'resident-bytes-store',
+        LocalConnector(),
+        cache_size=8,
+        cache_max_bytes=1024,
+        register=False,
+    )
+    key = store.put(b'x' * 100)
+    store.get(key)
+    stats = store.cache_stats()
+    assert stats['entries'] == 1
+    assert stats['resident_bytes'] >= 100
+    assert stats['max_bytes'] == 1024
+    # An object over the byte bound is returned but never cached.
+    big_key = store.put(b'x' * 4096)
+    assert store.get(big_key) == b'x' * 4096
+    assert not store.is_cached(big_key)
+    assert store.cache_stats()['entries'] == 1
+    store.close()
+
+
+def test_cache_max_bytes_round_trips_through_config():
+    store = Store(
+        'max-bytes-config-store',
+        LocalConnector(),
+        cache_max_bytes=2048,
+        register=False,
+    )
+    rebuilt = Store.from_config(store.config(), register=False)
+    assert rebuilt.cache.max_bytes == 2048
+    store.close()
+    rebuilt.close()
