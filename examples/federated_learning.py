@@ -11,6 +11,11 @@ step to the futures' proxies; each device writes its trained model into its
 future whenever it finishes, and the averaging resolves the proxies as it
 touches them — no barrier collecting a list of results first.
 
+Object lifetimes are store-managed rather than leaked: the global model each
+round is an ``OwnedProxy`` whose key is evicted when its ``with`` block ends,
+and every device-result future is bound to a run-scoped ``ContextLifetime``
+that batch-evicts all trained-model keys once the run finishes.
+
 Run with::
 
     python examples/federated_learning.py
@@ -19,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import ContextLifetime
 from repro import store_from_url
 from repro.apps.federated_learning import create_model
 from repro.apps.federated_learning import federated_average
@@ -28,6 +34,7 @@ from repro.apps.federated_learning import train_local
 from repro.connectors.endpoint import set_local_endpoint
 from repro.endpoint import Endpoint
 from repro.endpoint import RelayServer
+from repro.proxy import borrow
 from repro.proxy import extract
 
 N_DEVICES = 4
@@ -51,34 +58,48 @@ def main() -> None:
           f'{model_nbytes(global_model)} bytes serialized')
 
     test_images, test_labels = generate_client_data(512, seed=999)
+    # Every trained-model key produced during the run is bound to one
+    # run-scoped lifetime; closing it below batch-evicts them all, so the
+    # aggregator's endpoint storage does not grow round over round.
+    run_lifetime = ContextLifetime(store=store)
     for round_index in range(ROUNDS):
-        # The aggregator proxies the global model once; each device resolves
-        # it through its own endpoint (peer connection to the aggregator).
+        # The aggregator owns the round's global model: the key is evicted
+        # automatically when the owner's `with` block ends, instead of
+        # leaking one model copy per round.
         set_local_endpoint(aggregator_ep.uuid)
-        model_proxy = store.proxy(global_model, cache_local=False)
+        with store.owned_proxy(global_model, cache_local=False) as model_proxy:
+            # Pipelined aggregation: allocate one future per device and wire
+            # the averaging input to the proxies before any device trained.
+            result_futures = [
+                store.future(timeout=30.0, lifetime=run_lifetime)
+                for _ in device_eps
+            ]
+            local_model_proxies = [future.proxy() for future in result_futures]
 
-        # Pipelined aggregation: allocate one future per device and wire the
-        # averaging input to the proxies before any device has trained.
-        result_futures = [store.future(timeout=30.0) for _ in device_eps]
-        local_model_proxies = [future.proxy() for future in result_futures]
+            for device_index, device_ep in enumerate(device_eps):
+                set_local_endpoint(device_ep.uuid)    # "run" on the device
+                # Devices read the owner's model through shared borrows.
+                model = (
+                    extract(borrow(model_proxy))
+                    if device_index == 0
+                    else global_model
+                )
+                images, labels = generate_client_data(seed=round_index * 100 + device_index)
+                trained = train_local(model, images, labels, epochs=2)
+                # The device streams its result into the pre-allocated
+                # future; the write lands on the aggregator's endpoint
+                # peer-to-peer.
+                result_futures[device_index].set_result(trained)
 
-        for device_index, device_ep in enumerate(device_eps):
-            set_local_endpoint(device_ep.uuid)        # "run" on the device
-            model = extract(model_proxy) if device_index == 0 else global_model
-            images, labels = generate_client_data(seed=round_index * 100 + device_index)
-            trained = train_local(model, images, labels, epochs=2)
-            # The device streams its result into the pre-allocated future;
-            # the write lands on the aggregator's endpoint peer-to-peer.
-            result_futures[device_index].set_result(trained)
-
-        set_local_endpoint(aggregator_ep.uuid)
-        # federated_average touches each proxy, which resolves it on demand.
-        global_model = federated_average(local_model_proxies)
+            set_local_endpoint(aggregator_ep.uuid)
+            # federated_average touches each proxy, resolving it on demand.
+            global_model = federated_average(local_model_proxies)
         accuracy = float(np.mean(global_model.predict(test_images) == test_labels))
         print(f'round {round_index + 1}: aggregated {len(local_model_proxies)} device models, '
               f'held-out accuracy {accuracy:.3f}')
 
     set_local_endpoint(None)
+    run_lifetime.close()
     store.close()
     for ep in device_eps:
         ep.stop()

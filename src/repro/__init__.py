@@ -7,13 +7,29 @@ package re-exports the most commonly used pieces of the public API; see
 """
 from typing import Any
 
+from repro.exceptions import BorrowError
+from repro.exceptions import LifetimeError
+from repro.exceptions import OwnershipError
+from repro.exceptions import UseAfterFreeError
 from repro.proxy import Factory
+from repro.proxy import OwnedProxy
 from repro.proxy import Proxy
+from repro.proxy import borrow
+from repro.proxy import clone
+from repro.proxy import drop
 from repro.proxy import extract
+from repro.proxy import flush
+from repro.proxy import into_owned
+from repro.proxy import is_owned
 from repro.proxy import is_resolved
+from repro.proxy import mut_borrow
 from repro.proxy import resolve
 from repro.proxy import resolve_async
+from repro.store import ContextLifetime
+from repro.store import LeaseLifetime
+from repro.store import Lifetime
 from repro.store import ProxyFuture
+from repro.store import StaticLifetime
 from repro.store import Store
 from repro.store import StoreConfig
 from repro.store import StoreFactory
@@ -35,15 +51,31 @@ def store_from_url(url: str, **kwargs: Any) -> Store:
 
 
 __all__ = [
+    'BorrowError',
+    'ContextLifetime',
     'Factory',
+    'LeaseLifetime',
+    'Lifetime',
+    'LifetimeError',
+    'OwnedProxy',
+    'OwnershipError',
     'Proxy',
     'ProxyFuture',
+    'StaticLifetime',
     'Store',
     'StoreConfig',
     'StoreFactory',
+    'UseAfterFreeError',
+    'borrow',
+    'clone',
+    'drop',
     'extract',
+    'flush',
     'get_store',
+    'into_owned',
+    'is_owned',
     'is_resolved',
+    'mut_borrow',
     'register_store',
     'resolve',
     'resolve_async',

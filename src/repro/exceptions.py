@@ -64,6 +64,33 @@ class NoPolicyMatchError(StoreError):
     """Raised by the MultiConnector when no managed connector's policy matches."""
 
 
+class OwnershipError(StoreError):
+    """Base class for proxy ownership and borrow-rule violations."""
+
+
+class BorrowError(OwnershipError):
+    """Raised when a borrow would violate the sharing rules.
+
+    The rules mirror a borrow checker: a proxied object may have many shared
+    (read-only) borrows XOR one exclusive mutable borrow at any time, and an
+    owner cannot be consumed (e.g. by :func:`~repro.proxy.owned.clone`) while
+    a mutable borrow is outstanding.
+    """
+
+
+class UseAfterFreeError(OwnershipError):
+    """Raised when a proxy whose backing object was freed is accessed.
+
+    This is deliberately distinct from :class:`StoreKeyError`: the access is
+    rejected *before* any store lookup, so callers see an ownership violation
+    rather than a confusing stale-fetch failure.
+    """
+
+
+class LifetimeError(StoreError):
+    """Raised when a closed :class:`~repro.store.lifetimes.Lifetime` is used."""
+
+
 class ProxyFutureError(StoreError):
     """Raised for invalid :class:`~repro.store.future.ProxyFuture` usage."""
 

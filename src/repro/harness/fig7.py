@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.harness.reporting import ResultTable
 from repro.simulation import payload_of_size
+from repro.store import ContextLifetime
 from repro.store import Store
 from repro.workflow import ColmenaQueues
 from repro.workflow import TaskServer
@@ -47,8 +48,11 @@ def _median_roundtrip(
     repeats: int,
 ) -> float:
     queues = ColmenaQueues()
-    with WorkflowEngine(n_workers=1) as engine:
-        server = TaskServer(queues, engine)
+    # Bind every key this measurement run proxies to one lifetime: closing
+    # it below batch-evicts them, so repeated grid cells do not accumulate
+    # stale objects in the backing store.
+    with ContextLifetime() as run_lifetime, WorkflowEngine(n_workers=1) as engine:
+        server = TaskServer(queues, engine, lifetime=run_lifetime)
         server.register_topic(
             'noop',
             _make_task(output_size),

@@ -4,14 +4,25 @@ Public API::
 
     from repro.proxy import Proxy, Factory, SimpleFactory, LambdaFactory
     from repro.proxy import extract, is_resolved, resolve, resolve_async
+    from repro.proxy import OwnedProxy, borrow, mut_borrow, clone, into_owned
 """
 from repro.proxy.factory import Factory
 from repro.proxy.factory import LambdaFactory
 from repro.proxy.factory import SimpleFactory
+from repro.proxy.owned import OwnedProxy
+from repro.proxy.owned import RefMutProxy
+from repro.proxy.owned import RefProxy
+from repro.proxy.owned import borrow
+from repro.proxy.owned import clone
+from repro.proxy.owned import drop
+from repro.proxy.owned import flush
+from repro.proxy.owned import into_owned
+from repro.proxy.owned import mut_borrow
 from repro.proxy.proxy import Proxy
 from repro.proxy.proxy import UNRESOLVED
 from repro.proxy.proxy import get_factory
 from repro.proxy.resolve import extract
+from repro.proxy.resolve import is_owned
 from repro.proxy.resolve import is_proxy
 from repro.proxy.resolve import is_resolved
 from repro.proxy.resolve import resolve
@@ -20,13 +31,23 @@ from repro.proxy.resolve import resolve_async
 __all__ = [
     'Factory',
     'LambdaFactory',
+    'OwnedProxy',
     'Proxy',
+    'RefMutProxy',
+    'RefProxy',
     'SimpleFactory',
     'UNRESOLVED',
+    'borrow',
+    'clone',
+    'drop',
     'extract',
+    'flush',
     'get_factory',
+    'into_owned',
+    'is_owned',
     'is_proxy',
     'is_resolved',
+    'mut_borrow',
     'resolve',
     'resolve_async',
 ]

@@ -175,6 +175,22 @@ class Proxy(Generic[T]):
         return self.__reduce__()
 
     # ------------------------------------------------------------------ #
+    # Copying: duplicate the factory, never the (possibly huge) target.
+    # Without these, copy.deepcopy's getattr(x, '__deepcopy__') probe is
+    # forwarded to the target by __getattr__, resolving the proxy as a
+    # side effect and copying the bare target instead of a fresh proxy.
+    # ------------------------------------------------------------------ #
+    def __copy__(self) -> 'Proxy[T]':
+        factory = object.__getattribute__(self, '__factory__')
+        return type(self)(factory)
+
+    def __deepcopy__(self, memo: dict) -> 'Proxy[T]':
+        import copy
+
+        factory = object.__getattribute__(self, '__factory__')
+        return type(self)(copy.deepcopy(factory, memo))
+
+    # ------------------------------------------------------------------ #
     # String conversions
     # ------------------------------------------------------------------ #
     def __str__(self) -> str:

@@ -19,6 +19,7 @@ T = TypeVar('T')
 
 __all__ = [
     'extract',
+    'is_owned',
     'is_proxy',
     'is_resolved',
     'resolve',
@@ -71,13 +72,55 @@ def resolve_async(proxy: Proxy[T]) -> None:
         factory.resolve_async()
 
 
-def extract(proxy: Proxy[T]) -> T:
+def is_owned(obj: Any) -> bool:
+    """Return ``True`` if ``obj`` is an ownership-aware proxy.
+
+    True for :class:`~repro.proxy.owned.OwnedProxy` and its borrow views
+    (``RefProxy``/``RefMutProxy``); false for plain proxies and non-proxies.
+    Never triggers resolution.
+    """
+    from repro.proxy.owned import _TrackedProxy
+
+    # type()-based: isinstance() on a plain proxy would consult the
+    # transparent __class__ property and resolve it as a side effect.
+    return issubclass(type(obj), _TrackedProxy)
+
+
+def extract(proxy: Proxy[T], *, evict: bool = False) -> T:
     """Return the target object wrapped by ``proxy`` (resolving if needed).
 
     Unlike using the proxy directly, the returned object is the bare target
     with its true concrete type, which is occasionally needed by code that
     checks ``type(x) is SomeType`` rather than using ``isinstance``.
+
+    Args:
+        proxy: the proxy to unwrap.
+        evict: also evict the backing key after extraction — parity with
+            ``Store.proxy(evict=...)`` for callers that decide at read time
+            (rather than creation time) that a value is read-exactly-once.
+            Requires a store-backed proxy; owned proxies manage their own
+            lifetime, so evicting them here raises ``OwnershipError``.
     """
     if not is_proxy(proxy):
         raise TypeError(f'expected a Proxy, got {type(proxy).__name__}')
-    return proxy.__wrapped__
+    if not evict:
+        return proxy.__wrapped__
+    if is_owned(proxy):
+        from repro.exceptions import OwnershipError
+
+        raise OwnershipError(
+            'extract(evict=True) on an ownership-aware proxy would fight '
+            'its owner over the key lifetime; drop the owner instead',
+        )
+    factory = get_factory(proxy)
+    key = getattr(factory, 'key', None)
+    get_store = getattr(factory, 'get_store', None)
+    if key is None or get_store is None:
+        raise TypeError(
+            'extract(evict=True) requires a store-backed proxy; factory '
+            f'{type(factory).__name__} carries no key/store',
+        )
+    target = proxy.__wrapped__
+    if not factory.evict:  # evict-on-resolve factories already did it
+        get_store().evict(key)
+    return target

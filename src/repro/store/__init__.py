@@ -15,6 +15,7 @@ Typical usage (v2 URL construction)::
 Direct dependency-injection construction (``Store('my-store', connector)``)
 remains available for connectors that are not URL-expressible.
 """
+from repro.exceptions import LifetimeError
 from repro.exceptions import ProxyFutureError
 from repro.exceptions import ProxyFutureTimeoutError
 from repro.exceptions import StoreError
@@ -24,6 +25,10 @@ from repro.store.config import StoreConfig
 from repro.store.factory import StoreFactory
 from repro.store.future import FutureFactory
 from repro.store.future import ProxyFuture
+from repro.store.lifetimes import ContextLifetime
+from repro.store.lifetimes import LeaseLifetime
+from repro.store.lifetimes import Lifetime
+from repro.store.lifetimes import StaticLifetime
 from repro.store.metrics import OperationStats
 from repro.store.metrics import StoreMetrics
 from repro.store.registry import get_or_create_store
@@ -35,11 +40,16 @@ from repro.store.registry import unregister_store
 from repro.store.store import Store
 
 __all__ = [
+    'ContextLifetime',
     'FutureFactory',
+    'LeaseLifetime',
+    'Lifetime',
+    'LifetimeError',
     'OperationStats',
     'ProxyFuture',
     'ProxyFutureError',
     'ProxyFutureTimeoutError',
+    'StaticLifetime',
     'Store',
     'StoreConfig',
     'StoreError',

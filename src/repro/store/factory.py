@@ -38,6 +38,10 @@ class StoreFactory(Factory[T]):
             constraints such as ``subset_tags``).  Carried so any layer that
             re-stores the object (after an evict-on-resolve, or when
             migrating it) can preserve the producer's placement constraints.
+        owned: the key's lifetime is managed by exactly one
+            :class:`~repro.proxy.owned.OwnedProxy` (which evicts it when the
+            owner is dropped).  Mutually exclusive with ``evict`` — an owned
+            key must survive resolution so it can be borrowed repeatedly.
     """
 
     def __init__(
@@ -48,13 +52,20 @@ class StoreFactory(Factory[T]):
         evict: bool = False,
         deserializer_name: str | None = None,
         connector_kwargs: dict[str, Any] | None = None,
+        owned: bool = False,
     ) -> None:
         super().__init__()
+        if owned and evict:
+            raise ValueError(
+                'a StoreFactory cannot be both owned and evict-on-resolve; '
+                'ownership manages the key lifetime itself',
+            )
         self.key = key
         self.store_config = store_config
         self.evict = evict
         self.deserializer_name = deserializer_name
         self.connector_kwargs = dict(connector_kwargs) if connector_kwargs else {}
+        self.owned = owned
 
     def __repr__(self) -> str:
         return (

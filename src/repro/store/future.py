@@ -121,6 +121,7 @@ class ProxyFuture(Generic[T]):
         polling_interval: float = 0.05,
         timeout: float | None = 60.0,
         serializer: Callable[[Any], bytes] | None = None,
+        lifetime: Any = None,
     ) -> None:
         self._store = store
         self.key = key
@@ -128,6 +129,7 @@ class ProxyFuture(Generic[T]):
         self.polling_interval = polling_interval
         self.timeout = timeout
         self._serializer = serializer
+        self._lifetime = lifetime
         self._done = False
 
     def __repr__(self) -> str:
@@ -157,6 +159,20 @@ class ProxyFuture(Generic[T]):
             raise ProxyFutureError(
                 f'result for key {self.key!r} has already been set',
             )
+        # Failure tombstones are exempt from the closed-lifetime guard: a
+        # consumer blocked on the future must learn the producer failed
+        # rather than poll the evicted key until timeout, and the orphaned
+        # tombstone is ~100 bytes versus a lost error cause.
+        is_failure = isinstance(obj, _ProducerFailure)
+        if (
+            not is_failure
+            and self._lifetime is not None
+            and self._lifetime.done()
+        ):
+            raise ProxyFutureError(
+                f'the lifetime key {self.key!r} was bound to has closed; '
+                'the late result was discarded',
+            )
         serializer = (
             self._serializer
             if use_custom_serializer and self._serializer is not None
@@ -169,9 +185,22 @@ class ProxyFuture(Generic[T]):
         with Timer() as t_set:
             self._store.connector.set(self.key, self._store._outbound(data))
         self._store._record('set', t_set.elapsed, nbytes)
-        if not self.evict and not isinstance(obj, _ProducerFailure):
+        if not self.evict and not is_failure:
             self._store.cache.set(self.key, obj)
         self._done = True
+        if (
+            not is_failure
+            and self._lifetime is not None
+            and self._lifetime.done()
+        ):
+            # Lost the race with the lifetime closing mid-write: its batch
+            # eviction saw an empty key, so the write above resurrected it
+            # with no owner.  Evict it ourselves and report the loss.
+            self._store.evict(self.key)
+            raise ProxyFutureError(
+                f'the lifetime key {self.key!r} was bound to closed during '
+                'the write; the late result was evicted',
+            )
 
     # -- consumer side ------------------------------------------------------ #
     def done(self) -> bool:

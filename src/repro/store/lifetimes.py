@@ -1,0 +1,254 @@
+"""Store-managed object lifetimes.
+
+A :class:`Lifetime` groups store keys whose lifetime is tied to some scope —
+a ``with`` block, a lease that must be renewed, or the process itself — and
+batch-evicts all of them when the scope ends.  Pass a lifetime to
+``Store.proxy(..., lifetime=...)`` (and friends) instead of choosing between
+leaking keys forever and destroying them on first resolve (``evict=True``).
+
+Three implementations cover the common scopes:
+
+* :class:`ContextLifetime` — explicit ``close()`` or context-manager exit.
+* :class:`LeaseLifetime` — a TTL; the lease auto-closes at expiry unless
+  :meth:`~LeaseLifetime.extend`-ed, mirroring distributed lease semantics.
+* :class:`StaticLifetime` — a process-wide singleton closed via ``atexit``.
+
+Keys are grouped per store so each close issues one ``evict_batch`` per
+backing connector rather than one round trip per key.
+"""
+from __future__ import annotations
+
+import atexit
+import threading
+import time
+from typing import Any
+from typing import Protocol
+from typing import TYPE_CHECKING
+from typing import runtime_checkable
+
+from repro.exceptions import LifetimeError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from repro.proxy.proxy import Proxy
+    from repro.store.store import Store
+
+__all__ = [
+    'ContextLifetime',
+    'LeaseLifetime',
+    'Lifetime',
+    'StaticLifetime',
+]
+
+
+@runtime_checkable
+class Lifetime(Protocol):
+    """Protocol every lifetime implementation satisfies."""
+
+    def add_key(self, *keys: Any, store: 'Store') -> None:
+        """Bind ``keys`` (stored in ``store``) to this lifetime."""
+        ...
+
+    def add_proxy(self, *proxies: 'Proxy[Any]') -> None:
+        """Bind the keys behind store-backed ``proxies`` to this lifetime."""
+        ...
+
+    def done(self) -> bool:
+        """Return whether this lifetime has ended."""
+        ...
+
+    def close(self) -> None:
+        """End the lifetime, evicting every bound key."""
+        ...
+
+
+class _LifetimeBase:
+    """Shared bookkeeping: per-store key sets, thread safety, batch evict."""
+
+    def __init__(self, store: 'Store | None' = None) -> None:
+        self._lock = threading.RLock()
+        self._default_store = store
+        # id(store) -> (store, ordered key set); keys are grouped per store
+        # instance so close() can use the connector's batched eviction.
+        # Keyed by identity, not name: two stores may share a name (e.g.
+        # unregistered stores) yet sit on different connectors, and binding
+        # by name would evict one store's keys on the other's connector.
+        self._bound: dict[int, tuple[Store, dict[Any, None]]] = {}
+        self._closed = False
+        self.keys_bound = 0
+        self.keys_evicted = 0
+
+    def __repr__(self) -> str:
+        state = 'closed' if self._closed else f'{self.keys_bound} keys'
+        return f'{type(self).__name__}({state})'
+
+    def __enter__(self) -> '_LifetimeBase':
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise LifetimeError(
+                f'{type(self).__name__} is closed; keys can no longer be '
+                'bound to it',
+            )
+
+    def add_key(self, *keys: Any, store: 'Store | None' = None) -> None:
+        store = store if store is not None else self._default_store
+        if store is None:
+            raise LifetimeError(
+                'no store associated with these keys; pass store=... (or '
+                'construct the lifetime with a default store)',
+            )
+        with self._lock:
+            self._check_open()
+            _, bound = self._bound.setdefault(id(store), (store, {}))
+            for key in keys:
+                if key not in bound:
+                    bound[key] = None
+                    self.keys_bound += 1
+
+    def add_proxy(self, *proxies: 'Proxy[Any]') -> None:
+        from repro.proxy.proxy import get_factory
+
+        for proxy in proxies:
+            factory = get_factory(proxy)
+            key = getattr(factory, 'key', None)
+            get_store = getattr(factory, 'get_store', None)
+            if key is None or get_store is None:
+                raise LifetimeError(
+                    'only store-backed proxies can be bound to a lifetime '
+                    f'(factory {type(factory).__name__} has no key/store)',
+                )
+            self.add_key(key, store=get_store())
+
+    def done(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Evict all bound keys (one batch per store).  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            bound, self._bound = self._bound, {}
+        for store, keys in bound.values():
+            try:
+                store.evict_batch(list(keys))
+            except Exception:  # noqa: BLE001 - closing must not cascade
+                continue
+            self.keys_evicted += len(keys)
+
+
+class ContextLifetime(_LifetimeBase):
+    """Lifetime ending when :meth:`close` is called or its ``with`` exits.
+
+    Args:
+        store: optional default store for :meth:`add_key` calls that do not
+            name one (``Store.proxy(lifetime=...)`` always names its store).
+    """
+
+
+class LeaseLifetime(_LifetimeBase):
+    """Lifetime with a TTL: the lease auto-closes when it expires.
+
+    Args:
+        expiry: seconds until the lease expires.
+        store: optional default store (see :class:`ContextLifetime`).
+
+    Call :meth:`extend` to renew the lease before it expires.  An expired
+    lease behaves exactly like a closed lifetime: bound keys are evicted
+    and further binds raise :class:`~repro.exceptions.LifetimeError`.
+    """
+
+    def __init__(self, expiry: float, store: 'Store | None' = None) -> None:
+        if expiry <= 0:
+            raise ValueError('lease expiry must be positive')
+        super().__init__(store)
+        self._timer_lock = threading.Lock()
+        self._deadline = time.monotonic() + expiry
+        self._timer = self._start_timer(expiry)
+
+    def _start_timer(self, interval: float) -> threading.Timer:
+        timer = threading.Timer(interval, self._expire)
+        timer.daemon = True
+        timer.start()
+        return timer
+
+    def _expire(self) -> None:
+        """Timer callback: close only if the deadline actually passed.
+
+        A fired timer can lose the race with a concurrent :meth:`extend`
+        (cancel() cannot stop a callback that already started); re-checking
+        the deadline under the lock makes the renewal win — the extension
+        scheduled its own successor timer, so this one just retires.
+        """
+        with self._timer_lock:
+            if self._closed or self._deadline > time.monotonic():
+                return
+            super().close()
+
+    def remaining(self) -> float:
+        """Seconds until expiry (0.0 once closed or expired)."""
+        if self._closed:
+            return 0.0
+        return max(0.0, self._deadline - time.monotonic())
+
+    def extend(self, seconds: float) -> None:
+        """Renew the lease, pushing expiry ``seconds`` past the current deadline."""
+        if seconds <= 0:
+            raise ValueError('lease extension must be positive')
+        with self._timer_lock:
+            self._check_open()
+            self._timer.cancel()
+            self._deadline += seconds
+            self._timer = self._start_timer(self.remaining())
+
+    def close(self) -> None:
+        # The closed-state transition happens under _timer_lock so a
+        # concurrent extend() either wins (renewing before the close starts,
+        # and the fired timer's close becomes a no-op rescheduled away) or
+        # observes the lease closed and raises — it can never "succeed"
+        # while the keys are being evicted anyway.
+        with self._timer_lock:
+            self._timer.cancel()
+            super().close()
+
+
+class StaticLifetime(_LifetimeBase):
+    """Process-wide singleton lifetime closed at interpreter exit.
+
+    ``StaticLifetime()`` always returns the same instance; its ``close`` is
+    registered with :mod:`atexit` so keys bound to it are evicted when the
+    process ends (the "never leak, even for process-long objects" default).
+    Calling :meth:`close` earlier evicts and deregisters; the next
+    ``StaticLifetime()`` call starts a fresh singleton.
+    """
+
+    _instance: 'StaticLifetime | None' = None
+    _instance_lock = threading.Lock()
+
+    def __new__(cls) -> 'StaticLifetime':
+        # Fully construct the singleton here, under the class lock: doing
+        # any part of it in __init__ would re-run on every StaticLifetime()
+        # call (and racing first-constructors could reset _bound, dropping
+        # keys already bound — the exact leak this class exists to prevent).
+        with cls._instance_lock:
+            instance = cls._instance
+            if instance is None or instance.done():
+                instance = super().__new__(cls)
+                _LifetimeBase.__init__(instance)
+                atexit.register(instance.close)
+                cls._instance = instance
+            return instance
+
+    def __init__(self) -> None:
+        pass  # initialized once in __new__ under the class lock
+
+    def close(self) -> None:
+        super().close()
+        try:
+            atexit.unregister(self.close)
+        except Exception:  # noqa: BLE001 - interpreter teardown
+            pass

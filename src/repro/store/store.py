@@ -15,6 +15,7 @@ from typing import Any
 from typing import Callable
 from typing import Iterable
 from typing import Sequence
+from typing import TYPE_CHECKING
 from typing import TypeVar
 
 from repro.cache.lru import LRUCache
@@ -22,8 +23,10 @@ from repro.connectors.protocol import Connector
 from repro.connectors.protocol import new_object_id
 from repro.connectors.registry import StoreURL
 from repro.connectors.registry import get_connector_class
+from repro.exceptions import LifetimeError
 from repro.exceptions import ProxyFutureError
 from repro.exceptions import StoreError
+from repro.proxy.owned import OwnedProxy
 from repro.proxy.proxy import Proxy
 from repro.serialize.buffers import payload_nbytes
 from repro.serialize.buffers import to_bytes
@@ -36,6 +39,9 @@ from repro.store.metrics import StoreMetrics
 from repro.store.metrics import Timer
 from repro.store.registry import register_store
 from repro.store.registry import unregister_store
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from repro.store.lifetimes import Lifetime
 
 T = TypeVar('T')
 
@@ -370,35 +376,63 @@ class Store:
             self.connector.evict(key)
         self._record('evict', t.elapsed)
 
+    def evict_batch(self, keys: Iterable[Any]) -> None:
+        """Remove several keys with a single connector batch eviction.
+
+        This is the teardown path lifetimes use: one ``evict_batch`` round
+        trip per store, recorded under its own ``evict_batch`` metric so
+        eviction traffic is attributable.
+        """
+        keys = list(keys)
+        if not keys:
+            return
+        for key in keys:
+            self.cache.evict(key)
+        with Timer() as t:
+            self.connector.evict_batch(keys)
+        self._record('evict_batch', t.elapsed)
+
     # ------------------------------------------------------------------ #
     # Proxy creation
     # ------------------------------------------------------------------ #
-    def proxy(
+    @staticmethod
+    def _validate_lifetime(lifetime: Any, evict: bool) -> None:
+        """Reject the contradictory ``evict=True`` + ``lifetime=...`` combo.
+
+        A lifetime promises the key stays alive until the lifetime closes;
+        evict-on-resolve destroys it at first use.  Either alone is fine.
+        """
+        if lifetime is not None and evict:
+            raise ValueError(
+                'evict=True and lifetime=... are mutually exclusive: a '
+                'lifetime-bound key must survive until the lifetime closes',
+            )
+
+    def _bind_lifetime(self, lifetime: 'Lifetime', *keys: Any) -> None:
+        """Bind freshly stored ``keys`` to ``lifetime``, leak-free.
+
+        The keys were put *before* the bind (their values are only known
+        then), so a lifetime that closed in between would otherwise strand
+        them in the backing store forever: evict them before re-raising.
+        """
+        try:
+            lifetime.add_key(*keys, store=self)
+        except LifetimeError:
+            self.evict_batch(keys)
+            raise
+
+    def _store_object(
         self,
         obj: Any,
         *,
-        evict: bool = False,
-        serializer: Callable[[Any], bytes] | None = None,
-        cache_local: bool = True,
-        **connector_kwargs: Any,
-    ) -> Proxy:
-        """Store ``obj`` and return a lazy, transparent proxy of it.
+        serializer: Callable[[Any], bytes] | None,
+        cache_local: bool,
+        connector_kwargs: dict[str, Any],
+    ) -> tuple[Any, int]:
+        """Shared serialize/put/metrics pipeline behind every proxy creator.
 
-        Args:
-            obj: the object to proxy.
-            evict: evict the stored object when the proxy is first resolved
-                (for ephemeral values read exactly once).
-            serializer: per-call serializer override.
-            cache_local: also place the object in the local cache so that
-                resolving the returned proxy in *this* process is free.
-            connector_kwargs: forwarded to the connector's ``put`` when it
-                supports extra keyword arguments (e.g. MultiConnector
-                constraints such as ``subset_tags``); also embedded in the
-                proxy's factory so re-stores elsewhere can honour them.
-                Raises ``StoreError`` if the connector does not accept them.
+        Returns ``(key, serialized nbytes)``.
         """
-        if connector_kwargs:
-            self._validate_put_kwargs(connector_kwargs)
         serializer = serializer if serializer is not None else self.serializer
         with Timer() as t_ser:
             data = serializer(obj)
@@ -410,13 +444,89 @@ class Store:
             else:
                 key = self.connector.put(self._outbound(data))
         self._record('put', t_put.elapsed, nbytes)
-        if cache_local and not evict:
+        if cache_local:
             self.cache.set(key, obj)
+        return key, nbytes
+
+    def proxy(
+        self,
+        obj: Any,
+        *,
+        evict: bool = False,
+        lifetime: 'Lifetime | None' = None,
+        serializer: Callable[[Any], bytes] | None = None,
+        cache_local: bool = True,
+        **connector_kwargs: Any,
+    ) -> Proxy:
+        """Store ``obj`` and return a lazy, transparent proxy of it.
+
+        Args:
+            obj: the object to proxy.
+            evict: evict the stored object when the proxy is first resolved
+                (for ephemeral values read exactly once).
+            lifetime: a :class:`~repro.store.lifetimes.Lifetime` the stored
+                key is bound to; the key is evicted when the lifetime closes.
+                Mutually exclusive with ``evict=True``.
+            serializer: per-call serializer override.
+            cache_local: also place the object in the local cache so that
+                resolving the returned proxy in *this* process is free.
+            connector_kwargs: forwarded to the connector's ``put`` when it
+                supports extra keyword arguments (e.g. MultiConnector
+                constraints such as ``subset_tags``); also embedded in the
+                proxy's factory so re-stores elsewhere can honour them.
+                Raises ``StoreError`` if the connector does not accept them.
+        """
+        self._validate_lifetime(lifetime, evict)
+        if connector_kwargs:
+            self._validate_put_kwargs(connector_kwargs)
+        key, nbytes = self._store_object(
+            obj,
+            serializer=serializer,
+            cache_local=cache_local and not evict,
+            connector_kwargs=connector_kwargs,
+        )
+        if lifetime is not None:
+            self._bind_lifetime(lifetime, key)
         factory: StoreFactory = StoreFactory(
             key, self.config(), evict=evict, connector_kwargs=connector_kwargs,
         )
         with Timer() as t_proxy:
             proxy = Proxy(factory)
+        self._record('proxy', t_proxy.elapsed, nbytes)
+        return proxy
+
+    def owned_proxy(
+        self,
+        obj: Any,
+        *,
+        serializer: Callable[[Any], bytes] | None = None,
+        cache_local: bool = True,
+        **connector_kwargs: Any,
+    ) -> 'OwnedProxy':
+        """Store ``obj`` and return an :class:`~repro.proxy.owned.OwnedProxy`.
+
+        The returned proxy owns the stored key: when it is dropped (garbage
+        collected, :func:`repro.proxy.owned.drop`-ped, or its ``with`` block
+        exits) the key is evicted from the connector.  Use
+        :func:`repro.proxy.owned.borrow` / ``mut_borrow`` to share access
+        and :func:`~repro.proxy.owned.clone` for an independent copy.
+        """
+        if connector_kwargs:
+            self._validate_put_kwargs(connector_kwargs)
+        key, nbytes = self._store_object(
+            obj,
+            serializer=serializer,
+            cache_local=cache_local,
+            connector_kwargs=connector_kwargs,
+        )
+        factory: StoreFactory = StoreFactory(
+            key,
+            self.config(),
+            connector_kwargs=connector_kwargs,
+            owned=True,
+        )
+        with Timer() as t_proxy:
+            proxy = OwnedProxy._from_store(factory)
         self._record('proxy', t_proxy.elapsed, nbytes)
         return proxy
 
@@ -466,6 +576,7 @@ class Store:
         objs: Sequence[Any],
         *,
         evict: bool = False,
+        lifetime: 'Lifetime | None' = None,
         serializer: Callable[[Any], bytes] | None = None,
         cache_local: bool = True,
         **connector_kwargs: Any,
@@ -479,6 +590,8 @@ class Store:
         Args:
             objs: the objects to proxy.
             evict: evict each object when its proxy is first resolved.
+            lifetime: a :class:`~repro.store.lifetimes.Lifetime` every
+                stored key is bound to.  Mutually exclusive with ``evict``.
             serializer: per-call serializer override.
             cache_local: also place the objects in the local cache.
             connector_kwargs: forwarded to the connector's ``put_batch``
@@ -487,6 +600,7 @@ class Store:
                 same contract as the scalar :meth:`proxy`.  Raises
                 ``StoreError`` if the connector does not accept them.
         """
+        self._validate_lifetime(lifetime, evict)
         if connector_kwargs:
             self._validate_put_kwargs(connector_kwargs, method='put_batch')
         serializer = serializer if serializer is not None else self.serializer
@@ -501,6 +615,8 @@ class Store:
             else:
                 keys = self.connector.put_batch(outbound)
         self._record('put_batch', t_put.elapsed, total)
+        if lifetime is not None:
+            self._bind_lifetime(lifetime, *keys)
         config = self.config()
         proxies: list[Proxy] = []
         for key, obj, data in zip(keys, objs, datas):
@@ -525,6 +641,7 @@ class Store:
         self,
         *,
         evict: bool = False,
+        lifetime: 'Lifetime | None' = None,
         polling_interval: float = 0.05,
         timeout: float | None = 60.0,
         serializer: Callable[[Any], bytes] | None = None,
@@ -541,6 +658,10 @@ class Store:
 
         Args:
             evict: evict the value when a consumer first resolves it.
+            lifetime: a :class:`~repro.store.lifetimes.Lifetime` the
+                pre-allocated key is bound to (the eventual value is evicted
+                when the lifetime closes).  Mutually exclusive with
+                ``evict``.
             polling_interval: seconds between existence polls on the
                 consumer side.
             timeout: seconds a consumer waits for the producer before
@@ -555,6 +676,7 @@ class Store:
             ProxyFutureError: if the connector does not support deferred
                 writes (``new_key``/``set``).
         """
+        self._validate_lifetime(lifetime, evict)
         try:
             if connector_kwargs:
                 key = self.connector.new_key(**connector_kwargs)  # type: ignore[call-arg]
@@ -565,6 +687,8 @@ class Store:
                 f'connector {type(self.connector).__name__} does not support '
                 'the deferred writes Store.future() requires',
             ) from e
+        if lifetime is not None:
+            self._bind_lifetime(lifetime, key)
         return ProxyFuture(
             self,
             key,
@@ -572,15 +696,27 @@ class Store:
             polling_interval=polling_interval,
             timeout=timeout,
             serializer=serializer,
+            lifetime=lifetime,
         )
 
-    def proxy_from_key(self, key: Any, *, evict: bool = False) -> Proxy:
+    def proxy_from_key(
+        self,
+        key: Any,
+        *,
+        evict: bool = False,
+        lifetime: 'Lifetime | None' = None,
+    ) -> Proxy:
         """Return a proxy for an object that is already stored under ``key``.
 
         Useful when a producer stored the object directly (e.g. with
         :meth:`put` or :meth:`put_batch`) and wants to hand out references
-        later without re-serializing the data.
+        later without re-serializing the data.  ``lifetime`` binds the
+        existing key to a :class:`~repro.store.lifetimes.Lifetime` (mutually
+        exclusive with ``evict=True``).
         """
+        self._validate_lifetime(lifetime, evict)
+        if lifetime is not None:
+            lifetime.add_key(key, store=self)
         return Proxy(StoreFactory(key, self.config(), evict=evict))
 
     def locked_proxy(self, obj: Any, **kwargs: Any) -> Proxy:

@@ -18,9 +18,11 @@ from dataclasses import field
 from typing import Any
 from typing import Callable
 
+from repro.exceptions import LifetimeError
 from repro.exceptions import WorkflowError
 from repro.proxy import Proxy
 from repro.serialize import serialize
+from repro.store import Lifetime
 from repro.store import ProxyFuture
 from repro.store import Store
 from repro.workflow.engine import WorkflowEngine
@@ -87,6 +89,7 @@ class _TopicConfig:
     store: Store | None = None
     threshold_bytes: int | None = None
     proxy_results: bool = True
+    lifetime: Lifetime | None = None
 
 
 class TaskServer:
@@ -98,6 +101,11 @@ class TaskServer:
         fixed_overhead_s: per-task scheduling/bookkeeping time in the task
             server (queue handling, result records, policy checks); Colmena
             deployments measure this in the tens of milliseconds.
+        lifetime: a per-run :class:`~repro.store.Lifetime` every proxied
+            input, result, and result future created by this server is bound
+            to.  Closing it after the run batch-evicts every key the run
+            produced, so sustained workloads stop leaking backing storage.
+            Topics may override it via :meth:`register_topic`.
     """
 
     def __init__(
@@ -106,12 +114,14 @@ class TaskServer:
         engine: WorkflowEngine,
         *,
         fixed_overhead_s: float = 0.02,
+        lifetime: Lifetime | None = None,
     ) -> None:
         if fixed_overhead_s < 0:
             raise ValueError('fixed_overhead_s must be non-negative')
         self.queues = queues
         self.engine = engine
         self.fixed_overhead_s = fixed_overhead_s
+        self.lifetime = lifetime
         self._topics: dict[str, _TopicConfig] = {}
         self._thread: threading.Thread | None = None
         self._running = threading.Event()
@@ -126,6 +136,7 @@ class TaskServer:
         store: Store | str | None = None,
         threshold_bytes: int | None = None,
         proxy_results: bool = True,
+        lifetime: Lifetime | None = None,
     ) -> None:
         """Register the function for ``topic`` and (optionally) its proxy policy.
 
@@ -134,7 +145,8 @@ class TaskServer:
         store before being passed onward — the library-level integration the
         paper describes.  A store URL string (``'redis://host:6379/ns'``)
         is accepted in place of a Store instance and resolved through
-        ``Store.from_url``.
+        ``Store.from_url``.  ``lifetime`` overrides the server's per-run
+        lifetime for this topic's proxied data.
         """
         if threshold_bytes is not None and threshold_bytes < 0:
             raise ValueError('threshold_bytes must be non-negative')
@@ -145,7 +157,14 @@ class TaskServer:
             store=store,
             threshold_bytes=threshold_bytes,
             proxy_results=proxy_results,
+            lifetime=lifetime,
         )
+
+    def _lifetime_for(self, config: _TopicConfig) -> Lifetime | None:
+        lifetime = config.lifetime if config.lifetime is not None else self.lifetime
+        if lifetime is not None and lifetime.done():
+            return None  # a closed run lifetime must not reject late tasks
+        return lifetime
 
     def result_future(self, topic: str, **future_kwargs: Any) -> ProxyFuture:
         """Create a :class:`~repro.store.ProxyFuture` in ``topic``'s store.
@@ -164,7 +183,24 @@ class TaskServer:
                 f'topic {topic!r} has no store; result futures need a '
                 'mediated channel to flow through',
             )
-        return config.store.future(**future_kwargs)
+        injected = False
+        lifetime = self._lifetime_for(config)
+        if (
+            lifetime is not None
+            and not future_kwargs.get('evict')
+            and 'lifetime' not in future_kwargs
+        ):
+            future_kwargs['lifetime'] = lifetime
+            injected = True
+        try:
+            return config.store.future(**future_kwargs)
+        except LifetimeError:
+            if not injected:
+                raise  # a caller-supplied closed lifetime is the caller's bug
+            # The run lifetime closed between the done() check and the
+            # bind; allocate the future unbound rather than failing it.
+            future_kwargs.pop('lifetime', None)
+            return config.store.future(**future_kwargs)
 
     def topics(self) -> list[str]:
         return sorted(self._topics)
@@ -209,7 +245,17 @@ class TaskServer:
             and config.threshold_bytes is not None
             and size >= config.threshold_bytes
         ):
-            proxy = config.store.proxy(value, cache_local=False)
+            try:
+                proxy = config.store.proxy(
+                    value,
+                    cache_local=False,
+                    lifetime=self._lifetime_for(config),
+                )
+            except LifetimeError:
+                # Lost the race with the run lifetime closing (the store
+                # evicted the bound-too-late key): re-store the straggler's
+                # data unbound so the task still completes.
+                proxy = config.store.proxy(value, cache_local=False)
             return proxy, len(serialize(proxy)), True
         return value, size, False
 
@@ -245,11 +291,23 @@ class TaskServer:
         processed_inputs = []
         total_input_bytes = 0
         any_proxied = False
-        for value in inputs:
-            value, size, proxied = self._maybe_proxy(config, value)
-            processed_inputs.append(value)
-            total_input_bytes += size
-            any_proxied = any_proxied or proxied
+        try:
+            for value in inputs:
+                value, size, proxied = self._maybe_proxy(config, value)
+                processed_inputs.append(value)
+                total_input_bytes += size
+                any_proxied = any_proxied or proxied
+        except Exception as e:  # noqa: BLE001 - must not kill the serve loop
+            record.success = False
+            record.error = f'input proxying failed: {type(e).__name__}: {e}'
+            record.time_returned = time.perf_counter()
+            if result_future is not None and not result_future.done():
+                try:
+                    result_future.set_exception(e)
+                except Exception:  # noqa: BLE001 - channel itself is broken
+                    pass
+            self.queues.results.put(record)
+            return
         record.input_bytes = total_input_bytes
         record.proxied_inputs = any_proxied
         record.time_dispatched = time.perf_counter()

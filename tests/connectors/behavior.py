@@ -2,8 +2,10 @@
 
 Each connector test module subclasses :class:`ConnectorBehavior` and provides
 a ``connector`` fixture; the mixin then exercises the full Connector protocol
-(put/get/exists/evict, batching, config round-trips) so all implementations
-are held to the same contract.
+(put/get/exists/evict, batching, config round-trips) plus the store-level
+proxy lifetime contract (pickle round trips, evict-on-resolve, lifetime- and
+ownership-driven eviction) so all implementations are held to the same
+contract.
 """
 from __future__ import annotations
 
@@ -15,13 +17,37 @@ import pytest
 from repro.connectors.protocol import Connector
 from repro.connectors.protocol import connector_from_path
 from repro.connectors.protocol import connector_path
+from repro.connectors.protocol import new_object_id
+from repro.exceptions import UseAfterFreeError
+from repro.proxy import borrow
+from repro.proxy import drop
+from repro.proxy import extract
+from repro.proxy import get_factory
 from repro.serialize import SerializedObject
 from repro.serialize import deserialize
 from repro.serialize import serialize
+from repro.store import ContextLifetime
+from repro.store import Store
 
 
 class ConnectorBehavior:
     """Common contract tests parametrized over connector fixtures."""
+
+    @staticmethod
+    def _store(connector: Connector) -> Store:
+        """A registered store over the shared connector fixture.
+
+        ``cache_size=0`` so every resolution and existence check really hits
+        the connector.  The store is *not* closed by the tests — the
+        connector fixture outlives it — and the registry is cleared by the
+        suite-wide autouse fixture.
+        """
+        return Store(
+            f'behavior-store-{new_object_id()[:8]}',
+            connector,
+            cache_size=0,
+            register=True,
+        )
 
     def test_put_get_roundtrip(self, connector: Connector):
         data = b'some payload bytes'
@@ -147,3 +173,52 @@ class ConnectorBehavior:
     def test_context_manager(self, connector: Connector):
         with connector as c:
             assert c is connector
+
+    # ------------------------------------------------------------------ #
+    # Store-level proxy lifetime contract (same across every scheme)
+    # ------------------------------------------------------------------ #
+    def test_proxy_pickle_roundtrip(self, connector: Connector):
+        store = self._store(connector)
+        obj = {'scheme': type(connector).__name__, 'payload': list(range(32))}
+        proxy = store.proxy(obj, cache_local=False)
+        restored = pickle.loads(pickle.dumps(proxy))
+        assert extract(restored) == obj
+        # A plain proxy never disturbs the stored object.
+        assert connector.exists(get_factory(proxy).key)
+
+    def test_proxy_evict_on_resolve(self, connector: Connector):
+        store = self._store(connector)
+        proxy = store.proxy('read-exactly-once', evict=True, cache_local=False)
+        key = get_factory(proxy).key
+        assert connector.exists(key)
+        assert extract(proxy) == 'read-exactly-once'
+        assert not connector.exists(key)
+
+    def test_lifetime_close_evicts_bound_keys(self, connector: Connector):
+        store = self._store(connector)
+        lifetime = ContextLifetime()
+        proxies = [
+            store.proxy(f'bound-{i}', lifetime=lifetime, cache_local=False)
+            for i in range(3)
+        ]
+        keys = [get_factory(p).key for p in proxies]
+        assert all(connector.exists(k) for k in keys)
+        assert extract(proxies[0]) == 'bound-0'  # resolving does not evict
+        assert connector.exists(keys[0])
+        lifetime.close()
+        assert all(not connector.exists(k) for k in keys)
+
+    def test_owned_proxy_drop_leaves_no_key(self, connector: Connector):
+        store = self._store(connector)
+        owned = store.owned_proxy({'model': 'weights'}, cache_local=False)
+        key = get_factory(owned).key
+        assert connector.exists(key)
+        view = borrow(owned)
+        assert extract(view) == {'model': 'weights'}
+        drop(owned)
+        assert not store.exists(key)
+        assert not connector.exists(key)
+        # The stale borrow fails with the dedicated ownership error, not a
+        # StoreKeyError from a doomed fetch.
+        with pytest.raises(UseAfterFreeError):
+            view['model']

@@ -1,0 +1,301 @@
+"""Tests of OwnedProxy, borrows, and the ownership rules."""
+from __future__ import annotations
+
+import copy
+import gc
+import pickle
+
+import pytest
+
+from repro.exceptions import BorrowError
+from repro.exceptions import OwnershipError
+from repro.exceptions import UseAfterFreeError
+from repro.proxy import OwnedProxy
+from repro.proxy import Proxy
+from repro.proxy import RefMutProxy
+from repro.proxy import RefProxy
+from repro.proxy import SimpleFactory
+from repro.proxy import borrow
+from repro.proxy import clone
+from repro.proxy import drop
+from repro.proxy import flush
+from repro.proxy import get_factory
+from repro.proxy import extract
+from repro.proxy import into_owned
+from repro.proxy import is_owned
+from repro.proxy import is_proxy
+from repro.proxy import mut_borrow
+from repro.store import StoreFactory
+
+
+def owned(store, obj, **kwargs):
+    kwargs.setdefault('cache_local', False)
+    return store.owned_proxy(obj, **kwargs)
+
+
+def key_of(proxy):
+    return get_factory(proxy).key
+
+
+class TestOwnedProxyLifecycle:
+    def test_behaves_like_target(self, local_store):
+        p = owned(local_store, [1, 2, 3])
+        assert isinstance(p, list)
+        assert p + [4] == [1, 2, 3, 4]
+        assert is_proxy(p) and is_owned(p)
+
+    def test_drop_evicts_key(self, local_store):
+        p = owned(local_store, 'ephemeral')
+        key = key_of(p)
+        assert local_store.connector.exists(key)
+        drop(p)
+        assert not local_store.connector.exists(key)
+
+    def test_drop_is_idempotent(self, local_store):
+        p = owned(local_store, 'x')
+        drop(p)
+        drop(p)
+
+    def test_context_manager_drops_on_exit(self, local_store):
+        with owned(local_store, {'a': 1}) as p:
+            key = key_of(p)
+            assert p['a'] == 1
+        assert not local_store.connector.exists(key)
+
+    def test_garbage_collection_drops_owner(self, local_store):
+        p = owned(local_store, 'collected')
+        key = key_of(p)
+        del p
+        gc.collect()
+        assert not local_store.connector.exists(key)
+
+    def test_use_after_free_raises_dedicated_error(self, local_store):
+        p = owned(local_store, [1, 2, 3])
+        drop(p)
+        with pytest.raises(UseAfterFreeError):
+            len(p)
+
+    def test_resolved_owner_still_invalid_after_drop(self, local_store):
+        # Even a proxy that already cached its target refuses access once
+        # freed: the ownership check comes before target lookup.
+        p = owned(local_store, 'resolved')
+        assert p == 'resolved'
+        drop(p)
+        with pytest.raises(UseAfterFreeError):
+            str(p)
+
+    def test_factory_carries_ownership_flag(self, local_store):
+        p = owned(local_store, 'flagged')
+        assert get_factory(p).owned is True
+
+    def test_owned_factory_rejects_evict(self, local_store):
+        key = local_store.put('x')
+        with pytest.raises(ValueError):
+            StoreFactory(key, local_store.config(), evict=True, owned=True)
+
+    def test_owned_proxy_rejects_evicting_factory(self, local_store):
+        key = local_store.put('x')
+        factory = StoreFactory(key, local_store.config(), evict=True)
+        with pytest.raises(OwnershipError):
+            OwnedProxy(factory)
+
+    def test_owned_proxy_requires_store_backed_factory(self):
+        with pytest.raises(OwnershipError):
+            OwnedProxy(SimpleFactory('bare'))
+
+    def test_cannot_copy_owner(self, local_store):
+        p = owned(local_store, 'unique')
+        with pytest.raises(OwnershipError):
+            copy.copy(p)
+        with pytest.raises(OwnershipError):
+            copy.deepcopy(p)
+
+
+class TestBorrowRules:
+    def test_many_shared_borrows(self, local_store):
+        p = owned(local_store, {'k': 'v'})
+        views = [borrow(p) for _ in range(4)]
+        assert all(v == {'k': 'v'} for v in views)
+
+    def test_mut_borrow_is_exclusive(self, local_store):
+        p = owned(local_store, [1])
+        m = mut_borrow(p)
+        with pytest.raises(BorrowError):
+            borrow(p)
+        with pytest.raises(BorrowError):
+            mut_borrow(p)
+        del m
+        gc.collect()
+        assert borrow(p) == [1]
+
+    def test_shared_borrows_block_mut_borrow(self, local_store):
+        p = owned(local_store, [1])
+        view = borrow(p)
+        with pytest.raises(BorrowError):
+            mut_borrow(p)
+        del view
+        gc.collect()
+        assert isinstance(mut_borrow(p), RefMutProxy)
+
+    def test_borrow_after_drop_raises(self, local_store):
+        p = owned(local_store, 'gone')
+        drop(p)
+        with pytest.raises(UseAfterFreeError):
+            borrow(p)
+        with pytest.raises(UseAfterFreeError):
+            mut_borrow(p)
+
+    def test_borrows_invalidated_by_owner_drop(self, local_store):
+        p = owned(local_store, 'shared')
+        view = borrow(p)
+        assert view == 'shared'
+        drop(p)
+        with pytest.raises(UseAfterFreeError):
+            view.upper()
+
+    def test_borrow_requires_owner(self, local_store):
+        plain = local_store.proxy('plain', cache_local=False)
+        with pytest.raises(OwnershipError):
+            borrow(plain)
+        with pytest.raises(OwnershipError):
+            mut_borrow('not a proxy')
+
+    def test_mut_borrow_flush_writes_back(self, local_store):
+        p = owned(local_store, [1, 2])
+        m = mut_borrow(p)
+        m.append(3)
+        flush(m)
+        del m
+        gc.collect()
+        assert borrow(p) == [1, 2, 3]
+
+    def test_flush_requires_resolved_mut_borrow(self, local_store):
+        p = owned(local_store, [1])
+        m = mut_borrow(p)
+        with pytest.raises(OwnershipError):
+            flush(m)  # never resolved, nothing was mutated
+        with pytest.raises(OwnershipError):
+            flush(p)  # owners are not mutable borrows
+
+
+class TestCloneAndUpgrade:
+    def test_clone_is_independent(self, local_store):
+        p = owned(local_store, {'n': 1})
+        c = clone(p)
+        assert key_of(c) != key_of(p)
+        drop(p)
+        assert c == {'n': 1}
+        drop(c)
+        assert not local_store.connector.exists(key_of(c))
+
+    def test_clone_blocked_by_mut_borrow(self, local_store):
+        p = owned(local_store, [1])
+        m = mut_borrow(p)
+        with pytest.raises(BorrowError):
+            clone(p)
+        del m
+        gc.collect()
+        assert clone(p) == [1]
+
+    def test_into_owned_upgrades_legacy_proxy(self, local_store):
+        plain = local_store.proxy('legacy', cache_local=False)
+        p = into_owned(plain)
+        assert isinstance(p, OwnedProxy)
+        assert get_factory(p).owned is True
+        key = key_of(p)
+        drop(p)
+        assert not local_store.connector.exists(key)
+
+    def test_into_owned_rejects_evict_proxy(self, local_store):
+        ephemeral = local_store.proxy('x', evict=True, cache_local=False)
+        with pytest.raises(OwnershipError):
+            into_owned(ephemeral)
+
+    def test_into_owned_rejects_tracked_proxies(self, local_store):
+        p = owned(local_store, 'x')
+        with pytest.raises(OwnershipError):
+            into_owned(p)
+        with pytest.raises(OwnershipError):
+            into_owned(borrow(p))
+
+    def test_into_owned_rejects_non_proxy(self):
+        with pytest.raises(OwnershipError):
+            into_owned(Proxy(SimpleFactory('in-memory')))
+
+
+class TestOwnershipPickling:
+    def test_pickled_owner_arrives_as_ref_proxy(self, local_store):
+        p = owned(local_store, {'weights': [1.0, 2.0]})
+        restored = pickle.loads(pickle.dumps(p))
+        assert type(restored) is RefProxy
+        assert get_factory(restored).owned is False
+        assert restored == {'weights': [1.0, 2.0]}
+        # The original is still the owner: dropping it evicts the key.
+        key = key_of(p)
+        drop(p)
+        assert not local_store.connector.exists(key)
+
+    def test_pickled_borrow_is_untracked_ref(self, local_store):
+        p = owned(local_store, 'v')
+        view = borrow(p)
+        restored = pickle.loads(pickle.dumps(view))
+        assert type(restored) is RefProxy
+        assert restored == 'v'
+
+    def test_unpickled_ref_does_not_affect_borrow_state(self, local_store):
+        p = owned(local_store, 'v')
+        pickle.loads(pickle.dumps(p))
+        # Shipping a RefProxy did not take an in-process borrow.
+        assert isinstance(mut_borrow(p), RefMutProxy)
+
+
+class TestIsOwnedHelper:
+    def test_is_owned_classification(self, local_store):
+        p = owned(local_store, 'x')
+        assert is_owned(p)
+        assert is_owned(borrow(p))
+        assert not is_owned(local_store.proxy('y', cache_local=False))
+        assert not is_owned('not a proxy')
+        assert not is_owned(Proxy(SimpleFactory('z')))
+
+
+class TestIntrospectionDoesNotResolve:
+    def test_is_owned_never_resolves_plain_proxy(self, local_store):
+        from repro.proxy import is_resolved
+
+        p = local_store.proxy('lazy', cache_local=False)
+        assert not is_owned(p)
+        assert not is_resolved(p)  # the probe must not touch the store
+
+    def test_is_owned_does_not_destroy_evicting_proxy(self, local_store):
+        # The historic hazard: isinstance() falls back to the transparent
+        # __class__ property, resolving (and for evict=True, destroying)
+        # the proxy as a side effect of a pure introspection call.
+        p = local_store.proxy('once', evict=True, cache_local=False)
+        key = key_of(p)
+        assert not is_owned(p)
+        assert local_store.connector.exists(key)
+
+    def test_into_owned_rejection_preserves_evicting_proxy(self, local_store):
+        from repro.proxy import is_resolved
+
+        p = local_store.proxy('precious', evict=True, cache_local=False)
+        key = key_of(p)
+        with pytest.raises(OwnershipError):
+            into_owned(p)
+        # The rejected upgrade must not have resolved (and thereby
+        # destroyed) the read-once value.
+        assert not is_resolved(p)
+        assert local_store.connector.exists(key)
+        assert extract(p) == 'precious'
+
+    def test_ownership_helpers_reject_plain_proxy_without_resolving(
+        self, local_store,
+    ):
+        from repro.proxy import is_resolved
+
+        p = local_store.proxy('untouched', cache_local=False)
+        for op in (borrow, mut_borrow, clone, drop, flush):
+            with pytest.raises(OwnershipError):
+                op(p)
+        assert not is_resolved(p)

@@ -278,3 +278,56 @@ def test_proxy_equality_between_proxies():
     a = Proxy(SimpleFactory(5))
     b = Proxy(SimpleFactory(5))
     assert a == b
+
+
+# --------------------------------------------------------------------------- #
+# Copy support: copies duplicate the factory, never resolve the target.
+# --------------------------------------------------------------------------- #
+def test_copy_returns_unresolved_proxy():
+    import copy
+
+    p = Proxy(SimpleFactory([1, 2, 3]))
+    c = copy.copy(p)
+    assert type(c) is Proxy
+    assert not is_resolved(p) and not is_resolved(c)
+    assert c == [1, 2, 3]
+    assert not is_resolved(p)  # copying + resolving the copy left p untouched
+
+
+def test_deepcopy_does_not_resolve_original():
+    import copy
+
+    calls = []
+
+    class CountingFactory(SimpleFactory):
+        def resolve(self):
+            calls.append(1)
+            return super().resolve()
+
+    p = Proxy(CountingFactory({'k': 'v'}))
+    d = copy.deepcopy(p)
+    # The historic bug: deepcopy's getattr(x, '__deepcopy__') probe was
+    # forwarded to the target, resolving the proxy as a side effect.
+    assert calls == []
+    assert not is_resolved(p) and not is_resolved(d)
+    assert d == {'k': 'v'}
+
+
+def test_deepcopy_duplicates_factory():
+    import copy
+
+    factory = SimpleFactory([1, 2])
+    p = Proxy(factory)
+    d = copy.deepcopy(p)
+    assert get_factory(d) is not factory
+    assert d == [1, 2]
+
+
+def test_copy_of_resolved_proxy_is_fresh():
+    import copy
+
+    p = Proxy(SimpleFactory('value'))
+    assert p == 'value'  # resolve the original
+    c = copy.copy(p)
+    assert not is_resolved(c)
+    assert c == 'value'

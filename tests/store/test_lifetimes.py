@@ -1,0 +1,378 @@
+"""Tests of store-managed lifetimes (ContextLifetime, LeaseLifetime, StaticLifetime)."""
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exceptions import LifetimeError
+from repro.proxy import SimpleFactory
+from repro.proxy import Proxy
+from repro.proxy import extract
+from repro.proxy import get_factory
+from repro.store import ContextLifetime
+from repro.store import LeaseLifetime
+from repro.store import Lifetime
+from repro.store import StaticLifetime
+from repro.store import Store
+
+
+@pytest.fixture(autouse=True)
+def _reset_static_lifetime():
+    yield
+    # A StaticLifetime created by a test must not leak its atexit hook (or
+    # its bound keys) into later tests.
+    if StaticLifetime._instance is not None:
+        StaticLifetime._instance.close()
+        StaticLifetime._instance = None
+
+
+def keys_of(proxies):
+    return [get_factory(p).key for p in proxies]
+
+
+class TestContextLifetime:
+    def test_close_batch_evicts_bound_keys(self, local_store):
+        lifetime = ContextLifetime()
+        proxies = [
+            local_store.proxy(f'v{i}', lifetime=lifetime, cache_local=False)
+            for i in range(3)
+        ]
+        keys = keys_of(proxies)
+        assert all(local_store.connector.exists(k) for k in keys)
+        assert lifetime.keys_bound == 3
+        lifetime.close()
+        assert all(not local_store.connector.exists(k) for k in keys)
+        assert lifetime.keys_evicted == 3
+        assert lifetime.done()
+
+    def test_context_manager_closes(self, local_store):
+        with ContextLifetime() as lifetime:
+            proxy = local_store.proxy('scoped', lifetime=lifetime, cache_local=False)
+            key = get_factory(proxy).key
+            assert not lifetime.done()
+        assert lifetime.done()
+        assert not local_store.connector.exists(key)
+
+    def test_close_is_idempotent(self, local_store):
+        lifetime = ContextLifetime()
+        local_store.proxy('x', lifetime=lifetime, cache_local=False)
+        lifetime.close()
+        lifetime.close()
+        assert lifetime.keys_evicted == 1
+
+    def test_resolution_before_close_does_not_evict(self, local_store):
+        lifetime = ContextLifetime()
+        proxy = local_store.proxy('shared', lifetime=lifetime, cache_local=False)
+        # Two consumers can resolve the same lifetime-bound proxy: the key
+        # survives resolution (unlike evict=True) until the lifetime closes.
+        assert extract(proxy) == 'shared'
+        assert local_store.connector.exists(get_factory(proxy).key)
+
+    def test_add_key_after_close_raises(self, local_store):
+        lifetime = ContextLifetime()
+        lifetime.close()
+        with pytest.raises(LifetimeError):
+            local_store.proxy('late', lifetime=lifetime, cache_local=False)
+
+    def test_add_key_requires_store(self):
+        lifetime = ContextLifetime()
+        with pytest.raises(LifetimeError):
+            lifetime.add_key('orphan-key')
+
+    def test_default_store_used_when_none_named(self, local_store):
+        lifetime = ContextLifetime(store=local_store)
+        key = local_store.put('defaulted')
+        lifetime.add_key(key)
+        lifetime.close()
+        assert not local_store.connector.exists(key)
+
+    def test_add_proxy_binds_store_backed_proxies(self, local_store):
+        lifetime = ContextLifetime()
+        proxy = local_store.proxy('via-add-proxy', cache_local=False)
+        lifetime.add_proxy(proxy)
+        lifetime.close()
+        assert not local_store.connector.exists(get_factory(proxy).key)
+
+    def test_add_proxy_rejects_non_store_proxies(self):
+        lifetime = ContextLifetime()
+        with pytest.raises(LifetimeError):
+            lifetime.add_proxy(Proxy(SimpleFactory('bare')))
+
+    def test_duplicate_keys_bound_once(self, local_store):
+        lifetime = ContextLifetime()
+        key = local_store.put('once')
+        lifetime.add_key(key, store=local_store)
+        lifetime.add_key(key, store=local_store)
+        assert lifetime.keys_bound == 1
+
+    def test_spans_multiple_stores(self, local_store, file_store):
+        lifetime = ContextLifetime()
+        p1 = local_store.proxy('in-local', lifetime=lifetime, cache_local=False)
+        p2 = file_store.proxy('in-file', lifetime=lifetime, cache_local=False)
+        lifetime.close()
+        assert not local_store.connector.exists(get_factory(p1).key)
+        assert not file_store.connector.exists(get_factory(p2).key)
+
+    def test_satisfies_lifetime_protocol(self):
+        assert isinstance(ContextLifetime(), Lifetime)
+        assert isinstance(LeaseLifetime(60.0), Lifetime)
+        assert isinstance(StaticLifetime(), Lifetime)
+
+
+class TestStoreLifetimeIntegration:
+    def test_proxy_lifetime_and_evict_mutually_exclusive(self, local_store):
+        with pytest.raises(ValueError, match='mutually exclusive'):
+            local_store.proxy('x', evict=True, lifetime=ContextLifetime())
+
+    def test_proxy_batch_binds_every_key(self, local_store):
+        lifetime = ContextLifetime()
+        proxies = local_store.proxy_batch(
+            ['a', 'b', 'c'], lifetime=lifetime, cache_local=False,
+        )
+        assert lifetime.keys_bound == 3
+        lifetime.close()
+        assert all(
+            not local_store.connector.exists(k) for k in keys_of(proxies)
+        )
+
+    def test_proxy_batch_mutual_exclusion(self, local_store):
+        with pytest.raises(ValueError, match='mutually exclusive'):
+            local_store.proxy_batch(['x'], evict=True, lifetime=ContextLifetime())
+
+    def test_proxy_from_key_lifetime(self, local_store):
+        key = local_store.put('existing')
+        lifetime = ContextLifetime()
+        local_store.proxy_from_key(key, lifetime=lifetime)
+        lifetime.close()
+        assert not local_store.connector.exists(key)
+
+    def test_future_key_bound_to_lifetime(self, local_store):
+        lifetime = ContextLifetime()
+        future = local_store.future(lifetime=lifetime)
+        future.set_result('produced')
+        assert future.proxy() == 'produced'
+        lifetime.close()
+        assert not local_store.connector.exists(future.key)
+
+    def test_future_mutual_exclusion(self, local_store):
+        with pytest.raises(ValueError, match='mutually exclusive'):
+            local_store.future(evict=True, lifetime=ContextLifetime())
+
+    def test_evict_batch_records_metric(self):
+        store = Store.from_url('local://?metrics=1', register=False)
+        try:
+            keys = store.put_batch(['a', 'b'])
+            store.evict_batch(keys)
+            summary = store.metrics_summary()
+            assert summary['evict_batch']['count'] == 1
+            assert all(not store.connector.exists(k) for k in keys)
+        finally:
+            store.close(clear=True)
+
+    def test_evict_batch_empty_is_noop(self, local_store):
+        local_store.evict_batch([])
+
+    def test_evict_batch_clears_local_cache(self):
+        store = Store.from_url('local://?cache_size=4', register=False)
+        try:
+            key = store.put('cached')
+            assert store.get(key) == 'cached'
+            assert store.is_cached(key)
+            store.evict_batch([key])
+            assert not store.is_cached(key)
+        finally:
+            store.close(clear=True)
+
+
+class TestLeaseLifetime:
+    def test_expiry_evicts_keys(self, local_store):
+        lease = LeaseLifetime(0.15)
+        proxy = local_store.proxy('leased', lifetime=lease, cache_local=False)
+        key = get_factory(proxy).key
+        assert local_store.connector.exists(key)
+        deadline = time.monotonic() + 5.0
+        while not lease.done() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert lease.done()
+        assert not local_store.connector.exists(key)
+
+    def test_extend_renews_lease(self, local_store):
+        lease = LeaseLifetime(0.2)
+        local_store.proxy('renewed', lifetime=lease, cache_local=False)
+        lease.extend(60.0)
+        time.sleep(0.3)  # original TTL elapsed; extension keeps it alive
+        assert not lease.done()
+        assert lease.remaining() > 30.0
+        lease.close()
+
+    def test_close_cancels_timer(self, local_store):
+        lease = LeaseLifetime(60.0)
+        proxy = local_store.proxy('x', lifetime=lease, cache_local=False)
+        lease.close()
+        assert lease.remaining() == 0.0
+        assert not local_store.connector.exists(get_factory(proxy).key)
+
+    def test_rejects_nonpositive_values(self):
+        with pytest.raises(ValueError):
+            LeaseLifetime(0)
+        lease = LeaseLifetime(60.0)
+        try:
+            with pytest.raises(ValueError):
+                lease.extend(0)
+        finally:
+            lease.close()
+
+    def test_extend_after_expiry_raises(self):
+        lease = LeaseLifetime(0.05)
+        deadline = time.monotonic() + 5.0
+        while not lease.done() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        with pytest.raises(LifetimeError):
+            lease.extend(1.0)
+
+
+class TestStaticLifetime:
+    def test_singleton_until_closed(self):
+        a = StaticLifetime()
+        b = StaticLifetime()
+        assert a is b
+        a.close()
+        c = StaticLifetime()
+        assert c is not a
+
+    def test_close_evicts_process_long_keys(self, local_store):
+        static = StaticLifetime()
+        proxy = local_store.proxy('process-long', lifetime=static, cache_local=False)
+        static.close()
+        assert not local_store.connector.exists(get_factory(proxy).key)
+
+
+class TestLifetimeRaces:
+    def test_bind_after_close_does_not_leak_the_key(self):
+        # Store.proxy puts the object before it can bind the key; if the
+        # lifetime closed in between, the orphaned key must be evicted
+        # before the error propagates.
+        store = Store.from_url('local://bind-race-store?register=0')
+        try:
+            lifetime = ContextLifetime()
+            lifetime.close()
+            before = dict(store.connector._store)
+            with pytest.raises(LifetimeError):
+                store.proxy('stranded', lifetime=lifetime, cache_local=False)
+            assert dict(store.connector._store) == before  # nothing stranded
+            with pytest.raises(LifetimeError):
+                store.proxy_batch(['a', 'b'], lifetime=lifetime, cache_local=False)
+            assert dict(store.connector._store) == before
+        finally:
+            store.close(clear=True)
+
+    def test_stale_expiry_timer_loses_to_extend(self, local_store):
+        # A fired timer that lost the race with extend() (cancel() cannot
+        # stop an already-started callback) must observe the renewed
+        # deadline and retire without evicting.
+        lease = LeaseLifetime(60.0)
+        try:
+            proxy = local_store.proxy('renewed', lifetime=lease, cache_local=False)
+            lease.extend(60.0)
+            lease._expire()  # simulate the stale pre-extend timer firing
+            assert not lease.done()
+            assert local_store.connector.exists(get_factory(proxy).key)
+        finally:
+            lease.close()
+
+
+def test_colmena_task_survives_lifetime_closing_mid_task():
+    """Closing the run lifetime between the server's done() check and the
+    store bind must not kill the serve loop or fail the task."""
+    import numpy as np
+
+    from repro.connectors.local import LocalConnector
+    from repro.workflow import ColmenaQueues
+    from repro.workflow import TaskServer
+    from repro.workflow import Thinker
+    from repro.workflow import WorkflowEngine
+
+    class ClosingLifetime(ContextLifetime):
+        """Closes itself the moment the server consults it — the worst
+        possible interleaving of close() against the put-then-bind path."""
+
+        def add_key(self, *keys, store=None):
+            self.close()
+            return super().add_key(*keys, store=store)
+
+    queues = ColmenaQueues()
+    lifetime = ClosingLifetime()
+    store = Store('colmena-race-store', LocalConnector(), cache_size=0)
+    try:
+        with WorkflowEngine(n_workers=1) as engine:
+            server = TaskServer(
+                queues, engine, fixed_overhead_s=0.0, lifetime=lifetime,
+            )
+            server.register_topic(
+                'scale',
+                lambda data: np.asarray(data) * 2,
+                store=store,
+                threshold_bytes=0,
+            )
+            thinker = Thinker(queues)
+            with server:
+                result = thinker.run_task('scale', np.ones(16), timeout=10.0)
+                assert result.success, result.error
+                # The serve loop survived; a second task also completes.
+                result2 = thinker.run_task('scale', np.ones(16), timeout=10.0)
+                assert result2.success, result2.error
+    finally:
+        store.close(clear=True)
+
+
+def test_future_result_after_lifetime_close_does_not_resurrect_key(local_store):
+    """A producer whose result lands after the run lifetime closed must not
+    silently re-create the evicted key with no owner (permanent leak)."""
+    from repro.exceptions import ProxyFutureError
+
+    lifetime = ContextLifetime()
+    future = local_store.future(lifetime=lifetime)
+    lifetime.close()
+    with pytest.raises(ProxyFutureError, match='closed'):
+        future.set_result('too late')
+    assert not local_store.connector.exists(future.key)
+
+
+def test_lifetime_distinguishes_same_named_stores(tmp_path):
+    """Two store instances sharing a name must not have their keys merged:
+    each key is evicted on the connector that actually holds it."""
+    from repro.connectors.file import FileConnector
+    from repro.connectors.local import LocalConnector
+
+    a = Store('same-name', LocalConnector(), register=False)
+    b = Store('same-name', FileConnector(str(tmp_path / 'b')), register=False)
+    try:
+        lifetime = ContextLifetime()
+        ka = a.put('in-a')
+        kb = b.put('in-b')
+        lifetime.add_key(ka, store=a)
+        lifetime.add_key(kb, store=b)
+        lifetime.close()
+        assert not a.connector.exists(ka)
+        assert not b.connector.exists(kb)
+        assert lifetime.keys_evicted == 2
+    finally:
+        a.close(clear=True)
+        b.close(clear=True)
+
+
+def test_future_failure_reaches_consumers_after_lifetime_close(local_store):
+    """set_exception must work even after the bound lifetime closed: the
+    consumer should learn the producer failed, not poll until timeout."""
+    from repro.exceptions import ProxyFutureError
+
+    lifetime = ContextLifetime()
+    future = local_store.future(lifetime=lifetime, timeout=5.0)
+    proxy = future.proxy()
+    lifetime.close()
+    future.set_exception(RuntimeError('task blew up'))
+    with pytest.raises(Exception, match='task blew up'):
+        extract(proxy)
+    with pytest.raises(ProxyFutureError):
+        future.result(timeout=1.0)

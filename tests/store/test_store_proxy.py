@@ -242,3 +242,48 @@ def test_proxy_batch_connector_kwargs_carried_in_factory():
 def test_proxy_batch_connector_kwargs_rejected_for_plain_connector(local_store):
     with pytest.raises(StoreError, match='subset_tags'):
         local_store.proxy_batch(['x'], subset_tags=('gpu',))
+
+
+# --------------------------------------------------------------------------- #
+# extract(evict=...): read-time parity with Store.proxy(evict=...)
+# --------------------------------------------------------------------------- #
+def test_extract_evict_removes_backing_key(local_store):
+    p = local_store.proxy('read-once', cache_local=False)
+    key = get_factory(p).key
+    assert extract(p, evict=True) == 'read-once'
+    assert not local_store.connector.exists(key)
+    assert not local_store.is_cached(key)
+
+
+def test_extract_without_evict_keeps_key(local_store):
+    p = local_store.proxy('kept', cache_local=False)
+    assert extract(p) == 'kept'
+    assert local_store.connector.exists(get_factory(p).key)
+
+
+def test_extract_evict_on_evicting_proxy_does_not_double_evict(local_store):
+    # evict-on-resolve already removed the key during resolution; the
+    # explicit evict request must not raise on the now-missing key.
+    p = local_store.proxy('once', evict=True, cache_local=False)
+    key = get_factory(p).key
+    assert extract(p, evict=True) == 'once'
+    assert not local_store.connector.exists(key)
+
+
+def test_extract_evict_requires_store_backed_proxy():
+    from repro.proxy import SimpleFactory
+
+    p = Proxy(SimpleFactory('bare'))
+    assert extract(p) == 'bare'  # no store involved: plain extraction works
+    with pytest.raises(TypeError):
+        extract(Proxy(SimpleFactory('bare')), evict=True)
+
+
+def test_extract_evict_rejects_owned_proxies(local_store):
+    from repro.exceptions import OwnershipError
+
+    p = local_store.owned_proxy('owned', cache_local=False)
+    with pytest.raises(OwnershipError):
+        extract(p, evict=True)
+    # The owner still controls the key.
+    assert local_store.connector.exists(get_factory(p).key)

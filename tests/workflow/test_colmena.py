@@ -149,3 +149,99 @@ def test_tasks_processed_counter(pipeline):
         thinker.run_task('scale', np.ones(2))
     assert server.tasks_processed == 3
     assert len(thinker.results) == 3
+
+
+def test_run_lifetime_binds_proxied_task_data(engine):
+    """A per-run lifetime collects every key the server proxies; closing it
+    batch-evicts them so sustained runs stop leaking backing storage."""
+    from repro.proxy import get_factory
+    from repro.store import ContextLifetime
+
+    queues = ColmenaQueues()
+    run_lifetime = ContextLifetime()
+    server = TaskServer(queues, engine, fixed_overhead_s=0.0, lifetime=run_lifetime)
+    thinker = Thinker(queues)
+    store = Store('colmena-lifetime-store', LocalConnector(), cache_size=0)
+    try:
+        server.register_topic('scale', _scale, store=store, threshold_bytes=0)
+        with server:
+            result = thinker.run_task('scale', np.ones(64))
+        assert result.proxied_inputs and result.proxied_result
+        result_key = get_factory(result.value).key
+        assert store.connector.exists(result_key)
+        assert run_lifetime.keys_bound >= 2  # proxied input + proxied result
+        run_lifetime.close()
+        assert not store.connector.exists(result_key)
+    finally:
+        store.close(clear=True)
+
+
+def test_topic_lifetime_overrides_server_lifetime(engine):
+    from repro.proxy import get_factory
+    from repro.store import ContextLifetime
+
+    queues = ColmenaQueues()
+    run_lifetime = ContextLifetime()
+    topic_lifetime = ContextLifetime()
+    server = TaskServer(queues, engine, fixed_overhead_s=0.0, lifetime=run_lifetime)
+    thinker = Thinker(queues)
+    store = Store('colmena-topic-lifetime', LocalConnector(), cache_size=0)
+    try:
+        server.register_topic(
+            'scale', _scale, store=store, threshold_bytes=0,
+            lifetime=topic_lifetime,
+        )
+        with server:
+            result = thinker.run_task('scale', np.ones(16))
+        key = get_factory(result.value).key
+        assert run_lifetime.keys_bound == 0
+        run_lifetime.close()
+        assert store.connector.exists(key)  # bound to the topic's lifetime
+        topic_lifetime.close()
+        assert not store.connector.exists(key)
+    finally:
+        store.close(clear=True)
+
+
+def test_result_future_bound_to_run_lifetime(engine):
+    from repro.store import ContextLifetime
+
+    queues = ColmenaQueues()
+    run_lifetime = ContextLifetime()
+    server = TaskServer(queues, engine, fixed_overhead_s=0.0, lifetime=run_lifetime)
+    thinker = Thinker(queues)
+    store = Store('colmena-future-lifetime', LocalConnector(), cache_size=0)
+    try:
+        server.register_topic('scale', _scale, store=store, threshold_bytes=100_000)
+        with server:
+            future = server.result_future('scale', timeout=10.0)
+            proxy = future.proxy()
+            thinker.submit('scale', np.ones(4), result_future=future)
+            thinker.wait_for_result(timeout=10.0)
+            assert float(np.asarray(proxy).sum()) == pytest.approx(8.0)
+        assert store.connector.exists(future.key)
+        run_lifetime.close()
+        assert not store.connector.exists(future.key)
+    finally:
+        store.close(clear=True)
+
+
+def test_closed_run_lifetime_does_not_reject_late_tasks(engine):
+    """Tasks arriving after the run lifetime closed still execute; their
+    data simply is not bound to the (finished) lifetime."""
+    from repro.store import ContextLifetime
+
+    queues = ColmenaQueues()
+    run_lifetime = ContextLifetime()
+    server = TaskServer(queues, engine, fixed_overhead_s=0.0, lifetime=run_lifetime)
+    thinker = Thinker(queues)
+    store = Store('colmena-late-task', LocalConnector(), cache_size=0)
+    try:
+        server.register_topic('scale', _scale, store=store, threshold_bytes=0)
+        run_lifetime.close()
+        with server:
+            result = thinker.run_task('scale', np.ones(8))
+        assert result.success
+        assert result.proxied_result
+    finally:
+        store.close(clear=True)
