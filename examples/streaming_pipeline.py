@@ -1,0 +1,91 @@
+"""Streaming proxy channels: an unbounded producer → worker → sink pipeline.
+
+A producer publishes simulation frames on a topic: each frame's bulk data
+goes into a Store (any connector) while only a tiny event — key plus
+metadata — rides the event bus.  A consumer iterates the topic and gets
+lazy proxies; the workflow engine dispatches one task per event and
+publishes results to an output topic.  Swap the bus URL from
+``local://...`` to ``kv://host:port?launch=1`` and the same code runs the
+events through the SimKV broker with server-side fan-out.
+
+Run with::
+
+    PYTHONPATH=src python examples/streaming_pipeline.py
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro import store_from_url
+from repro.proxy import Proxy
+from repro.proxy import drop
+from repro.proxy import is_resolved
+from repro.stream import StreamConsumer
+from repro.stream import StreamProducer
+from repro.stream import event_bus_from_url
+from repro.workflow.engine import WorkflowEngine
+
+FRAMES = 12
+FRAME_SHAPE = (64, 64)
+
+
+def analyze(frame: np.ndarray) -> dict:
+    """A worker task: receives a proxy, touches it, data resolves lazily."""
+    data = np.asarray(frame)
+    return {'mean': float(data.mean()), 'max': float(data.max())}
+
+
+def main() -> None:
+    store = store_from_url('local:///streaming-example?name=stream-store')
+    bus = event_bus_from_url('local://streaming-example?retention=64')
+    rng = np.random.default_rng(7)
+
+    # --- producer side: frames stream out as (store put + tiny event) ----
+    producer = StreamProducer(store, bus, 'frames')
+    for step in range(FRAMES):
+        frame = rng.normal(loc=step, size=FRAME_SHAPE)
+        producer.send(frame, metadata={'step': step})
+    producer.close()  # publishes the end-of-stream marker
+    print(f'produced {producer.sent} frames '
+          f'({FRAMES * 8 * FRAME_SHAPE[0] * FRAME_SHAPE[1] // 1024} KiB of data, '
+          'none of it on the event bus)')
+
+    # --- consumer side: lazy proxies, resolved only when touched ---------
+    consumer = StreamConsumer(store, bus, 'frames', from_seq=0, timeout=10.0)
+    results = StreamProducer(store, bus, 'results')
+    with WorkflowEngine(n_workers=4, extra_hops=0) as engine:
+        stats = engine.run_stream(analyze, consumer, output=results)
+    print(f'dispatched {stats["tasks"]} tasks, '
+          f'published {stats["published"]} results in input order')
+
+    # --- sink: results are themselves a stream ---------------------------
+    sink = StreamConsumer(store, bus, 'results', from_seq=0, timeout=10.0)
+    means = []
+    for event, item in sink.events():
+        assert isinstance(item, Proxy) and not is_resolved(item)
+        means.append(item['mean'])  # first touch resolves from the store
+    print(f'frame means climb with step: {means[0]:.2f} ... {means[-1]:.2f}')
+    assert means == sorted(means)
+
+    # Consumed items can be batch-evicted so the store never fills:
+    evicted = consumer.ack() + sink.ack()
+    print(f'acked streams: {evicted} keys batch-evicted from the store')
+
+    # --- owned mode: items evict themselves when dropped -----------------
+    producer2 = StreamProducer(store, bus, 'owned-frames')
+    owned_consumer = StreamConsumer(
+        store, bus, 'owned-frames', owned=True, from_seq=0, timeout=10.0,
+    )
+    producer2.send(rng.normal(size=FRAME_SHAPE))
+    producer2.close()
+    for event, item in owned_consumer.events():
+        _ = item.shape  # use it...
+        drop(item)      # ...and the backing key is gone immediately
+        print(f'owned frame seq={event.seq} dropped: '
+              f'exists={store.exists(event.key)}')
+
+    store.close(clear=True)
+
+
+if __name__ == '__main__':
+    main()

@@ -36,8 +36,25 @@ from repro.store import StoreFactory
 from repro.store import get_store
 from repro.store import register_store
 from repro.store import unregister_store
+from repro.stream import EventBus
+from repro.stream import LocalEventBus
+from repro.stream import StreamConsumer
+from repro.stream import StreamEvent
+from repro.stream import StreamProducer
+from repro.stream import event_bus_from_url
 
-__version__ = '2.0.0'
+__version__ = '2.1.0'
+
+
+def __getattr__(name: str):
+    # Lazy re-export: the KV event transport (and its kvserver/socket
+    # machinery) loads only when actually used — `repro.KVEventBus` or a
+    # kv:// bus URL — keeping bare `import repro` light.
+    if name == 'KVEventBus':
+        from repro.stream.kv import KVEventBus
+
+        return KVEventBus
+    raise AttributeError(f'module {__name__!r} has no attribute {name!r}')
 
 
 def store_from_url(url: str, **kwargs: Any) -> Store:
@@ -53,10 +70,13 @@ def store_from_url(url: str, **kwargs: Any) -> Store:
 __all__ = [
     'BorrowError',
     'ContextLifetime',
+    'EventBus',
     'Factory',
+    'KVEventBus',
     'LeaseLifetime',
     'Lifetime',
     'LifetimeError',
+    'LocalEventBus',
     'OwnedProxy',
     'OwnershipError',
     'Proxy',
@@ -65,10 +85,14 @@ __all__ = [
     'Store',
     'StoreConfig',
     'StoreFactory',
+    'StreamConsumer',
+    'StreamEvent',
+    'StreamProducer',
     'UseAfterFreeError',
     'borrow',
     'clone',
     'drop',
+    'event_bus_from_url',
     'extract',
     'flush',
     'get_store',

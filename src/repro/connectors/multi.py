@@ -164,6 +164,41 @@ class MultiConnector(Connector):
         connector = self.connector_for(key.connector_label)
         connector.evict(key.inner_key)
 
+    def get_batch(self, keys: Iterable[MultiKey]) -> list[Any]:
+        """Fetch several keys, batching per managed connector.
+
+        Keys are grouped by the connector that stored them, fetched with
+        one ``get_batch`` per inner connector, and returned in input order.
+        """
+        keys = list(keys)
+        by_label: dict[str, list[tuple[int, Any]]] = {}
+        for index, key in enumerate(keys):
+            by_label.setdefault(key.connector_label, []).append(
+                (index, key.inner_key),
+            )
+        results: list[Any] = [None] * len(keys)
+        for label, entries in by_label.items():
+            datas = self.connector_for(label).get_batch(
+                [inner for _, inner in entries],
+            )
+            for (index, _), data in zip(entries, datas):
+                results[index] = data
+        return results
+
+    def evict_batch(self, keys: Iterable[MultiKey]) -> None:
+        """Evict several keys with one batched eviction per managed connector.
+
+        Without this override the base-class fallback issued one
+        ``evict`` round trip per key — the lifetime-close and
+        ``Store.close(clear=True)`` teardown paths through a multi store
+        paid per-key latency on connectors that batch natively.
+        """
+        by_label: dict[str, list[Any]] = {}
+        for key in keys:
+            by_label.setdefault(key.connector_label, []).append(key.inner_key)
+        for label, inner_keys in by_label.items():
+            self.connector_for(label).evict_batch(inner_keys)
+
     # -- configuration / lifecycle --------------------------------------- #
     def config(self) -> dict[str, Any]:
         return {

@@ -350,7 +350,53 @@ class KVClient:
         return int(self._request('MDEL', None, list(keys)))
 
     def exists(self, key: str) -> bool:
+        """Return whether ``key`` currently exists on the server."""
         return bool(self._request('EXISTS', key))
+
+    # -- pub/sub commands (stream event transport) -------------------------- #
+    def publish(self, topic: str, payload: 'bytes | bytearray | memoryview | SerializedObject') -> int:
+        """Publish one event payload on ``topic``; returns its sequence number.
+
+        The payload's segments travel out-of-band (scatter/gather, no copy);
+        the server retains the event in the topic's ring buffer and fans it
+        out to current subscribers.
+        """
+        return int(self._request('PUBLISH', topic, _wrap_value(payload)))
+
+    def publish_batch(
+        self,
+        topic: str,
+        payloads: Sequence['bytes | bytearray | memoryview | SerializedObject'],
+    ) -> list[int]:
+        """Publish several event payloads on ``topic`` in one round trip."""
+        return list(
+            self._request('MPUBLISH', topic, [_wrap_value(p) for p in payloads]),
+        )
+
+    def fetch_events(
+        self,
+        topic: str,
+        since: int,
+        max_events: int = 0,
+    ) -> dict[str, Any]:
+        """Fetch retained events with ``seq >= since`` from ``topic``'s ring.
+
+        Returns ``{'events': [(seq, payload), ...], 'next_seq': int,
+        'lost': int}`` where ``lost`` counts events that aged out of the
+        ring before ``since`` — the consumer catch-up path after a gap.
+        ``max_events`` bounds the reply (0 = everything retained).
+        """
+        return self._request(
+            'FETCH', topic, {'since': since, 'max_events': max_events},
+        )
+
+    def topic_stats(self, topic: str) -> dict[str, Any] | None:
+        """Return broker statistics for ``topic`` (``None`` if it never existed)."""
+        return self._request('TSTATS', topic)
+
+    def topic_config(self, topic: str, *, retention: int) -> dict[str, Any]:
+        """Set ``topic``'s ring-buffer retention (trimming immediately)."""
+        return self._request('TCONFIG', topic, {'retention': retention})
 
     def delete(self, key: str) -> bool:
         return bool(self._request('DEL', key))

@@ -39,18 +39,33 @@ from repro.serialize.buffers import vectored_write
 
 __all__ = [
     'COMMANDS',
+    'EVENT_STATUS',
     'MAX_FRAME_BYTES',
+    'STREAM_COMMANDS',
     'StreamDecoder',
     'encode_message',
     'recv_message',
     'send_message',
 ]
 
+#: Pub/sub commands (stream event transport): see repro.stream.kv.  The
+#: server dispatches these to its broker handler, so they live here, next
+#: to COMMANDS, as the single source of truth.
+STREAM_COMMANDS = frozenset({
+    'PUBLISH', 'MPUBLISH', 'SUBSCRIBE', 'UNSUBSCRIBE', 'FETCH',
+    'TSTATS', 'TCONFIG',
+})
+
 #: Commands understood by the server.
 COMMANDS = frozenset({
     'SET', 'GET', 'EXISTS', 'DEL', 'FLUSH', 'PING', 'SIZE', 'SHUTDOWN',
     'MSET', 'MGET', 'MDEL',
-})
+}) | STREAM_COMMANDS
+
+#: ``status`` value of a server-initiated push frame (not a response to any
+#: request): ``(None, EVENT_STATUS, (topic, [(seq, payload), ...]))``.
+#: Only connections that issued a SUBSCRIBE ever receive these.
+EVENT_STATUS = 'EVENT'
 
 _HEADER = struct.Struct('>II')
 _U64 = struct.Struct('>Q')

@@ -15,9 +15,20 @@ Shutdown drains: :meth:`KVServer.stop` closes the listener, keeps the loop
 running until every already-received request has been answered and every
 queued response byte flushed (bounded by ``drain_timeout``), and only then
 closes the client connections.
+
+Beyond plain key-value storage the server is also a **pub/sub event
+broker** (the transport behind :class:`repro.stream.KVEventBus`):
+``PUBLISH`` appends an opaque payload to a per-topic ring buffer (bounded
+by a configurable retention) and fans it out to every connection that
+``SUBSCRIBE``-d to the topic as an unsolicited ``EVENT`` frame.  A slow
+subscriber whose outgoing queue exceeds ``push_highwater`` bytes stops
+receiving pushes (the events stay in the ring; the client notices the
+sequence gap and issues a ``FETCH`` to catch up), so neither the ring nor
+any per-connection queue grows without bound.
 """
 from __future__ import annotations
 
+import pickle
 import selectors
 import socket
 import threading
@@ -26,17 +37,29 @@ from collections import deque
 from itertools import islice
 from typing import Any
 
+from repro.kvserver.protocol import EVENT_STATUS
+from repro.kvserver.protocol import STREAM_COMMANDS
 from repro.kvserver.protocol import StreamDecoder
 from repro.kvserver.protocol import encode_message
 from repro.serialize.buffers import IOV_MAX
 
-__all__ = ['KVServer', 'launch_server']
+__all__ = ['DEFAULT_RETENTION', 'KVServer', 'launch_server']
+
+#: Default per-topic ring-buffer retention (events kept for catch-up).
+DEFAULT_RETENTION = 256
+
+#: Queued-but-unsent bytes on a subscriber connection above which event
+#: pushes are skipped (the subscriber catches up from the ring instead).
+DEFAULT_PUSH_HIGHWATER = 8 * 1024 * 1024
+
+#: Events per pushed ``EVENT`` frame when replaying a backlog.
+_PUSH_BATCH = 64
 
 
 class _ClientConn:
     """Per-connection state tracked by the event loop."""
 
-    __slots__ = ('sock', 'decoder', 'out', 'events')
+    __slots__ = ('sock', 'decoder', 'out', 'events', 'queued_bytes', 'topics')
 
     def __init__(self, sock: socket.socket) -> None:
         self.sock = sock
@@ -45,16 +68,77 @@ class _ClientConn:
         self.out: deque[memoryview] = deque()
         #: Currently registered selector interest mask.
         self.events = selectors.EVENT_READ
+        #: Bytes in ``out`` not yet accepted by the kernel (push backpressure).
+        self.queued_bytes = 0
+        #: Topics this connection has subscribed to.
+        self.topics: set[str] = set()
+
+
+class _Topic:
+    """Per-topic broker state: sequence counter, ring buffer, subscribers."""
+
+    __slots__ = (
+        'name', 'next_seq', 'ring', 'ring_bytes', 'retention',
+        'subscribers', 'dropped_events', 'dropped_pushes',
+    )
+
+    def __init__(self, name: str, retention: int) -> None:
+        self.name = name
+        #: Sequence number the next published event will receive.
+        self.next_seq = 0
+        #: Retained ``(seq, payload, nbytes)`` triples, oldest first.
+        self.ring: deque[tuple[int, Any, int]] = deque()
+        self.ring_bytes = 0
+        self.retention = retention
+        self.subscribers: set[_ClientConn] = set()
+        #: Events that aged out of the ring before every consumer saw them.
+        self.dropped_events = 0
+        #: Pushes skipped because a subscriber was over the highwater mark.
+        self.dropped_pushes = 0
+
+    def append(self, payload: Any, nbytes: int) -> int:
+        """Retain one event payload; returns its sequence number."""
+        seq = self.next_seq
+        self.next_seq += 1
+        self.ring.append((seq, payload, nbytes))
+        self.ring_bytes += nbytes
+        while len(self.ring) > self.retention:
+            _, _, old_nbytes = self.ring.popleft()
+            self.ring_bytes -= old_nbytes
+            self.dropped_events += 1
+        return seq
+
+    def events_since(self, since: int, limit: int) -> tuple[list, int]:
+        """Retained ``(seq, payload)`` pairs with ``seq >= since``.
+
+        Returns ``(events, lost)`` where ``lost`` counts events that aged
+        out of the ring before ``since`` could observe them.
+        """
+        lost = 0
+        if self.ring and self.ring[0][0] > since:
+            lost = self.ring[0][0] - since
+        elif not self.ring and self.next_seq > since:
+            lost = self.next_seq - since
+        events = [
+            (seq, pickle.PickleBuffer(payload) if len(payload) else payload)
+            for seq, payload, _ in self.ring
+            if seq >= since
+        ]
+        return events[:limit], lost
 
 
 class KVServer:
-    """In-memory key-value store reachable over TCP.
+    """In-memory key-value store and pub/sub event broker reachable over TCP.
 
     Args:
         host: interface to bind (default loopback).
         port: TCP port; ``0`` picks a free ephemeral port.
         drain_timeout: maximum seconds :meth:`stop` keeps serving to drain
             in-flight requests and flush queued responses.
+        stream_retention: default per-topic ring-buffer size (events kept
+            for subscriber catch-up); ``TCONFIG`` overrides it per topic.
+        push_highwater: queued outgoing bytes on a subscriber connection
+            above which event pushes are skipped (backpressure bound).
     """
 
     def __init__(
@@ -63,14 +147,22 @@ class KVServer:
         port: int = 0,
         *,
         drain_timeout: float = 5.0,
+        stream_retention: int = DEFAULT_RETENTION,
+        push_highwater: int = DEFAULT_PUSH_HIGHWATER,
     ) -> None:
+        if stream_retention < 1:
+            raise ValueError('stream_retention must be at least 1')
         self.host = host
         self._requested_port = port
         self.port: int | None = None
         self.drain_timeout = drain_timeout
+        self.stream_retention = stream_retention
+        self.push_highwater = push_highwater
         # Values are whatever buffer the protocol layer received into
         # (bytes, bytearray, or a view thereof) — stored without copying.
         self._data: dict[str, Any] = {}
+        # Topics are touched exclusively from the event-loop thread.
+        self._topics: dict[str, _Topic] = {}
         self._lock = threading.Lock()
         self._listener: socket.socket | None = None
         self._selector: selectors.BaseSelector | None = None
@@ -216,12 +308,17 @@ class KVServer:
         except OSError:  # pragma: no cover - platform dependent
             pass
 
+    def _enqueue(self, conn: _ClientConn, segments: list[memoryview]) -> None:
+        """Queue wire segments on ``conn``, tracking queued byte counts."""
+        conn.out.extend(segments)
+        conn.queued_bytes += sum(len(segment) for segment in segments)
+
     def _service_conn(self, conn: _ClientConn, mask: int) -> None:
         closed = False
         if mask & selectors.EVENT_READ:
             messages, closed = conn.decoder.read_from(conn.sock)
             for request in messages:
-                conn.out.extend(encode_message(self._handle(request)))
+                self._enqueue(conn, encode_message(self._handle(request, conn)))
         if conn.out:
             # Optimistic flush: most responses fit the socket buffer, so
             # this usually completes without a round through the selector.
@@ -246,6 +343,7 @@ class KVServer:
                 return True
             except OSError:
                 return False
+            conn.queued_bytes -= sent
             while sent:
                 head = out[0]
                 if sent >= len(head):
@@ -271,6 +369,11 @@ class KVServer:
             self._selector.unregister(conn.sock)
         except (KeyError, ValueError):  # pragma: no cover - already gone
             pass
+        for topic_name in conn.topics:
+            topic = self._topics.get(topic_name)
+            if topic is not None:
+                topic.subscribers.discard(conn)
+        conn.topics.clear()
         self._conns.pop(conn.sock, None)
         try:
             conn.sock.close()
@@ -281,6 +384,7 @@ class KVServer:
         self._close_listener()
         for conn in list(self._conns.values()):
             self._close_conn(conn)
+        self._topics.clear()
         if self._selector is not None:
             self._selector.close()
         for wake in (self._wake_recv, self._wake_send):
@@ -315,12 +419,14 @@ class KVServer:
             return b''.join(segments)
         return None
 
-    def _handle(self, request: Any) -> tuple[Any, str, Any]:
+    def _handle(self, request: Any, conn: _ClientConn) -> tuple[Any, str, Any]:
         """Execute one request; returns the ``(request_id, status, payload)``.
 
         Requests are ``(request_id, command, key, value)``; bare legacy
         ``(command, key, value)`` triples are still accepted and answered
-        with a ``None`` request id.
+        with a ``None`` request id.  ``conn`` is the issuing connection —
+        pub/sub commands bind subscriptions to it and fan pushes out from
+        it.
         """
         request_id: Any = None
         try:
@@ -331,15 +437,157 @@ class KVServer:
         except (TypeError, ValueError):
             return (request_id, 'error', f'malformed request: {request!r}')
         try:
-            status, payload = self._execute(str(command).upper(), key, value)
+            status, payload = self._execute(str(command).upper(), key, value, conn)
         except Exception as e:  # noqa: BLE001 - one bad request must not
             # take down the connection (let alone the event loop).
             status, payload = 'error', f'internal error: {e!r}'
         return (request_id, status, payload)
 
-    def _execute(self, command: str, key: Any, value: Any) -> tuple[str, Any]:
-        import pickle
+    # -- pub/sub ------------------------------------------------------------ #
+    def _topic(self, name: Any) -> _Topic:
+        """Return (creating on first use) the broker state for ``name``."""
+        topic = self._topics.get(name)
+        if topic is None:
+            topic = self._topics[name] = _Topic(
+                str(name), self.stream_retention,
+            )
+        return topic
 
+    def _push_events(self, topic: _Topic, events: list) -> None:
+        """Fan ``(seq, payload)`` pairs out to the topic's subscribers.
+
+        A subscriber whose queued outgoing bytes exceed ``push_highwater``
+        is skipped (counted in ``dropped_pushes``): the events remain in the
+        ring buffer and the client catches up with a ``FETCH`` when it
+        notices the sequence gap.  Pushes go through the same non-blocking
+        flush as responses, so a slow socket never stalls the loop.
+        """
+        if not events or not topic.subscribers:
+            return
+        # Encode the frame once and share its segments across subscribers:
+        # the segments are read-only views and _flush never mutates them
+        # (partial sends reslice into fresh views), so fan-out costs one
+        # pickle regardless of the subscriber count.
+        wired = [
+            (seq, pickle.PickleBuffer(payload) if len(payload) else payload)
+            for seq, payload in events
+        ]
+        segments = encode_message((None, EVENT_STATUS, (topic.name, wired)))
+        for conn in list(topic.subscribers):
+            if conn.queued_bytes > self.push_highwater:
+                topic.dropped_pushes += len(events)
+                continue
+            self._enqueue(conn, segments)
+            if not self._flush(conn):
+                self._close_conn(conn)
+            else:
+                self._update_interest(conn)
+
+    def _execute_stream(
+        self,
+        command: str,
+        key: Any,
+        value: Any,
+        conn: _ClientConn,
+    ) -> tuple[str, Any]:
+        """Handle one pub/sub command (topics live on the loop thread only)."""
+        if command == 'PUBLISH':
+            payload = self._own_value(value)
+            if payload is None:
+                return ('error', 'PUBLISH payload must be bytes')
+            topic = self._topic(key)
+            seq = topic.append(payload, len(payload))
+            self._push_events(topic, [(seq, payload)])
+            return ('ok', seq)
+        if command == 'MPUBLISH':
+            if not isinstance(value, list):
+                return ('error', 'MPUBLISH value must be a list of payloads')
+            payloads = []
+            for entry in value:
+                payload = self._own_value(entry)
+                if payload is None:
+                    return ('error', 'MPUBLISH payloads must be bytes')
+                payloads.append(payload)
+            topic = self._topic(key)
+            seqs = [topic.append(p, len(p)) for p in payloads]
+            self._push_events(topic, list(zip(seqs, payloads)))
+            return ('ok', seqs)
+        if command == 'SUBSCRIBE':
+            options = value if isinstance(value, dict) else {}
+            topic = self._topic(key)
+            topic.subscribers.add(conn)
+            conn.topics.add(topic.name)
+            from_seq = options.get('from_seq')
+            lost = 0
+            if from_seq is not None:
+                # Replay the retained backlog in bounded frames.  These are
+                # enqueued before the SUBSCRIBE reply (responses are queued
+                # by _service_conn after _handle returns), so clients must
+                # accept EVENT frames ahead of the subscribe confirmation.
+                backlog, lost = topic.events_since(int(from_seq), len(topic.ring))
+                for start in range(0, len(backlog), _PUSH_BATCH):
+                    chunk = backlog[start:start + _PUSH_BATCH]
+                    self._enqueue(
+                        conn,
+                        encode_message((None, EVENT_STATUS, (topic.name, chunk))),
+                    )
+            return ('ok', {'next_seq': topic.next_seq, 'lost': lost})
+        if command == 'UNSUBSCRIBE':
+            topic = self._topics.get(key)
+            if topic is not None:
+                topic.subscribers.discard(conn)
+            conn.topics.discard(str(key))
+            return ('ok', True)
+        if command == 'FETCH':
+            options = value if isinstance(value, dict) else {}
+            topic = self._topic(key)
+            since = int(options.get('since', 0))
+            limit = int(options.get('max_events', 0)) or len(topic.ring) or 1
+            events, lost = topic.events_since(since, limit)
+            return ('ok', {
+                'events': events,
+                'next_seq': topic.next_seq,
+                'lost': lost,
+            })
+        if command == 'TCONFIG':
+            options = value if isinstance(value, dict) else {}
+            topic = self._topic(key)
+            retention = options.get('retention')
+            if retention is not None:
+                retention = int(retention)
+                if retention < 1:
+                    return ('error', 'retention must be at least 1')
+                topic.retention = retention
+                while len(topic.ring) > topic.retention:
+                    _, _, old_nbytes = topic.ring.popleft()
+                    topic.ring_bytes -= old_nbytes
+                    topic.dropped_events += 1
+            return ('ok', {'retention': topic.retention})
+        if command == 'TSTATS':
+            topic = self._topics.get(key)
+            if topic is None:
+                return ('ok', None)
+            return ('ok', {
+                'next_seq': topic.next_seq,
+                'ring_events': len(topic.ring),
+                'ring_bytes': topic.ring_bytes,
+                'retention': topic.retention,
+                'subscribers': len(topic.subscribers),
+                'dropped_events': topic.dropped_events,
+                'dropped_pushes': topic.dropped_pushes,
+            })
+        return ('error', f'unknown command {command!r}')  # pragma: no cover
+
+    def _execute(
+        self,
+        command: str,
+        key: Any,
+        value: Any,
+        conn: _ClientConn,
+    ) -> tuple[str, Any]:
+        """Execute one parsed command; returns ``(status, payload)``."""
+        if command in STREAM_COMMANDS:
+            return self._execute_stream(command, key, value, conn)
         if command == 'PING':
             return ('ok', 'PONG')
         if command == 'SET':

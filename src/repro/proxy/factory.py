@@ -109,6 +109,7 @@ class SimpleFactory(Factory[T]):
         return hash(('SimpleFactory', id(self.obj)))
 
     def resolve(self) -> T:
+        """Return the wrapped object (no I/O, never fails)."""
         return self.obj
 
 
@@ -140,4 +141,5 @@ class LambdaFactory(Factory[T]):
         )
 
     def resolve(self) -> T:
+        """Invoke the wrapped callable and return its result."""
         return self.target(*self.args, **self.kwargs)

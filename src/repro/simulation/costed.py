@@ -172,6 +172,22 @@ class CostedConnector(Connector):
             self._origins.pop(key, None)
             self._sizes.pop(key, None)
 
+    def evict_batch(self, keys: Sequence[Any]) -> None:
+        """Evict several keys with one inner batch eviction.
+
+        Without this override the base-class fallback called
+        :meth:`evict` once per key — the lifetime-close and
+        ``Store.close(clear=True)`` teardown paths through a costed
+        (harness-wrapped) store degraded a single batched round trip into
+        per-key round trips on the real connector.
+        """
+        keys = list(keys)
+        self.inner.evict_batch(keys)
+        with self._lock:
+            for key in keys:
+                self._origins.pop(key, None)
+                self._sizes.pop(key, None)
+
     def config(self) -> dict[str, Any]:
         # Costed wrappers are a benchmarking construct: their configs refer to
         # the inner connector so proxies resolve through the real channel.

@@ -89,6 +89,11 @@ class StoreFactory(Factory[T]):
         return get_or_create_store(self.store_config)
 
     def resolve(self) -> T:
+        """Fetch and deserialize the object from the store (evicting if asked).
+
+        Raises:
+            StoreKeyError: if the key no longer exists in the store.
+        """
         store = self.get_store()
         obj = store.get(self.key, default=_MISSING)
         if obj is _MISSING:

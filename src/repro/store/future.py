@@ -95,6 +95,7 @@ class FutureFactory(StoreFactory[T]):
                 time.sleep(self.polling_interval)
 
     def resolve(self) -> T:
+        """Block (bounded poll) until the producer writes, then resolve."""
         self._wait_for_producer()
         obj = super().resolve()
         if isinstance(obj, _ProducerFailure):

@@ -206,6 +206,7 @@ class LeaseLifetime(_LifetimeBase):
             self._timer = self._start_timer(self.remaining())
 
     def close(self) -> None:
+        """Cancel the expiry timer and evict every bound key.  Idempotent."""
         # The closed-state transition happens under _timer_lock so a
         # concurrent extend() either wins (renewing before the close starts,
         # and the fired timer's close becomes a no-op rescheduled away) or
@@ -247,6 +248,7 @@ class StaticLifetime(_LifetimeBase):
         pass  # initialized once in __new__ under the class lock
 
     def close(self) -> None:
+        """Evict bound keys and retire this singleton (next call starts fresh)."""
         super().close()
         try:
             atexit.unregister(self.close)

@@ -44,6 +44,7 @@ class OperationStats:
     _times: list[float] = field(default_factory=list, repr=False)
 
     def record(self, elapsed: float, nbytes: int = 0) -> None:
+        """Fold one call taking ``elapsed`` seconds into the aggregates."""
         self.count += 1
         self.total_time += elapsed
         self.min_time = min(self.min_time, elapsed)
@@ -53,6 +54,7 @@ class OperationStats:
 
     @property
     def avg_time(self) -> float:
+        """Mean per-call duration in seconds (0.0 when never recorded)."""
         return self.total_time / self.count if self.count else 0.0
 
     @property
@@ -80,6 +82,7 @@ class StoreMetrics:
             return self._ops.get(operation)
 
     def operations(self) -> list[str]:
+        """Return the names of every operation recorded so far, sorted."""
         with self._lock:
             return sorted(self._ops)
 

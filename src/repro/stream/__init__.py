@@ -1,0 +1,53 @@
+"""Streaming proxy channels: pub/sub streams of lazily-resolved objects.
+
+This package extends the one-shot proxy model to *streams*: a
+:class:`StreamProducer` puts each item's bulk data through a
+:class:`~repro.store.Store` (the zero-copy path) and publishes a tiny
+:class:`StreamEvent` on a topic; a :class:`StreamConsumer` iterates the
+topic and yields lazy proxies whose data resolves straight from the store.
+Event transports are pluggable by URL scheme: :class:`LocalEventBus` for
+in-process pipelines and :class:`~repro.stream.kv.KVEventBus` for
+multi-process streams brokered by the SimKV server (server-side fan-out,
+ring-buffer retention, consumer catch-up).
+
+See ``docs/ARCHITECTURE.md`` ("The stream path") for the data-flow
+diagram and ``examples/streaming_pipeline.py`` for a runnable tour.
+"""
+from repro.stream.bus import EventBus
+from repro.stream.bus import LocalEventBus
+from repro.stream.bus import Subscription
+from repro.stream.bus import bus_from_config
+from repro.stream.bus import event_bus_from_url
+from repro.stream.bus import list_event_buses
+from repro.stream.bus import register_event_bus
+from repro.stream.channels import StreamConsumer
+from repro.stream.channels import StreamProducer
+from repro.stream.events import StreamEvent
+
+
+def __getattr__(name: str):
+    # KVEventBus/KVSubscription are re-exported lazily: importing them
+    # eagerly would pull the whole kvserver/socket machinery into every
+    # `import repro`, defeating the registry's deferred loading of the KV
+    # transport (kv:// URLs import it on first use).
+    if name in ('KVEventBus', 'KVSubscription'):
+        import repro.stream.kv as kv
+
+        return getattr(kv, name)
+    raise AttributeError(f'module {__name__!r} has no attribute {name!r}')
+
+
+__all__ = [
+    'EventBus',
+    'KVEventBus',
+    'KVSubscription',
+    'LocalEventBus',
+    'StreamConsumer',
+    'StreamEvent',
+    'StreamProducer',
+    'Subscription',
+    'bus_from_config',
+    'event_bus_from_url',
+    'list_event_buses',
+    'register_event_bus',
+]

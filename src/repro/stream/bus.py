@@ -1,0 +1,440 @@
+"""Event buses: the pub/sub transport under streaming proxy channels.
+
+An :class:`EventBus` moves small opaque payloads (encoded
+:class:`~repro.stream.StreamEvent` records) between producers and
+consumers:
+
+* ``publish(topic, payload)`` appends the payload to the topic's bounded
+  *ring buffer* and returns its monotonically increasing sequence number.
+* ``subscribe(topic)`` returns a :class:`Subscription` that yields
+  ``(seq, payload)`` pairs in publication order.  Subscribing with
+  ``from_seq`` replays retained history (catch-up); events that aged out
+  of the ring before the subscriber observed them are counted in
+  :attr:`Subscription.lost` instead of blocking the producer — retention
+  is the explicit, bounded trade-off that keeps a slow consumer from
+  growing broker memory without bound.
+
+Two implementations ship with the library and more can be registered:
+
+* :class:`LocalEventBus` — in-process topics for single-node pipelines
+  (``local://bus-id``); subscribers read straight from the shared ring.
+* :class:`~repro.stream.kv.KVEventBus` — topics brokered by the SimKV
+  event-loop server (``kv://host:port``), with server-side fan-out to
+  subscriber connections.
+
+:func:`event_bus_from_url` selects the implementation by URL scheme
+through a registry mirroring the connector registry, so streaming code is
+transport-agnostic the same way stores are.
+"""
+from __future__ import annotations
+
+import threading
+from typing import Any
+from typing import Iterator
+from typing import Protocol
+from typing import Sequence
+from typing import runtime_checkable
+
+from repro.connectors.registry import StoreURL
+from repro.exceptions import UnknownConnectorSchemeError
+
+__all__ = [
+    'DEFAULT_LOCAL_RETENTION',
+    'EventBus',
+    'LocalEventBus',
+    'Subscription',
+    'event_bus_from_url',
+    'list_event_buses',
+    'register_event_bus',
+]
+
+#: Default per-topic ring retention of the in-process bus.
+DEFAULT_LOCAL_RETENTION = 256
+
+
+@runtime_checkable
+class Subscription(Protocol):
+    """A consumer's position on one topic.
+
+    Iterating a subscription yields ``(seq, payload)`` pairs in sequence
+    order; :meth:`next_batch` is the non-blocking-friendly form used by
+    :class:`~repro.stream.StreamConsumer`.
+    """
+
+    def next_batch(self, timeout: float | None = None) -> list[tuple[int, Any]]:
+        """Return the next available events (empty list on timeout)."""
+        ...
+
+    @property
+    def lost(self) -> int:
+        """Events that aged out of retention before this subscriber saw them."""
+        ...
+
+    @property
+    def position(self) -> int:
+        """Sequence number of the next event this subscriber will deliver."""
+        ...
+
+    def close(self) -> None:
+        """Detach from the topic and release transport resources."""
+        ...
+
+
+@runtime_checkable
+class EventBus(Protocol):
+    """Protocol every event-bus implementation satisfies."""
+
+    def publish(self, topic: str, payload: 'bytes | bytearray | memoryview') -> int:
+        """Publish one payload on ``topic``; returns its sequence number."""
+        ...
+
+    def publish_batch(self, topic: str, payloads: Sequence[Any]) -> list[int]:
+        """Publish several payloads on ``topic`` (one round trip where possible)."""
+        ...
+
+    def subscribe(self, topic: str, *, from_seq: int | None = None) -> Subscription:
+        """Return a :class:`Subscription` to ``topic``.
+
+        ``from_seq`` replays retained history from that sequence number;
+        ``None`` delivers only events published after the subscription.
+        """
+        ...
+
+    def topic_stats(self, topic: str) -> dict[str, Any] | None:
+        """Return broker statistics for ``topic`` (``None`` if unknown)."""
+        ...
+
+    def configure_topic(self, topic: str, *, retention: int) -> None:
+        """Bound ``topic``'s ring buffer to ``retention`` events."""
+        ...
+
+    def config(self) -> dict[str, Any]:
+        """Return a picklable dict from which an equivalent bus can be built."""
+        ...
+
+    def close(self) -> None:
+        """Release transport resources held by this bus handle."""
+        ...
+
+
+# --------------------------------------------------------------------------- #
+# Scheme registry (mirrors repro.connectors.registry)
+# --------------------------------------------------------------------------- #
+_BUS_SCHEMES: dict[str, type] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_event_bus(scheme: str, cls: type, *, replace: bool = False) -> None:
+    """Register ``cls`` as the event-bus class for ``scheme``.
+
+    Re-registering the same class is a no-op; claiming a scheme held by a
+    different class raises ``ValueError`` unless ``replace=True``.
+    """
+    if not isinstance(scheme, str) or not scheme:
+        raise ValueError('event bus scheme must be a non-empty string')
+    scheme = scheme.lower()
+    with _REGISTRY_LOCK:
+        existing = _BUS_SCHEMES.get(scheme)
+        if existing is not None and existing is not cls and not replace:
+            raise ValueError(
+                f'event bus scheme {scheme!r} is already registered to '
+                f'{existing.__module__}:{existing.__qualname__}',
+            )
+        _BUS_SCHEMES[scheme] = cls
+
+
+def list_event_buses() -> dict[str, type]:
+    """Return a snapshot of the scheme -> event-bus-class mapping."""
+    with _REGISTRY_LOCK:
+        return dict(sorted(_BUS_SCHEMES.items()))
+
+
+def event_bus_from_url(url: 'str | StoreURL') -> EventBus:
+    """Build an event bus from a URL; the scheme selects the implementation.
+
+    Examples::
+
+        event_bus_from_url('local://my-pipeline?retention=64')
+        event_bus_from_url('kv://127.0.0.1:7777?launch=1')
+
+    Raises:
+        UnknownConnectorSchemeError: if no bus claims the URL's scheme.
+    """
+    parsed = StoreURL.parse(url)
+    cls = _lookup_scheme(parsed.scheme)
+    if cls is None:
+        known = ', '.join(sorted(_BUS_SCHEMES)) or '<none>'
+        raise UnknownConnectorSchemeError(
+            f'no event bus is registered for scheme {parsed.scheme!r} '
+            f'(known schemes: {known})',
+        )
+    bus = cls.from_url(parsed)
+    parsed.ensure_consumed()
+    return bus
+
+
+def _lookup_scheme(scheme: str) -> type | None:
+    """Resolve a bus scheme, importing the built-in buses on first miss."""
+    scheme = scheme.lower()
+    with _REGISTRY_LOCK:
+        cls = _BUS_SCHEMES.get(scheme)
+    if cls is None:
+        import repro.stream.kv  # noqa: F401 - registers the KV bus
+
+        with _REGISTRY_LOCK:
+            cls = _BUS_SCHEMES.get(scheme)
+    return cls
+
+
+# --------------------------------------------------------------------------- #
+# In-process bus
+# --------------------------------------------------------------------------- #
+class _LocalTopic:
+    """One in-process topic: a bounded ring plus a wakeup condition."""
+
+    __slots__ = ('ring', 'ring_bytes', 'next_seq', 'retention', 'cond',
+                 'dropped_events')
+
+    def __init__(self, retention: int) -> None:
+        self.ring: list[tuple[int, bytes]] = []
+        self.ring_bytes = 0
+        self.next_seq = 0
+        self.retention = retention
+        self.cond = threading.Condition()
+        self.dropped_events = 0
+
+    def append_locked(self, payload: bytes) -> int:
+        """Append one payload (caller holds ``cond``); returns its seq."""
+        seq = self.next_seq
+        self.next_seq += 1
+        self.ring.append((seq, payload))
+        self.ring_bytes += len(payload)
+        overflow = len(self.ring) - self.retention
+        if overflow > 0:
+            for _, old in self.ring[:overflow]:
+                self.ring_bytes -= len(old)
+            del self.ring[:overflow]
+            self.dropped_events += overflow
+        return seq
+
+
+# Named in-process buses so a bus re-created from its config (or URL) in the
+# same process sees the same topics — mirroring LocalConnector's store_id.
+_GLOBAL_BUSES: dict[str, dict[str, _LocalTopic]] = {}
+_GLOBAL_LOCK = threading.Lock()
+
+
+class _LocalSubscription:
+    """Cursor over a :class:`_LocalTopic`'s shared ring buffer."""
+
+    def __init__(self, bus: 'LocalEventBus', topic: str, from_seq: int | None) -> None:
+        self._topic = bus._topic(topic)
+        with self._topic.cond:
+            self._cursor = (
+                self._topic.next_seq if from_seq is None else from_seq
+            )
+        self._lost = 0
+        self._closed = False
+
+    @property
+    def lost(self) -> int:
+        """Events that aged out of retention before this subscriber saw them."""
+        return self._lost
+
+    @property
+    def position(self) -> int:
+        """Sequence number of the next event this subscriber will deliver."""
+        return self._cursor
+
+    def next_batch(self, timeout: float | None = None) -> list[tuple[int, bytes]]:
+        """Return every retained event past the cursor (empty on timeout).
+
+        A cursor that fell behind the ring start (slow consumer) skips
+        ahead to the oldest retained event and counts the difference in
+        :attr:`lost` — the retention bound in action.
+        """
+        if self._closed:
+            return []
+        topic = self._topic
+        with topic.cond:
+            if topic.next_seq <= self._cursor:
+                # The predicate also checks closed so close() from another
+                # thread can wake an indefinitely blocked consumer.
+                topic.cond.wait_for(
+                    lambda: self._closed or topic.next_seq > self._cursor,
+                    timeout=timeout,
+                )
+            if self._closed or topic.next_seq <= self._cursor:
+                return []
+            start = topic.ring[0][0] if topic.ring else topic.next_seq
+            if start > self._cursor:
+                self._lost += start - self._cursor
+                self._cursor = start
+            batch = [
+                (seq, payload)
+                for seq, payload in topic.ring
+                if seq >= self._cursor
+            ]
+            if batch:
+                self._cursor = batch[-1][0] + 1
+            return batch
+
+    def close(self) -> None:
+        """Detach from the topic, waking any thread blocked in ``next_batch``."""
+        self._closed = True
+        with self._topic.cond:
+            self._topic.cond.notify_all()
+
+
+class LocalEventBus:
+    """In-process event bus: per-topic bounded ring buffers plus wakeups.
+
+    Args:
+        bus_id: name of a process-global topic namespace.  Two buses built
+            with the same ``bus_id`` (e.g. one in a producer thread, one in
+            a consumer thread) share topics.  Omitted: a fresh anonymous
+            namespace (with a generated id, so ``config()`` round-trips).
+        retention: ring-buffer bound applied to topics created through
+            this handle.
+
+    Subscribers read directly from the shared ring, so broker memory per
+    topic is exactly the ring: a slow consumer loses aged-out events
+    (counted on its subscription) rather than growing any queue.
+    """
+
+    scheme = 'local'
+
+    def __init__(
+        self,
+        bus_id: str | None = None,
+        *,
+        retention: int = DEFAULT_LOCAL_RETENTION,
+    ) -> None:
+        if retention < 1:
+            raise ValueError('retention must be at least 1')
+        from repro.connectors.protocol import new_object_id
+
+        self.bus_id = bus_id if bus_id is not None else new_object_id()
+        self.retention = retention
+        with _GLOBAL_LOCK:
+            self._topics = _GLOBAL_BUSES.setdefault(self.bus_id, {})
+
+    def __repr__(self) -> str:
+        return f'LocalEventBus(bus_id={self.bus_id!r})'
+
+    def _topic(self, name: str) -> _LocalTopic:
+        with _GLOBAL_LOCK:
+            topic = self._topics.get(name)
+            if topic is None:
+                topic = self._topics[name] = _LocalTopic(self.retention)
+            return topic
+
+    # -- EventBus protocol ------------------------------------------------- #
+    def publish(self, topic: str, payload: 'bytes | bytearray | memoryview') -> int:
+        """Publish one payload on ``topic``; returns its sequence number."""
+        t = self._topic(topic)
+        data = bytes(payload)
+        with t.cond:
+            seq = t.append_locked(data)
+            t.cond.notify_all()
+        return seq
+
+    def publish_batch(self, topic: str, payloads: Sequence[Any]) -> list[int]:
+        """Publish several payloads on ``topic`` under one lock acquisition."""
+        t = self._topic(topic)
+        datas = [bytes(p) for p in payloads]
+        with t.cond:
+            seqs = [t.append_locked(d) for d in datas]
+            t.cond.notify_all()
+        return seqs
+
+    def subscribe(self, topic: str, *, from_seq: int | None = None) -> _LocalSubscription:
+        """Return a subscription cursor over ``topic``'s shared ring."""
+        return _LocalSubscription(self, topic, from_seq)
+
+    def topic_stats(self, topic: str) -> dict[str, Any] | None:
+        """Return ring statistics for ``topic`` (``None`` if never used)."""
+        with _GLOBAL_LOCK:
+            t = self._topics.get(topic)
+        if t is None:
+            return None
+        with t.cond:
+            return {
+                'next_seq': t.next_seq,
+                'ring_events': len(t.ring),
+                'ring_bytes': t.ring_bytes,
+                'retention': t.retention,
+                'dropped_events': t.dropped_events,
+            }
+
+    def configure_topic(self, topic: str, *, retention: int) -> None:
+        """Set ``topic``'s ring retention, trimming immediately."""
+        if retention < 1:
+            raise ValueError('retention must be at least 1')
+        t = self._topic(topic)
+        with t.cond:
+            t.retention = retention
+            overflow = len(t.ring) - retention
+            if overflow > 0:
+                for _, old in t.ring[:overflow]:
+                    t.ring_bytes -= len(old)
+                del t.ring[:overflow]
+                t.dropped_events += overflow
+
+    def config(self) -> dict[str, Any]:
+        """Return a picklable dict re-creating this bus (same process only)."""
+        return {
+            'scheme': self.scheme,
+            'bus_id': self.bus_id,
+            'retention': self.retention,
+        }
+
+    @classmethod
+    def from_config(cls, config: dict[str, Any]) -> 'LocalEventBus':
+        """Rebuild a bus handle from a :meth:`config` dictionary."""
+        return cls(config['bus_id'], retention=config['retention'])
+
+    @classmethod
+    def from_url(cls, url: 'StoreURL | str') -> 'LocalEventBus':
+        """Build from ``local://[bus-id][?retention=N]``."""
+        url = StoreURL.parse(url)
+        retention = url.pop_int('retention', DEFAULT_LOCAL_RETENTION)
+        assert retention is not None
+        return cls(url.netloc or None, retention=retention)
+
+    def close(self) -> None:
+        """Release this handle (topics persist for other same-id handles)."""
+
+    def __enter__(self) -> 'LocalEventBus':
+        return self
+
+    def __exit__(self, exc_type: Any, exc_value: Any, traceback: Any) -> None:
+        self.close()
+
+    def __iter__(self) -> Iterator[str]:
+        with _GLOBAL_LOCK:
+            return iter(sorted(self._topics))
+
+
+register_event_bus('local', LocalEventBus)
+
+
+def bus_from_config(config: dict[str, Any]) -> EventBus:
+    """Rebuild an event bus from any bus's ``config()`` dictionary.
+
+    The ``scheme`` entry selects the implementation through the registry;
+    this is how pickled producers/consumers re-attach to their transport in
+    another process.
+    """
+    scheme = config.get('scheme')
+    if not scheme:
+        raise ValueError('bus config has no scheme')
+    cls = _lookup_scheme(str(scheme))
+    if cls is None:
+        raise UnknownConnectorSchemeError(
+            f'no event bus is registered for scheme {scheme!r}',
+        )
+    return cls.from_config({k: v for k, v in config.items() if k != 'scheme'})
+
+
+__all__.append('bus_from_config')

@@ -1,0 +1,478 @@
+"""Streaming proxy channels: ``StreamProducer`` and ``StreamConsumer``.
+
+The streaming extension of the paper's model: a producer publishes an
+*unbounded sequence* of objects, and each object's bulk data flows through
+a mediated channel (a :class:`~repro.store.Store`) while only a tiny
+:class:`~repro.stream.StreamEvent` — key plus metadata — travels on the
+event bus.  Consumers iterate the topic and receive lazy proxies, so the
+control plane stays cheap no matter the item size and consumers resolve
+bulk data directly from the store, exactly like one-shot proxies but for
+sustained traffic.
+
+Lifetime management is first-class because streams never end on their own:
+
+* ``owned=True`` consumers yield :class:`~repro.proxy.OwnedProxy` items —
+  dropping the proxy (GC, ``drop()``, context exit) evicts the backing
+  key, so a consume-and-discard loop cannot fill the backing store.
+* Plain consumers track delivered keys; :meth:`StreamConsumer.ack`
+  batch-evicts everything delivered since the last ack (one
+  ``evict_batch`` round trip), and a caller-supplied ``lifetime`` binds
+  every delivered key to an enclosing scope as a safety net.
+
+Producers and consumers pickle: the state that travels is the store
+config, the bus config, the topic, and (for consumers) the current
+position — so a consumer can be shipped to another process and resume
+where it left off, the same way proxies rebuild their stores anywhere.
+"""
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any
+from typing import Callable
+from typing import Iterator
+from typing import Sequence
+from typing import TYPE_CHECKING
+
+from repro.exceptions import StoreError
+from repro.proxy.owned import OwnedProxy
+from repro.proxy.proxy import Proxy
+from repro.proxy.resolve import resolve_async
+from repro.serialize.buffers import payload_nbytes
+from repro.serialize.buffers import to_bytes
+from repro.store.factory import StoreFactory
+from repro.store.registry import get_or_create_store
+from repro.stream.bus import EventBus
+from repro.stream.bus import bus_from_config
+from repro.stream.bus import event_bus_from_url
+from repro.stream.events import StreamEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from repro.store.lifetimes import Lifetime
+    from repro.store.store import Store
+
+__all__ = ['StreamConsumer', 'StreamProducer']
+
+#: Default seconds a consumer waits for the next event before giving up.
+DEFAULT_CONSUME_TIMEOUT = 30.0
+
+
+def _resolve_bus(bus: 'EventBus | str') -> EventBus:
+    """Accept either an event-bus instance or a bus URL."""
+    if isinstance(bus, str):
+        return event_bus_from_url(bus)
+    return bus
+
+
+class StreamProducer:
+    """Publishes a stream of objects as store payloads plus tiny events.
+
+    Args:
+        store: store the bulk data of each item is put into (any
+            connector; the zero-copy path applies unchanged).
+        bus: event bus carrying the per-item events, or a bus URL
+            (``local://...``, ``kv://host:port``).
+        topic: topic the events are published on.
+        inline: embed each item's serialized payload in the event itself
+            instead of storing it — the "data rides the message bus"
+            baseline.  Per-call ``send(..., inline=...)`` overrides this.
+        serializer: optional per-producer serializer override.
+
+    Thread safety: ``send``/``send_batch`` may be called from many threads
+    concurrently (stores and buses are thread-safe); ``close`` must not
+    race sends.
+    """
+
+    def __init__(
+        self,
+        store: 'Store',
+        bus: 'EventBus | str',
+        topic: str,
+        *,
+        inline: bool = False,
+        serializer: Callable[[Any], bytes] | None = None,
+    ) -> None:
+        self.store = store
+        self.bus = _resolve_bus(bus)
+        self.topic = topic
+        self.inline = inline
+        self._serializer = serializer
+        self._closed = False
+        self.sent = 0
+
+    def __repr__(self) -> str:
+        return (
+            f'StreamProducer(store={self.store.name!r}, topic={self.topic!r})'
+        )
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreError(
+                f'producer for topic {self.topic!r} is closed; the '
+                'end-of-stream marker has already been published',
+            )
+
+    def _event_for(
+        self,
+        obj: Any,
+        metadata: dict[str, Any] | None,
+        inline: bool,
+    ) -> StreamEvent:
+        """Store (or inline-serialize) one item and build its event."""
+        if inline:
+            serializer = (
+                self._serializer if self._serializer is not None
+                else self.store.serializer
+            )
+            data = serializer(obj)
+            return StreamEvent(
+                metadata=dict(metadata or {}),
+                nbytes=payload_nbytes(data),
+                payload=to_bytes(data),
+            )
+        key = self.store.put(obj, serializer=self._serializer)
+        return StreamEvent(key=key, metadata=dict(metadata or {}))
+
+    def send(
+        self,
+        obj: Any,
+        *,
+        metadata: dict[str, Any] | None = None,
+        inline: bool | None = None,
+    ) -> int:
+        """Publish one item; returns its topic sequence number.
+
+        The item's bytes go through ``store.put`` (zero-copy where the
+        connector supports it) and only the key travels in the event —
+        unless ``inline`` embeds the payload in the event itself.
+
+        Raises:
+            StoreError: if the producer is already closed.
+        """
+        self._check_open()
+        event = self._event_for(obj, metadata, self.inline if inline is None else inline)
+        seq = self.bus.publish(self.topic, event.encode())
+        self.sent += 1
+        return seq
+
+    def send_batch(
+        self,
+        objs: Sequence[Any],
+        *,
+        metadata: Sequence[dict[str, Any] | None] | None = None,
+        inline: bool | None = None,
+    ) -> list[int]:
+        """Publish several items with batched store and bus operations.
+
+        Bulk data goes through one ``store.put_batch`` (one connector
+        round trip on batching connectors) and all events through one
+        ``publish_batch`` frame.
+        """
+        self._check_open()
+        inline = self.inline if inline is None else inline
+        metas = list(metadata) if metadata is not None else [None] * len(objs)
+        if len(metas) != len(objs):
+            raise ValueError('metadata must match objs in length')
+        if inline:
+            events = [
+                self._event_for(obj, meta, True)
+                for obj, meta in zip(objs, metas)
+            ]
+        else:
+            keys = self.store.put_batch(list(objs), serializer=self._serializer)
+            events = [
+                StreamEvent(key=key, metadata=dict(meta or {}))
+                for key, meta in zip(keys, metas)
+            ]
+        seqs = self.bus.publish_batch(
+            self.topic, [event.encode() for event in events],
+        )
+        self.sent += len(objs)
+        return list(seqs)
+
+    def close(self, *, end: bool = True) -> None:
+        """Mark the stream finished.
+
+        Args:
+            end: publish an end-of-stream event so iterating consumers
+                terminate (set ``False`` when other producers will keep
+                publishing on the topic).
+
+        The store and bus are shared handles and are *not* closed.
+        Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if end:
+            self.bus.publish(self.topic, StreamEvent(end=True).encode())
+
+    def __enter__(self) -> 'StreamProducer':
+        return self
+
+    def __exit__(self, exc_type: Any, exc_value: Any, traceback: Any) -> None:
+        self.close(end=exc_type is None)
+
+    # -- pickling ----------------------------------------------------------- #
+    def __getstate__(self) -> dict[str, Any]:
+        if self._serializer is not None:
+            raise StoreError(
+                'a producer with a custom serializer cannot be pickled '
+                '(callables do not travel); create it in the target process',
+            )
+        return {
+            'store_config': self.store.config(),
+            'bus_config': self.bus.config(),
+            'topic': self.topic,
+            'inline': self.inline,
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.store = get_or_create_store(state['store_config'])
+        self.bus = bus_from_config(state['bus_config'])
+        self.topic = state['topic']
+        self.inline = state['inline']
+        self._serializer = None
+        self._closed = False
+        self.sent = 0
+
+
+class StreamConsumer:
+    """Iterates a topic, yielding a lazy proxy per published item.
+
+    Args:
+        store: store the items' bulk data lives in (typically built from
+            the same URL as the producer's).
+        bus: event bus to subscribe on, or a bus URL.
+        topic: topic to consume.
+        owned: yield :class:`~repro.proxy.OwnedProxy` items — each consumed
+            item is auto-evicted when its proxy is dropped, so backing
+            stores do not fill under sustained traffic.
+        lifetime: a :class:`~repro.store.lifetimes.Lifetime` every
+            delivered key is additionally bound to (scope-level cleanup
+            for items the consumer never acked).  Mutually exclusive with
+            ``owned``.
+        from_seq: consume from this topic sequence number, replaying
+            whatever the bus retention still holds; ``None`` consumes only
+            events published after subscribing.
+        timeout: seconds to wait for the next event before iteration
+            raises ``TimeoutError`` (``None`` = wait forever).
+        prefetch: resolve up to this many upcoming items in the background
+            while the caller processes the current one — store gets overlap
+            with consumption, pipelining the data plane the same way
+            ``resolve_async`` does for one-shot proxies (0 disables).
+
+    Iterating yields one item per event: a :class:`~repro.proxy.Proxy`
+    (or ``OwnedProxy``) for proxied items, or the deserialized object for
+    inline events.  Iteration ends at an end-of-stream event.
+    """
+
+    def __init__(
+        self,
+        store: 'Store',
+        bus: 'EventBus | str',
+        topic: str,
+        *,
+        owned: bool = False,
+        lifetime: 'Lifetime | None' = None,
+        from_seq: int | None = None,
+        timeout: float | None = DEFAULT_CONSUME_TIMEOUT,
+        prefetch: int = 0,
+    ) -> None:
+        if owned and lifetime is not None:
+            raise ValueError(
+                'owned=True and lifetime=... are mutually exclusive: owned '
+                'items are evicted by their owner, not by a lifetime',
+            )
+        if prefetch < 0:
+            raise ValueError('prefetch must be non-negative')
+        self.store = store
+        self.bus = _resolve_bus(bus)
+        self.topic = topic
+        self.owned = owned
+        self.lifetime = lifetime
+        self.timeout = timeout
+        self.prefetch = prefetch
+        self._from_seq = from_seq
+        self._subscription: Any = None
+        self._pending: list[StreamEvent] = []
+        self._ready: deque[tuple[StreamEvent, Any]] = deque()
+        self._unacked: list[Any] = []
+        self._ended = False
+        self._closed = False
+        self.delivered = 0
+
+    def __repr__(self) -> str:
+        return (
+            f'StreamConsumer(store={self.store.name!r}, topic={self.topic!r})'
+        )
+
+    # -- event plumbing ----------------------------------------------------- #
+    def _ensure_subscribed(self) -> Any:
+        if self._subscription is None:
+            self._subscription = self.bus.subscribe(
+                self.topic, from_seq=self._from_seq,
+            )
+        return self._subscription
+
+    @property
+    def lost(self) -> int:
+        """Events that aged out of bus retention before this consumer saw them."""
+        subscription = self._subscription
+        return subscription.lost if subscription is not None else 0
+
+    def _wait_for_events(self) -> None:
+        """Block until at least one decoded event is pending (or stream end).
+
+        Raises:
+            TimeoutError: when nothing arrives within ``timeout`` seconds.
+        """
+        deadline = (
+            None if self.timeout is None
+            else time.monotonic() + self.timeout
+        )
+        while not self._pending:
+            if self._closed:
+                return
+            remaining: float | None = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f'no event on topic {self.topic!r} within '
+                        f'{self.timeout}s',
+                    )
+            # An empty batch is not necessarily a timeout (duplicate-only
+            # pushes, a reconnect wake-up): keep polling until the deadline.
+            batch = self._ensure_subscribed().next_batch(timeout=remaining)
+            self._pending.extend(
+                StreamEvent.decode(data, seq=seq) for seq, data in batch
+            )
+
+    def _item_for(self, event: StreamEvent) -> Any:
+        """Materialize one event: proxy, owned proxy, or inline object."""
+        if event.inline:
+            assert event.payload is not None
+            return self.store.deserializer(event.payload)
+        if self.owned:
+            return OwnedProxy._from_store(
+                StoreFactory(event.key, self.store.config(), owned=True),
+            )
+        if self.lifetime is not None:
+            self.lifetime.add_key(event.key, store=self.store)
+        else:
+            self._unacked.append(event.key)
+        return Proxy(StoreFactory(event.key, self.store.config()))
+
+    def _top_up_ready(self) -> None:
+        """Materialize pending events into the delivery window.
+
+        With ``prefetch > 0`` up to that many items beyond the next one are
+        materialized early and their resolution kicked off in the
+        background, so the store gets of upcoming items overlap with the
+        caller's processing of the current one.
+        """
+        window = self.prefetch + 1
+        while self._pending and len(self._ready) < window and not self._ended:
+            event = self._pending.pop(0)
+            if event.end:
+                self._ended = True
+                return
+            item = self._item_for(event)
+            if self.prefetch and not event.inline and not self.owned:
+                resolve_async(item)
+            self._ready.append((event, item))
+
+    # -- iteration ---------------------------------------------------------- #
+    def events(self) -> Iterator[tuple[StreamEvent, Any]]:
+        """Yield ``(event, item)`` pairs — items plus their metadata/seq."""
+        while True:
+            self._top_up_ready()
+            if self._ready:
+                pair = self._ready.popleft()
+                self.delivered += 1
+                yield pair
+                continue
+            if self._ended or self._closed:
+                return
+            self._wait_for_events()
+
+    def __iter__(self) -> Iterator[Any]:
+        for _event, item in self.events():
+            yield item
+
+    # -- eviction ----------------------------------------------------------- #
+    def ack(self) -> int:
+        """Evict every item delivered since the last ack; returns the count.
+
+        One ``evict_batch`` round trip per call (recorded under the
+        store's single ``evict_batch`` metric).  Owned and lifetime-bound
+        items are excluded — their eviction is governed by the owner drop
+        or the lifetime close respectively.
+        """
+        keys, self._unacked = self._unacked, []
+        if keys:
+            self.store.evict_batch(keys)
+        return len(keys)
+
+    def close(self, *, evict_pending: bool = False) -> None:
+        """Detach from the topic.
+
+        Args:
+            evict_pending: also evict items delivered but never acked
+                (plain mode only); the default leaves them stored.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._subscription is not None:
+            self._subscription.close()
+            self._subscription = None
+        if evict_pending:
+            self.ack()
+
+    def __enter__(self) -> 'StreamConsumer':
+        return self
+
+    def __exit__(self, exc_type: Any, exc_value: Any, traceback: Any) -> None:
+        self.close()
+
+    # -- pickling ----------------------------------------------------------- #
+    def __getstate__(self) -> dict[str, Any]:
+        if self.lifetime is not None:
+            raise StoreError(
+                'a consumer bound to a lifetime cannot be pickled (the '
+                'lifetime and its eviction duty stay in this process); '
+                'bind a lifetime in the target process instead',
+            )
+        subscription = self._subscription
+        if self._ready:
+            # Materialized-but-undelivered items replay on resume.
+            position: int | None = self._ready[0][0].seq
+        elif self._pending:
+            # Decoded-but-undelivered events replay on resume.
+            position = self._pending[0].seq
+        elif subscription is not None:
+            position = subscription.position
+        else:
+            position = self._from_seq
+        return {
+            'store_config': self.store.config(),
+            'bus_config': self.bus.config(),
+            'topic': self.topic,
+            'owned': self.owned,
+            'from_seq': position,
+            'timeout': self.timeout,
+            'prefetch': self.prefetch,
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__init__(  # type: ignore[misc]
+            get_or_create_store(state['store_config']),
+            bus_from_config(state['bus_config']),
+            state['topic'],
+            owned=state['owned'],
+            from_seq=state['from_seq'],
+            timeout=state['timeout'],
+            prefetch=state.get('prefetch', 0),
+        )

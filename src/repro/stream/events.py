@@ -1,0 +1,81 @@
+"""Stream event records published on a topic.
+
+A :class:`StreamEvent` is the tiny control-plane message a
+:class:`~repro.stream.StreamProducer` publishes for every item: it carries
+the connector *key* of the item's bulk data (stored out-of-band through the
+producer's :class:`~repro.store.Store`) plus user metadata — never the data
+itself.  Consumers resolve the bulk bytes directly from the store, so the
+event transport only ever moves a few hundred bytes per item no matter how
+large the items are (the streaming extension of the paper's
+control-flow/data-flow decoupling).
+
+Two special forms exist:
+
+* *inline* events embed a serialized payload in the event itself
+  (``payload is not None``).  This is the naive "data rides the message
+  bus" design streaming proxies replace; it is kept as a first-class mode
+  so benchmarks and small-item streams can use the same API.
+* *end* events (``end=True``) mark end-of-stream; a consumer iterating the
+  topic stops when it sees one.
+
+Events are pickled for the wire (both event transports treat payloads as
+opaque bytes), so keys may be any picklable connector key type.
+"""
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from dataclasses import field
+from typing import Any
+
+__all__ = ['StreamEvent']
+
+
+@dataclass
+class StreamEvent:
+    """One item announcement on a stream topic.
+
+    Attributes:
+        key: connector key of the item's bulk data (``None`` for inline and
+            end-of-stream events).
+        metadata: arbitrary picklable, user-supplied metadata.
+        nbytes: serialized size of the item's bulk data in bytes.
+        payload: serialized item embedded in the event itself (inline
+            mode); ``None`` for proxied items.
+        end: end-of-stream marker; consumers stop iterating when they see
+            one.
+        seq: topic sequence number, assigned by the event bus on delivery
+            (``-1`` until then).
+    """
+
+    key: Any = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+    nbytes: int = 0
+    payload: bytes | None = None
+    end: bool = False
+    seq: int = -1
+
+    @property
+    def inline(self) -> bool:
+        """Whether the item's data is embedded in the event itself."""
+        return self.payload is not None
+
+    def encode(self) -> bytes:
+        """Serialize this event for publication on an event bus."""
+        return pickle.dumps(
+            (self.key, self.metadata, self.nbytes, self.payload, self.end),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+    @classmethod
+    def decode(cls, data: 'bytes | bytearray | memoryview', seq: int = -1) -> 'StreamEvent':
+        """Rebuild an event from :meth:`encode` output (``seq`` from the bus)."""
+        key, metadata, nbytes, payload, end = pickle.loads(bytes(data))
+        return cls(
+            key=key,
+            metadata=metadata,
+            nbytes=nbytes,
+            payload=payload,
+            end=end,
+            seq=seq,
+        )

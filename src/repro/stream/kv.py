@@ -1,0 +1,481 @@
+"""Event bus brokered by the SimKV event-loop server.
+
+The SimKV server (:mod:`repro.kvserver`) doubles as the pub/sub broker for
+multi-process streams: ``PUBLISH`` appends an event payload to a per-topic
+ring buffer and fans it out to subscribed connections as unsolicited
+``EVENT`` frames.  :class:`KVEventBus` is the client side:
+
+* Publishing and catch-up fetches reuse the **pipelined** :class:`KVClient`
+  (batched ``MPUBLISH`` frames, many publishes in flight on one socket).
+* Each subscription holds a **dedicated connection**: the server pushes
+  event batches to it, a reader thread queues them, and the consumer
+  drains the queue.  The queue is bounded — a consumer that stops draining
+  stalls its own TCP receive window, the server's outgoing queue for that
+  connection hits the ``push_highwater`` mark and pushes stop, and the
+  topic's ring retention bounds what the server keeps.  When the consumer
+  resumes, the sequence gap is detected and a ``FETCH`` replays whatever
+  the ring still holds (the rest is counted as *lost*, never silently
+  skipped).
+
+The bus registers under the ``kv`` and ``redis`` URL schemes, so
+``event_bus_from_url('kv://127.0.0.1:7777?launch=1')`` selects it through
+the same scheme-registry pattern stores use.
+"""
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from typing import Any
+from typing import Sequence
+
+from repro.connectors.registry import StoreURL
+from repro.exceptions import ConnectorError
+from repro.kvserver.client import DEFAULT_POOL_SIZE
+from repro.kvserver.client import DEFAULT_TIMEOUT
+from repro.kvserver.client import KVClient
+from repro.kvserver.protocol import EVENT_STATUS
+from repro.kvserver.protocol import StreamDecoder
+from repro.kvserver.protocol import send_message
+from repro.kvserver.server import launch_server
+from repro.stream.bus import register_event_bus
+
+__all__ = ['KVEventBus', 'KVSubscription']
+
+#: Bound on the push-batch queue of one subscription.  A full queue blocks
+#: the reader thread, which stalls the TCP stream and engages the server's
+#: highwater backpressure — bounded memory at every hop.
+DEFAULT_MAX_QUEUED_BATCHES = 64
+
+_SUBSCRIBE_REQUEST_ID = 0
+
+
+class KVSubscription:
+    """One consumer's subscription to a topic on a SimKV broker.
+
+    The subscription owns a dedicated socket (server pushes are
+    per-connection) plus a reader thread feeding a bounded queue.
+    :meth:`next_batch` reconciles pushed batches with the expected sequence
+    number: gaps (pushes dropped while this consumer lagged, or a
+    reconnect) are backfilled from the topic ring via the bus's pipelined
+    client, and events that aged out of retention are counted in
+    :attr:`lost`.
+    """
+
+    def __init__(
+        self,
+        bus: 'KVEventBus',
+        topic: str,
+        from_seq: int | None,
+        *,
+        max_queued_batches: int = DEFAULT_MAX_QUEUED_BATCHES,
+        poll_interval: float = 0.5,
+    ) -> None:
+        self._bus = bus
+        self.topic = topic
+        self._poll_interval = poll_interval
+        self._queue: queue.Queue[list[tuple[int, Any]]] = queue.Queue(
+            maxsize=max_queued_batches,
+        )
+        self._lost = 0
+        self._closed = False
+        self._dead = threading.Event()
+        self._sock: socket.socket | None = None
+        self._reader: threading.Thread | None = None
+        self._expected = 0
+        self._connect(from_seq)
+
+    # -- wire ------------------------------------------------------------- #
+    def _connect(self, from_seq: int | None) -> None:
+        """Open the dedicated push connection and issue the SUBSCRIBE."""
+        reply_box: queue.Queue[Any] = queue.Queue(maxsize=1)
+        try:
+            sock = socket.create_connection(
+                (self._bus.host, self._bus.port), timeout=self._bus.timeout,
+            )
+        except OSError as e:
+            raise ConnectorError(
+                f'cannot connect to SimKV broker at '
+                f'{self._bus.host}:{self._bus.port}: {e}',
+            ) from e
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(None)
+        self._sock = sock
+        self._dead.clear()
+        send_message(
+            sock,
+            (_SUBSCRIBE_REQUEST_ID, 'SUBSCRIBE', self.topic, {'from_seq': from_seq}),
+        )
+        self._reader = threading.Thread(
+            target=self._read_loop,
+            args=(sock, reply_box),
+            name='simkv-subscription',
+            daemon=True,
+        )
+        self._reader.start()
+        try:
+            reply = reply_box.get(timeout=self._bus.timeout)
+        except queue.Empty:
+            self.close()
+            raise ConnectorError(
+                f'SUBSCRIBE to topic {self.topic!r} timed out',
+            ) from None
+        if isinstance(reply, Exception):
+            self.close()
+            raise ConnectorError(f'SUBSCRIBE failed: {reply}') from reply
+        reply_lost = int(reply.get('lost', 0))
+        self._lost += reply_lost
+        # Replay starts at the oldest retained event past from_seq; with no
+        # from_seq the cursor starts at the broker's current head.
+        self._expected = (
+            int(from_seq) + reply_lost
+            if from_seq is not None
+            else int(reply['next_seq'])
+        )
+
+    def _read_loop(self, sock: socket.socket, reply_box: queue.Queue[Any]) -> None:
+        """Reader thread: queue pushed event batches, hand over the reply."""
+        decoder = StreamDecoder()
+        pending_events: list[list[tuple[int, Any]]] = []
+        replied = False
+        while True:
+            try:
+                message = decoder.read_message(sock)
+            except Exception:  # noqa: BLE001 - any failure ends the stream
+                message = None
+            if message is None:
+                self._dead.set()
+                if not replied:
+                    reply_box.put(ConnectionError('broker closed the connection'))
+                # Wake a blocked next_batch so it notices the death.
+                try:
+                    self._queue.put_nowait([])
+                except queue.Full:
+                    pass
+                return
+            try:
+                request_id, status, payload = message
+            except (TypeError, ValueError):
+                continue
+            if status == EVENT_STATUS:
+                _topic, events = payload
+                batch = [(int(seq), data) for seq, data in events]
+                if not replied:
+                    # Backlog frames may arrive before the SUBSCRIBE reply;
+                    # hold them so the reply is processed first.
+                    pending_events.append(batch)
+                else:
+                    self._queue.put(batch)
+            elif request_id == _SUBSCRIBE_REQUEST_ID and not replied:
+                replied = True
+                if status != 'ok':
+                    reply_box.put(ConnectorError(str(payload)))
+                    return
+                reply_box.put(payload)
+                for batch in pending_events:
+                    self._queue.put(batch)
+                pending_events.clear()
+
+    # -- consumption ------------------------------------------------------- #
+    @property
+    def lost(self) -> int:
+        """Events that aged out of retention before this subscriber saw them."""
+        return self._lost
+
+    @property
+    def position(self) -> int:
+        """Sequence number of the next event this subscriber will deliver."""
+        return self._expected
+
+    def _account_lost(self, fetched: dict[str, Any], cap: int | None = None) -> None:
+        """Count a fetch's lost events once, advancing the cursor past them.
+
+        The cursor must move to the oldest retained event: leaving it
+        inside the lost region would re-count the same loss on the next
+        fetch.  ``cap`` bounds the accounting to a known gap — events past
+        the gap may still be in flight as pushes, so only a later fetch
+        may declare them lost.
+        """
+        lost = int(fetched.get('lost', 0))
+        if cap is not None:
+            lost = min(lost, cap)
+        if lost > 0:
+            self._lost += lost
+            self._expected += lost
+
+    def _backfill(self, up_to: int) -> list[tuple[int, Any]]:
+        """Fetch ``[expected, up_to)`` from the topic ring after a push gap."""
+        recovered: list[tuple[int, Any]] = []
+        gap = up_to - self._expected
+        fetched = self._bus.client.fetch_events(
+            self.topic, since=self._expected, max_events=gap,
+        )
+        self._account_lost(fetched, cap=gap)
+        for seq, data in fetched.get('events', []):
+            seq = int(seq)
+            if self._expected <= seq < up_to:
+                recovered.append((seq, data))
+                self._expected = seq + 1
+        # Whatever the ring no longer held below up_to is lost for good.
+        if self._expected < up_to:
+            self._lost += up_to - self._expected
+            self._expected = up_to
+        return recovered
+
+    def _poll_ring(self) -> list[tuple[int, Any]]:
+        """Fetch events past the cursor straight from the topic ring.
+
+        The liveness net under server-side push dropping: when this
+        consumer lagged past the highwater mark, the events it missed sit
+        in the ring but no push will ever re-announce them unless someone
+        publishes again — so an idle wait periodically asks the ring
+        directly.
+        """
+        fetched = self._bus.client.fetch_events(self.topic, since=self._expected)
+        self._account_lost(fetched)
+        out: list[tuple[int, Any]] = []
+        for seq, data in fetched.get('events', []):
+            seq = int(seq)
+            if seq >= self._expected:
+                out.append((seq, data))
+                self._expected = seq + 1
+        return out
+
+    def next_batch(self, timeout: float | None = None) -> list[tuple[int, Any]]:
+        """Return the next in-order events (empty list on timeout).
+
+        Pushed batches are reconciled against the expected sequence number:
+        duplicates (push/fetch overlap) are dropped, and gaps are
+        backfilled from the server's ring buffer — the caller sees each
+        surviving event exactly once, in order.  When pushes go quiet for
+        ``poll_interval`` the ring is polled directly, so events whose
+        pushes were dropped under backpressure are still delivered.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while not self._closed:
+            wait = self._poll_interval
+            if deadline is not None:
+                wait = min(wait, max(0.0, deadline - time.monotonic()))
+            try:
+                raw = self._queue.get(timeout=wait)
+            except queue.Empty:
+                raw = None
+            if raw is None:
+                if self._dead.is_set():
+                    self._reconnect()
+                polled = self._poll_ring()
+                if polled:
+                    return polled
+                if deadline is not None and time.monotonic() >= deadline:
+                    return []
+                continue
+            # Drain whatever else is already queued — batching is free here.
+            while True:
+                try:
+                    raw.extend(self._queue.get_nowait())
+                except queue.Empty:
+                    break
+            out: list[tuple[int, Any]] = []
+            for seq, data in raw:
+                if seq < self._expected:
+                    continue
+                if seq > self._expected:
+                    out.extend(self._backfill(seq))
+                    if seq < self._expected:  # aged out under the backfill
+                        continue
+                out.append((seq, data))
+                self._expected = seq + 1
+            if out:
+                return out
+            if self._dead.is_set():
+                self._reconnect()
+            if deadline is not None and time.monotonic() >= deadline:
+                return []
+        return []
+
+    def _reconnect(self) -> None:
+        """Re-establish a died push connection, resuming from the cursor."""
+        if self._closed:
+            return
+        self._teardown_socket()
+        self._connect(self._expected)
+
+    # -- lifecycle --------------------------------------------------------- #
+    def _teardown_socket(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - platform dependent
+                pass
+        reader, self._reader = self._reader, None
+        if reader is not None and reader is not threading.current_thread():
+            reader.join(timeout=2.0)
+
+    def close(self) -> None:
+        """Close the push connection (the server drops the subscription)."""
+        self._closed = True
+        self._teardown_socket()
+
+    def __enter__(self) -> 'KVSubscription':
+        return self
+
+    def __exit__(self, exc_type: Any, exc_value: Any, traceback: Any) -> None:
+        self.close()
+
+
+class KVEventBus:
+    """Event bus whose topics live on a SimKV event-loop server.
+
+    Args:
+        host: broker host name.
+        port: broker port.  With ``launch=True`` and ``port=0`` a fresh
+            in-process server is started (ephemeral port recorded so
+            ``config()`` round-trips point at the same broker).
+        launch: start an in-process server if one is not already running.
+        retention: per-topic ring-buffer bound applied (via ``TCONFIG``)
+            to topics first touched through this handle; ``None`` keeps
+            the server default.
+        timeout: per-request inactivity bound, as for :class:`KVClient`.
+        pool_size: pooled connections of the publish/fetch client.
+        max_queued_batches: bound on each subscription's local push queue.
+        poll_interval: seconds an idle subscription waits between direct
+            ring polls (the liveness net when its pushes were dropped
+            under backpressure); lower it for latency-sensitive consumers.
+    """
+
+    scheme = 'kv'
+
+    def __init__(
+        self,
+        host: str = '127.0.0.1',
+        port: int = 0,
+        *,
+        launch: bool = False,
+        retention: int | None = None,
+        timeout: float = DEFAULT_TIMEOUT,
+        pool_size: int = DEFAULT_POOL_SIZE,
+        max_queued_batches: int = DEFAULT_MAX_QUEUED_BATCHES,
+        poll_interval: float = 0.5,
+    ) -> None:
+        if launch:
+            server = launch_server(host, port)
+            assert server.port is not None
+            host, port = server.host, server.port
+        self.host = host
+        self.port = port
+        self.retention = retention
+        self.timeout = timeout
+        self.pool_size = pool_size
+        self.max_queued_batches = max_queued_batches
+        self.poll_interval = poll_interval
+        self.client = KVClient(host, port, timeout=timeout, pool_size=pool_size)
+        self._configured: set[str] = set()
+        self._configure_lock = threading.Lock()
+
+    def __repr__(self) -> str:
+        return f'KVEventBus(host={self.host!r}, port={self.port})'
+
+    def _ensure_topic(self, topic: str) -> None:
+        """Apply this handle's retention to ``topic`` exactly once."""
+        if self.retention is None or topic in self._configured:
+            return
+        with self._configure_lock:
+            if topic in self._configured:
+                return
+            self.client.topic_config(topic, retention=self.retention)
+            self._configured.add(topic)
+
+    # -- EventBus protocol ------------------------------------------------- #
+    def publish(self, topic: str, payload: Any) -> int:
+        """Publish one payload on ``topic``; returns its sequence number."""
+        self._ensure_topic(topic)
+        return self.client.publish(topic, payload)
+
+    def publish_batch(self, topic: str, payloads: Sequence[Any]) -> list[int]:
+        """Publish several payloads on ``topic`` in one wire round trip."""
+        self._ensure_topic(topic)
+        return self.client.publish_batch(topic, payloads)
+
+    def subscribe(self, topic: str, *, from_seq: int | None = None) -> KVSubscription:
+        """Open a dedicated push subscription to ``topic``.
+
+        ``from_seq`` replays the retained backlog from that sequence
+        number; events older than the ring are counted on the
+        subscription's ``lost``.
+        """
+        self._ensure_topic(topic)
+        return KVSubscription(
+            self,
+            topic,
+            from_seq,
+            max_queued_batches=self.max_queued_batches,
+            poll_interval=self.poll_interval,
+        )
+
+    def topic_stats(self, topic: str) -> dict[str, Any] | None:
+        """Return broker-side statistics for ``topic``."""
+        return self.client.topic_stats(topic)
+
+    def configure_topic(self, topic: str, *, retention: int) -> None:
+        """Set ``topic``'s ring retention on the broker."""
+        self.client.topic_config(topic, retention=retention)
+        self._configured.add(topic)
+
+    def config(self) -> dict[str, Any]:
+        """Return a picklable dict re-creating a handle to the same broker."""
+        return {
+            'scheme': self.scheme,
+            'host': self.host,
+            'port': self.port,
+            'retention': self.retention,
+            'timeout': self.timeout,
+            'pool_size': self.pool_size,
+            'max_queued_batches': self.max_queued_batches,
+            'poll_interval': self.poll_interval,
+        }
+
+    @classmethod
+    def from_config(cls, config: dict[str, Any]) -> 'KVEventBus':
+        """Rebuild a bus handle from a :meth:`config` dictionary."""
+        return cls(**config)
+
+    @classmethod
+    def from_url(cls, url: 'StoreURL | str') -> 'KVEventBus':
+        """Build from ``kv://host:port[?launch=1&retention=N&timeout=S]``."""
+        url = StoreURL.parse(url)
+        timeout = url.pop_float('timeout', DEFAULT_TIMEOUT)
+        pool_size = url.pop_int('pool_size', DEFAULT_POOL_SIZE)
+        poll_interval = url.pop_float('poll_interval', 0.5)
+        assert timeout is not None and pool_size is not None
+        assert poll_interval is not None
+        return cls(
+            host=url.host or '127.0.0.1',
+            port=url.port or 0,
+            launch=url.pop_bool('launch', False),
+            retention=url.pop_int('retention'),
+            timeout=timeout,
+            pool_size=pool_size,
+            poll_interval=poll_interval,
+        )
+
+    def close(self) -> None:
+        """Close the publish/fetch client (subscriptions close themselves)."""
+        self.client.close()
+
+    def __enter__(self) -> 'KVEventBus':
+        return self
+
+    def __exit__(self, exc_type: Any, exc_value: Any, traceback: Any) -> None:
+        self.close()
+
+
+register_event_bus('kv', KVEventBus)
+register_event_bus('redis', KVEventBus)

@@ -8,20 +8,32 @@ paper).  This engine reproduces that data path with a thread pool: inputs and
 results really are serialized, moved through an in-memory "hub", and
 deserialized on the other side, so the per-byte overheads that ProxyStore
 eliminates are physically present and measurable.
+
+:meth:`WorkflowEngine.run_stream` adds a *stream-driven dispatch mode*:
+the engine consumes a :class:`~repro.stream.StreamConsumer` and submits
+one task per published event — when the stream carries proxies, only the
+tiny proxy crosses the hub while workers resolve the bulk data directly
+from the store, the streaming version of the paper's core experiment.
 """
 from __future__ import annotations
 
 import queue
 import threading
+from collections import deque
 from dataclasses import dataclass
 from dataclasses import field
 from typing import Any
 from typing import Callable
+from typing import Iterable
+from typing import TYPE_CHECKING
 
 from repro.exceptions import WorkflowError
 from repro.serialize import deserialize
 from repro.serialize import freeze_payload
 from repro.serialize import serialize
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from repro.stream.channels import StreamProducer
 
 __all__ = ['WorkflowEngine', 'WorkflowFuture', 'EngineStats']
 
@@ -159,6 +171,71 @@ class WorkflowEngine:
             payload = serialize(deserialize(payload))
             self.stats.serialization_passes += 1
         return payload
+
+    # -- stream-driven dispatch ------------------------------------------- #
+    def run_stream(
+        self,
+        func: Callable[[Any], Any],
+        items: 'Iterable[Any]',
+        *,
+        output: 'StreamProducer | None' = None,
+        max_outstanding: int | None = None,
+        close_output: bool = True,
+    ) -> dict[str, int]:
+        """Dispatch one task per stream item, optionally publishing results.
+
+        Args:
+            func: task body, called as ``func(item)`` on a worker.  Items
+                that are proxies stay proxies across the hub — only the
+                factory is serialized; the worker resolves the data from
+                the store on first touch.
+            items: anything iterable — canonically a
+                :class:`~repro.stream.StreamConsumer`, so tasks start as
+                events arrive rather than after a batch barrier.
+            output: optional :class:`~repro.stream.StreamProducer` each
+                task's result is published to, in input order (the output
+                topic preserves the input topic's ordering).
+            max_outstanding: in-flight task bound before the dispatcher
+                blocks on the oldest result (default ``2 * n_workers``) —
+                the engine-side backpressure that keeps an unbounded
+                stream from ballooning the hub queue.
+            close_output: publish end-of-stream on ``output`` once the
+                input ends (set ``False`` when more runs will append).
+
+        Returns:
+            Counts: ``{'tasks': submitted, 'published': results sent}``.
+        """
+        if max_outstanding is None:
+            max_outstanding = 2 * self.n_workers
+        if max_outstanding < 1:
+            raise ValueError('max_outstanding must be at least 1')
+        in_flight: deque[WorkflowFuture] = deque()
+        tasks = published = 0
+
+        def drain_one() -> None:
+            nonlocal published
+            result = in_flight.popleft().result()
+            if output is not None:
+                output.send(result)
+                published += 1
+
+        completed = False
+        try:
+            for item in items:
+                in_flight.append(self.submit(func, item))
+                tasks += 1
+                while len(in_flight) >= max_outstanding:
+                    drain_one()
+            while in_flight:
+                drain_one()
+            completed = True
+        finally:
+            # A failed run must not publish a clean end-of-stream marker:
+            # downstream consumers would mistake the truncated output for a
+            # complete stream (mirrors StreamProducer.__exit__).
+            if output is not None and close_output:
+                output.close(end=completed)
+        return {'tasks': tasks, 'published': published}
 
     # -- workers ---------------------------------------------------------------- #
     def _worker_loop(self) -> None:

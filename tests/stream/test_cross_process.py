@@ -1,0 +1,95 @@
+"""Producer/consumer pickle round-trips across real process boundaries.
+
+A producer pickled into a worker process publishes through the same SimKV
+broker/store the parent consumes from, and a consumer pickled into a
+worker resolves proxies produced by the parent — the streaming analogue
+of proxies travelling through a workflow system.
+"""
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+import repro
+from repro.kvserver.server import KVServer
+from repro.stream import KVEventBus
+from repro.stream import StreamConsumer
+from repro.stream import StreamProducer
+
+
+@pytest.fixture()
+def kv_setup():
+    """A KV server plus a redis-backed store and kv bus pointed at it."""
+    server = KVServer()
+    host, port = server.start()
+    store = repro.store_from_url(f'redis://{host}:{port}/xproc-store')
+    bus = KVEventBus(host, port)
+    yield store, bus
+    bus.close()
+    store.close()
+    server.stop()
+
+
+def _produce_items(producer_bytes: bytes, count: int) -> None:
+    producer = pickle.loads(producer_bytes)
+    for i in range(count):
+        producer.send(
+            {'rank': i, 'data': np.full(64, i)},
+            metadata={'origin': 'child'},
+        )
+    producer.close()
+    producer.store.close()
+
+
+def _consume_items(consumer_bytes: bytes, result_queue) -> None:
+    consumer = pickle.loads(consumer_bytes)
+    values = [int(item['rank']) for item in consumer]
+    consumer.store.close()
+    result_queue.put(values)
+
+
+def test_pickled_producer_feeds_parent_consumer(kv_setup):
+    store, bus = kv_setup
+    topic = 'xproc-produce'
+    consumer = StreamConsumer(store, bus, topic, from_seq=0, timeout=30.0)
+    producer = StreamProducer(store, bus, topic)
+    ctx = multiprocessing.get_context('spawn')
+    child = ctx.Process(
+        target=_produce_items, args=(pickle.dumps(producer), 5),
+    )
+    child.start()
+    try:
+        received = list(consumer.events())
+    finally:
+        child.join(timeout=30)
+        assert child.exitcode == 0
+    assert len(received) == 5
+    for i, (event, item) in enumerate(received):
+        assert event.metadata == {'origin': 'child'}
+        assert item['rank'] == i
+        np.testing.assert_array_equal(np.asarray(item['data']), np.full(64, i))
+
+
+def test_pickled_consumer_resolves_parent_items(kv_setup):
+    store, bus = kv_setup
+    topic = 'xproc-consume'
+    consumer = StreamConsumer(store, bus, topic, from_seq=0, timeout=30.0)
+    ctx = multiprocessing.get_context('spawn')
+    result_queue = ctx.Queue()
+    child = ctx.Process(
+        target=_consume_items, args=(pickle.dumps(consumer), result_queue),
+    )
+    child.start()
+    try:
+        producer = StreamProducer(store, bus, topic)
+        for i in range(4):
+            producer.send({'rank': i, 'data': np.full(32, i)})
+        producer.close()
+        values = result_queue.get(timeout=30)
+    finally:
+        child.join(timeout=30)
+    assert child.exitcode == 0
+    assert values == [0, 1, 2, 3]

@@ -1,0 +1,103 @@
+"""Stream-driven task dispatch through the workflow engine.
+
+One task per published event; proxies cross the engine's hub as tiny
+factories while workers resolve bulk data from the store, and results
+optionally flow onto an output topic — a complete streaming pipeline.
+"""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.stream import StreamConsumer
+from repro.stream import StreamProducer
+from repro.workflow.engine import WorkflowEngine
+
+_COUNTER = iter(range(10**6))
+
+
+@pytest.fixture()
+def stream_store():
+    store = repro.store_from_url(
+        f'local:///wf-stream-store-{next(_COUNTER)}',
+    )
+    yield store
+    store.close(clear=True)
+
+
+def _double(value):
+    return np.asarray(value) * 2
+
+
+def test_run_stream_dispatches_one_task_per_event(stream_store, make_bus, topic):
+    bus = make_bus()
+    producer = StreamProducer(stream_store, bus, topic)
+    consumer = StreamConsumer(
+        stream_store, make_bus(), topic, from_seq=0, timeout=10.0,
+    )
+    for i in range(8):
+        producer.send(np.full(16, i))
+    producer.close()
+    with WorkflowEngine(n_workers=2, extra_hops=0) as engine:
+        stats = engine.run_stream(_double, consumer)
+    assert stats == {'tasks': 8, 'published': 0}
+    assert engine.stats.tasks_completed == 8
+
+
+def test_run_stream_publishes_results_in_order(stream_store, make_bus, topic):
+    bus = make_bus()
+    out_topic = topic + '-out'
+    producer = StreamProducer(stream_store, bus, topic)
+    consumer = StreamConsumer(
+        stream_store, make_bus(), topic, from_seq=0, timeout=10.0,
+    )
+    out_producer = StreamProducer(stream_store, make_bus(), out_topic)
+    out_consumer = StreamConsumer(
+        stream_store, make_bus(), out_topic, from_seq=0, timeout=10.0,
+    )
+    for i in range(6):
+        producer.send(np.full(8, i))
+    producer.close()
+    with WorkflowEngine(n_workers=3, extra_hops=0) as engine:
+        stats = engine.run_stream(_double, consumer, output=out_producer)
+    assert stats == {'tasks': 6, 'published': 6}
+    results = list(out_consumer)
+    assert len(results) == 6
+    for i, result in enumerate(results):
+        np.testing.assert_array_equal(np.asarray(result), np.full(8, i) * 2)
+
+
+def test_run_stream_backpressure_bound_validated(stream_store, make_bus, topic):
+    consumer = StreamConsumer(stream_store, make_bus(), topic, timeout=0.1)
+    with WorkflowEngine(n_workers=1, extra_hops=0) as engine:
+        with pytest.raises(ValueError):
+            engine.run_stream(_double, consumer, max_outstanding=0)
+
+
+def _explode(value):
+    raise RuntimeError('task failed')
+
+
+def test_failed_run_stream_does_not_end_output_topic(stream_store, make_bus, topic):
+    """A failed run must not publish a clean end marker downstream —
+    consumers would mistake the truncated output for a complete stream."""
+    bus = make_bus()
+    out_topic = topic + '-out'
+    producer = StreamProducer(stream_store, bus, topic)
+    consumer = StreamConsumer(
+        stream_store, make_bus(), topic, from_seq=0, timeout=10.0,
+    )
+    out_producer = StreamProducer(stream_store, make_bus(), out_topic)
+    out_consumer = StreamConsumer(
+        stream_store, make_bus(), out_topic, from_seq=0, timeout=0.3,
+    )
+    producer.send(np.arange(4))
+    producer.close()
+    with WorkflowEngine(n_workers=1, extra_hops=0) as engine:
+        with pytest.raises(RuntimeError):
+            engine.run_stream(_explode, consumer, output=out_producer)
+    # The output topic did not terminate: iterating it times out rather
+    # than ending as if the stream completed.
+    with pytest.raises(TimeoutError):
+        list(out_consumer)
