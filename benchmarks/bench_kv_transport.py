@@ -19,6 +19,14 @@ there is no network to win back — every transport is equally CPU-bound:
    the striped transfer uses all four in parallel.  Acceptance: sharded
    beats single-node for both put and get.
 
+3. **Chaos (kill one node)** — a replicated (``replicas=2``) cluster over
+   3 node processes serves a read workload; one node process is killed
+   with SIGKILL mid-run.  Recorded: replication overhead at put/get time
+   (``replicas=2`` vs ``replicas=1`` over the same ring — the honest
+   cost), degraded-mode throughput while failing over, lost keys (must be
+   zero), and recovery time until the background rebalancer restored full
+   replication on the survivors.
+
 Run directly (also used as a CI step)::
 
     PYTHONPATH=src python benchmarks/bench_kv_transport.py --out BENCH_kv.json
@@ -317,6 +325,126 @@ def bench_sharding(*, payload_bytes: int, repetitions: int) -> dict:
     }
 
 
+# --------------------------------------------------------------------------- #
+# Scenario 3: chaos — kill one replicated node mid-workload
+# --------------------------------------------------------------------------- #
+def bench_chaos(*, n_keys: int, ops: int) -> dict:
+    payload = b'x' * 4096
+    procs, addresses = _spawn_nodes(3, latency_s=0.0001, bandwidth_bps=None)
+    peers = [
+        (f'node-{i}', host, port) for i, (host, port) in enumerate(addresses)
+    ]
+    try:
+        # Replication overhead: same ring, same remote nodes, one copy vs
+        # two.  replicas=1 with ring placement (not the legacy local-node
+        # path) so both configurations pay a remote round trip — the delta
+        # is the honest cost of the second copy.
+        overhead = {}
+        for replicas in (1, 2):
+            client = DIMClient(
+                'bench-overhead',
+                transport='tcp',
+                peers=peers,
+                replicas=replicas,
+                ring_vnodes=64,
+                rebalance=False,
+            )
+            try:
+                start = time.perf_counter()
+                keys = [client.put(payload) for _ in range(ops)]
+                put_ops = ops / (time.perf_counter() - start)
+                start = time.perf_counter()
+                for key in keys:
+                    assert client.get(key) is not None
+                get_ops = ops / (time.perf_counter() - start)
+                client.evict_batch(keys)
+            finally:
+                client.close()
+            overhead[f'replicas_{replicas}'] = {
+                'put_ops_per_s': round(put_ops, 1),
+                'get_ops_per_s': round(get_ops, 1),
+            }
+        put_cost = (
+            overhead['replicas_1']['put_ops_per_s']
+            / overhead['replicas_2']['put_ops_per_s']
+        )
+
+        # Chaos run: read workload over a replicated key set, then SIGKILL
+        # the node holding the most primaries with no warning.
+        client = DIMClient(
+            'bench-chaos',
+            transport='tcp',
+            peers=peers,
+            replicas=2,
+            hedge_threshold=0.02,
+        )
+        try:
+            keys = client.put_batch([payload] * n_keys)
+
+            def read_all() -> tuple[float, int]:
+                lost = 0
+                start = time.perf_counter()
+                for key in keys:
+                    value = client.get(key)
+                    if value is None or bytes(value) != payload:
+                        lost += 1
+                return n_keys / (time.perf_counter() - start), lost
+
+            healthy_ops, _ = read_all()
+
+            primaries = [key.replicas[0].node_id for key in keys]
+            victim = max(set(primaries), key=primaries.count)
+            victim_index = next(
+                i for i, (node_id, _, _) in enumerate(peers)
+                if node_id == victim
+            )
+            kill_time = time.perf_counter()
+            procs[victim_index].kill()
+            procs[victim_index].join()
+
+            degraded_ops, lost = read_all()
+
+            # Recovery: the crash discovered by the reads above triggered
+            # the rebalancer; wait for it and verify full re-replication.
+            recovered = client.rebalancer.wait_idle(120)
+            survivors = [node_id for node_id, _, _ in peers if node_id != victim]
+            under_replicated = sum(
+                1 for key in keys
+                if sum(
+                    1 for node_id in survivors
+                    if client.cluster.backend(node_id).exists(key.object_id)
+                ) < 2
+            )
+            recovery_s = time.perf_counter() - kill_time
+            stats = client.cluster.stats.as_dict()
+            rebalance = client.rebalancer.stats.as_dict()
+        finally:
+            client.close()
+    finally:
+        for proc in procs:
+            proc.terminate()
+        reset_nodes()
+
+    return {
+        'nodes': 3,
+        'replicas': 2,
+        'n_keys': n_keys,
+        'payload_bytes': len(payload),
+        'overhead': overhead,
+        'put_overhead_factor': round(put_cost, 2),
+        'healthy_ops_per_s': round(healthy_ops, 1),
+        'degraded_ops_per_s': round(degraded_ops, 1),
+        'lost_keys': lost,
+        'recovery_s': round(recovery_s, 3),
+        'under_replicated_after_recovery': under_replicated,
+        'cluster_stats': stats,
+        'rebalance_stats': rebalance,
+        'passes_zero_lost': lost == 0
+        and under_replicated == 0
+        and recovered,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument('--out', default='BENCH_kv.json')
@@ -350,6 +478,17 @@ def main(argv: list[str] | None = None) -> int:
         f'{sharding["sharded"]["get_MBps"]:.0f} MB/s ({sharding["get_speedup"]:.2f}x)',
     )
 
+    chaos = bench_chaos(n_keys=40 if args.smoke else 150, ops=ops)
+    print(
+        f'chaos (kill 1 of {chaos["nodes"]}, replicas={chaos["replicas"]}): '
+        f'healthy {chaos["healthy_ops_per_s"]:.0f} ops/s   '
+        f'degraded {chaos["degraded_ops_per_s"]:.0f} ops/s   '
+        f'lost {chaos["lost_keys"]}   '
+        f'recovered in {chaos["recovery_s"]:.2f}s   '
+        f'replication put cost {chaos["put_overhead_factor"]:.2f}x '
+        f'(zero-lost: {chaos["passes_zero_lost"]})',
+    )
+
     report = {
         'benchmark': 'kv_transport',
         'python': sys.version.split()[0],
@@ -357,6 +496,7 @@ def main(argv: list[str] | None = None) -> int:
         'smoke': args.smoke,
         'pipelining': pipelining,
         'sharding': sharding,
+        'chaos': chaos,
     }
     with open(args.out, 'w') as f:
         json.dump(report, f, indent=2)

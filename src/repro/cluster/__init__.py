@@ -1,0 +1,51 @@
+"""Self-healing cluster substrate: placement, membership, replication, repair.
+
+This package turns the fixed-topology DIM store into an elastic service:
+
+* :mod:`repro.cluster.ring` — a consistent-hash ring with virtual nodes:
+  the deterministic placement function every client computes locally, so
+  no coordinator is needed for clients to agree where a key's replicas
+  live.
+* :mod:`repro.cluster.membership` — node join/leave (voluntary) and crash
+  detection (via the KV transport's typed
+  :class:`~repro.exceptions.NodeUnavailableError` path), with per-node
+  health threaded into store metrics.
+* :mod:`repro.cluster.client` — the replication engine: N-way writes,
+  hedged reads with failover and read-repair, and orphan-replica cleanup
+  on partial failures.
+* :mod:`repro.cluster.rebalance` — throttled background migration of the
+  ring-delta keys after any membership change.
+
+The DIM connectors (``zmq://``, ``ucx://``, ``margo://``) and the
+clustered Redis connector wire these together via ``replicas=`` and
+``ring_vnodes=`` configuration; see ``docs/ARCHITECTURE.md``.
+"""
+from repro.cluster.client import ClusterClient
+from repro.cluster.client import ClusterStats
+from repro.cluster.client import DEFAULT_HEDGE_THRESHOLD
+from repro.cluster.client import NodeBackend
+from repro.cluster.membership import ClusterMembership
+from repro.cluster.membership import DEFAULT_FAILURE_THRESHOLD
+from repro.cluster.membership import NodeHealth
+from repro.cluster.rebalance import RebalanceStats
+from repro.cluster.rebalance import Rebalancer
+from repro.cluster.ring import DEFAULT_VNODES
+from repro.cluster.ring import HashRing
+from repro.cluster.ring import LegacyRing
+from repro.cluster.ring import placement_delta
+
+__all__ = [
+    'ClusterClient',
+    'ClusterMembership',
+    'ClusterStats',
+    'DEFAULT_FAILURE_THRESHOLD',
+    'DEFAULT_HEDGE_THRESHOLD',
+    'DEFAULT_VNODES',
+    'HashRing',
+    'LegacyRing',
+    'NodeBackend',
+    'NodeHealth',
+    'RebalanceStats',
+    'Rebalancer',
+    'placement_delta',
+]

@@ -1,0 +1,262 @@
+"""Cluster membership: who is in the ring, and how healthy they are.
+
+:class:`ClusterMembership` owns the node set from which the consistent-hash
+ring is built.  Nodes enter via :meth:`join` and exit two ways:
+
+* **voluntarily** — :meth:`leave` marks the node ``'left'``: it drops out
+  of the ring (no new placements) but is still *reachable*, so the
+  rebalancer can drain its keys off it before they are forgotten.
+* **by crashing** — every replicated operation reports its per-node outcome
+  through :meth:`record`; once a node accumulates ``failure_threshold``
+  consecutive :class:`~repro.exceptions.NodeUnavailableError` failures it
+  is marked ``'dead'`` (unreachable, data presumed lost) and the ring
+  recomputes without it.
+
+Any ring change notifies subscribed listeners (the rebalancer) with the
+old and new rings, which is the trigger for background shard migration.
+
+Per-node health is also threaded into a bound
+:class:`~repro.store.metrics.StoreMetrics` (when the owning ``Store`` has
+metrics enabled) as ``cluster.node.<id>.ok`` / ``cluster.node.<id>.fail``
+operations, so node latency and failure counts appear next to the store's
+put/get timings.
+"""
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from dataclasses import field
+from typing import Any
+from typing import Callable
+from typing import Iterable
+
+from repro.cluster.ring import DEFAULT_VNODES
+from repro.cluster.ring import HashRing
+
+__all__ = ['ClusterMembership', 'NodeHealth', 'DEFAULT_FAILURE_THRESHOLD']
+
+#: Consecutive unavailable-failures after which a node is declared dead.
+#: A refused connection is a strong signal, so one strike suffices by
+#: default; raise it on flaky networks where blips are common.
+DEFAULT_FAILURE_THRESHOLD = 1
+
+#: EWMA smoothing factor for per-node request latency.
+_LATENCY_ALPHA = 0.2
+
+RingListener = Callable[[HashRing, HashRing, str], None]
+
+
+@dataclass
+class NodeHealth:
+    """Mutable health record for one cluster node."""
+
+    node_id: str
+    state: str = 'alive'  # 'alive' | 'left' | 'dead'
+    successes: int = 0
+    failures: int = 0
+    consecutive_failures: int = 0
+    latency_ewma: float = 0.0
+    last_error: str | None = None
+    since: float = field(default_factory=time.monotonic)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-friendly snapshot (used by ``Store.cluster_health()``)."""
+        return {
+            'state': self.state,
+            'successes': self.successes,
+            'failures': self.failures,
+            'consecutive_failures': self.consecutive_failures,
+            'latency_ewma_s': round(self.latency_ewma, 6),
+            'last_error': self.last_error,
+        }
+
+
+class ClusterMembership:
+    """Tracks the node set, detects crashes, and rebuilds the ring.
+
+    Args:
+        nodes: initial node ids (all start ``'alive'``).
+        vnodes: virtual points per node for the consistent-hash ring.
+        failure_threshold: consecutive unavailable-failures before a node
+            is declared dead.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[str],
+        *,
+        vnodes: int = DEFAULT_VNODES,
+        failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError('failure_threshold must be at least 1')
+        self.vnodes = vnodes
+        self.failure_threshold = failure_threshold
+        self._lock = threading.Lock()
+        self._health: dict[str, NodeHealth] = {
+            node_id: NodeHealth(node_id) for node_id in nodes
+        }
+        self._ring = HashRing(self._health, vnodes)
+        self._listeners: list[RingListener] = []
+        self._metrics: Any = None
+
+    # -- introspection ----------------------------------------------------- #
+    @property
+    def ring(self) -> HashRing:
+        """The current ring over *alive* nodes only."""
+        with self._lock:
+            return self._ring
+
+    def alive(self) -> tuple[str, ...]:
+        """Node ids currently alive (sorted)."""
+        with self._lock:
+            return tuple(sorted(
+                n for n, h in self._health.items() if h.state == 'alive'
+            ))
+
+    def reachable(self) -> tuple[str, ...]:
+        """Nodes the rebalancer may still *read* from: alive + left.
+
+        A voluntarily departing node holds data that must be drained off
+        it, so it stays readable until migration completes; a dead node's
+        data is presumed lost.
+        """
+        with self._lock:
+            return tuple(sorted(
+                n for n, h in self._health.items() if h.state != 'dead'
+            ))
+
+    def state_of(self, node_id: str) -> str | None:
+        """The node's state, or ``None`` if it was never a member."""
+        with self._lock:
+            health = self._health.get(node_id)
+            return health.state if health else None
+
+    def health(self) -> dict[str, dict[str, Any]]:
+        """Per-node health snapshot keyed by node id."""
+        with self._lock:
+            return {n: h.as_dict() for n, h in self._health.items()}
+
+    def bind_metrics(self, metrics: Any) -> None:
+        """Record per-node outcomes into ``metrics`` (a ``StoreMetrics``)."""
+        self._metrics = metrics
+
+    # -- membership changes ------------------------------------------------- #
+    def subscribe(self, listener: RingListener) -> None:
+        """Call ``listener(old_ring, new_ring, reason)`` on ring changes."""
+        self._listeners.append(listener)
+
+    def _rebuild_ring_locked(self) -> HashRing:
+        alive = [n for n, h in self._health.items() if h.state == 'alive']
+        self._ring = HashRing(alive, self.vnodes)
+        return self._ring
+
+    def _change(self, mutate: Callable[[], bool], reason: str) -> bool:
+        """Apply a membership mutation; notify listeners on a ring change."""
+        with self._lock:
+            old_ring = self._ring
+            if not mutate():
+                return False
+            new_ring = self._rebuild_ring_locked()
+        if new_ring != old_ring:
+            # Outside the lock: listeners (the rebalancer) may call back
+            # into membership accessors.
+            for listener in list(self._listeners):
+                listener(old_ring, new_ring, reason)
+        return True
+
+    def join(self, node_id: str) -> bool:
+        """Add (or revive) ``node_id``; returns False if already alive."""
+        def mutate() -> bool:
+            health = self._health.get(node_id)
+            if health is not None and health.state == 'alive':
+                return False
+            self._health[node_id] = NodeHealth(node_id)
+            return True
+        return self._change(mutate, f'join:{node_id}')
+
+    def leave(self, node_id: str) -> bool:
+        """Voluntarily remove ``node_id`` (stays readable for draining)."""
+        def mutate() -> bool:
+            health = self._health.get(node_id)
+            if health is None or health.state != 'alive':
+                return False
+            health.state = 'left'
+            health.since = time.monotonic()
+            return True
+        return self._change(mutate, f'leave:{node_id}')
+
+    def mark_dead(self, node_id: str, error: Exception | str | None = None) -> bool:
+        """Declare ``node_id`` crashed (unreachable, data presumed lost)."""
+        def mutate() -> bool:
+            health = self._health.get(node_id)
+            if health is None or health.state == 'dead':
+                return False
+            health.state = 'dead'
+            health.since = time.monotonic()
+            if error is not None:
+                health.last_error = str(error)
+            return True
+        return self._change(mutate, f'dead:{node_id}')
+
+    def forget(self, node_id: str) -> bool:
+        """Drop a left/dead node from the roster entirely (post-drain)."""
+        def mutate() -> bool:
+            health = self._health.get(node_id)
+            if health is None or health.state == 'alive':
+                return False
+            del self._health[node_id]
+            return True
+        return self._change(mutate, f'forget:{node_id}')
+
+    # -- crash detection ----------------------------------------------------- #
+    def record(
+        self,
+        node_id: str,
+        *,
+        ok: bool,
+        elapsed: float = 0.0,
+        unavailable: bool = False,
+        error: Exception | None = None,
+    ) -> None:
+        """Fold one per-node operation outcome into health state.
+
+        ``unavailable=True`` marks a :class:`NodeUnavailableError`-class
+        failure; ``failure_threshold`` consecutive ones declare the node
+        dead (which rebuilds the ring and wakes the rebalancer).  Other
+        failures count against health but never evict the node — a corrupt
+        request is the caller's bug, not the node's.
+        """
+        declare_dead = False
+        with self._lock:
+            health = self._health.get(node_id)
+            if health is None:
+                health = self._health[node_id] = NodeHealth(node_id)
+            if ok:
+                health.successes += 1
+                health.consecutive_failures = 0
+                if elapsed > 0.0:
+                    if health.latency_ewma == 0.0:
+                        health.latency_ewma = elapsed
+                    else:
+                        health.latency_ewma += _LATENCY_ALPHA * (
+                            elapsed - health.latency_ewma
+                        )
+            else:
+                health.failures += 1
+                health.consecutive_failures += 1
+                if error is not None:
+                    health.last_error = str(error)
+                if (
+                    unavailable
+                    and health.state == 'alive'
+                    and health.consecutive_failures >= self.failure_threshold
+                ):
+                    declare_dead = True
+        metrics = self._metrics
+        if metrics is not None:
+            suffix = 'ok' if ok else 'fail'
+            metrics.record(f'cluster.node.{node_id}.{suffix}', elapsed)
+        if declare_dead:
+            self.mark_dead(node_id, error)

@@ -15,6 +15,21 @@ Transport knobs (all URL-expressible, e.g.
   back the same way, so one large transfer uses every node's bandwidth.
 * ``shard_threshold`` — minimum object size for striping (0 disables).
 * ``pool_size`` — socket connections pooled per remote node.
+
+Cluster knobs (see :mod:`repro.cluster`), e.g.
+``zmq://node-0?peers=node-0,node-1,node-2&replicas=2``:
+
+* ``replicas`` — copies written per plain object; ``>= 2`` replaces the
+  static placement with a consistent-hash ring over ``peers`` and enables
+  hedged reads, read-repair, crash failover and background rebalancing.
+* ``ring_vnodes`` — virtual ring points per peer (ring placement even with
+  ``replicas=1``).
+* ``hedge_threshold`` — seconds of primary silence before a read is hedged
+  to the second replica.
+* ``failure_threshold`` — consecutive unreachable failures before a peer is
+  declared dead and dropped from the ring.
+* ``rebalance`` / ``rebalance_throttle`` — background ring-delta migration
+  on membership changes, optionally byte-rate capped.
 """
 from __future__ import annotations
 
@@ -27,6 +42,8 @@ from repro.connectors.protocol import Connector
 from repro.connectors.protocol import ConnectorCapabilities
 from repro.connectors.protocol import PutData
 from repro.connectors.protocol import new_object_id
+from repro.cluster.client import DEFAULT_HEDGE_THRESHOLD
+from repro.cluster.membership import DEFAULT_FAILURE_THRESHOLD
 from repro.connectors.registry import StoreURL
 from repro.dim.client import DEFAULT_SHARD_THRESHOLD
 from repro.kvserver.client import DEFAULT_POOL_SIZE
@@ -54,6 +71,19 @@ class DIMConnectorBase(Connector):
         shard_threshold: minimum object size (bytes) to stripe across peers.
         pool_size: connections pooled per remote node.
         timeout: per-request inactivity bound (seconds) for the KV clients.
+        replicas: copies written per plain object; ``>= 2`` enables ring
+            placement over ``peers`` with replication, hedged reads,
+            read-repair and crash failover (``1`` keeps the legacy static
+            topology).
+        ring_vnodes: virtual ring points per peer (``0`` = legacy unless
+            ``replicas >= 2``).
+        hedge_threshold: seconds the primary replica may stay silent before
+            a read is hedged to the second replica.
+        failure_threshold: consecutive unreachable failures before a peer
+            is declared dead and dropped from the ring.
+        rebalance: migrate ring-delta keys in the background on membership
+            changes (clustered mode only).
+        rebalance_throttle: optional bytes/second cap on migration copies.
     """
 
     connector_name = 'dim'
@@ -75,6 +105,12 @@ class DIMConnectorBase(Connector):
         shard_threshold: int = DEFAULT_SHARD_THRESHOLD,
         pool_size: int = DEFAULT_POOL_SIZE,
         timeout: float = DEFAULT_TIMEOUT,
+        replicas: int = 1,
+        ring_vnodes: int = 0,
+        hedge_threshold: float = DEFAULT_HEDGE_THRESHOLD,
+        failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        rebalance: bool = True,
+        rebalance_throttle: float | None = None,
     ) -> None:
         self.node_id = node_id if node_id is not None else _default_node_id()
         self._client = DIMClient(
@@ -84,6 +120,12 @@ class DIMConnectorBase(Connector):
             shard_threshold=shard_threshold,
             pool_size=pool_size,
             timeout=timeout,
+            replicas=replicas,
+            ring_vnodes=ring_vnodes,
+            hedge_threshold=hedge_threshold,
+            failure_threshold=failure_threshold,
+            rebalance=rebalance,
+            rebalance_throttle=rebalance_throttle,
         )
 
     def __repr__(self) -> str:
@@ -129,6 +171,23 @@ class DIMConnectorBase(Connector):
             )
         self._client.put_local(key.object_id, data)
 
+    # -- cluster ----------------------------------------------------------- #
+    def bind_metrics(self, metrics: Any) -> None:
+        """Thread per-node health and cluster events into store metrics."""
+        self._client.bind_metrics(metrics)
+
+    def cluster_health(self) -> dict[str, Any]:
+        """Membership, per-node health, and self-healing counters."""
+        return self._client.cluster_health()
+
+    def join_peer(self, peer: Any) -> None:
+        """Add a node to the cluster; the rebalancer pulls its key share."""
+        self._client.join_peer(peer)
+
+    def leave_peer(self, node_id: str) -> None:
+        """Voluntarily drain a node out of the cluster."""
+        self._client.leave_peer(node_id)
+
     # -- configuration / lifecycle ---------------------------------------- #
     def config(self) -> dict[str, Any]:
         return {
@@ -140,6 +199,12 @@ class DIMConnectorBase(Connector):
             'shard_threshold': self._client.shard_threshold,
             'pool_size': self._client.pool_size,
             'timeout': self._client.timeout,
+            'replicas': self._client.replicas,
+            'ring_vnodes': self._client.ring_vnodes,
+            'hedge_threshold': self._client.hedge_threshold,
+            'failure_threshold': self._client.failure_threshold,
+            'rebalance': self._client.rebalancer is not None,
+            'rebalance_throttle': self._client.rebalance_throttle,
         }
 
     @classmethod
@@ -147,21 +212,38 @@ class DIMConnectorBase(Connector):
         """Build from ``<scheme>://[node_id][/name][?peers=a,b&...]``.
 
         Recognized query parameters: ``peers`` (comma-separated node ids),
-        ``shard_threshold`` (bytes), ``pool_size``, ``timeout`` (seconds).
+        ``shard_threshold`` (bytes), ``pool_size``, ``timeout`` (seconds),
+        ``replicas``, ``ring_vnodes``, ``hedge_threshold`` (seconds),
+        ``failure_threshold``, ``rebalance`` (bool), and
+        ``rebalance_throttle`` (bytes/second).
         """
         url = StoreURL.parse(url)
         peers = url.pop_tags('peers')
         shard_threshold = url.pop_int('shard_threshold', DEFAULT_SHARD_THRESHOLD)
         pool_size = url.pop_int('pool_size', DEFAULT_POOL_SIZE)
         timeout = url.pop_float('timeout', DEFAULT_TIMEOUT)
+        replicas = url.pop_int('replicas', 1)
+        ring_vnodes = url.pop_int('ring_vnodes', 0)
+        hedge_threshold = url.pop_float('hedge_threshold', DEFAULT_HEDGE_THRESHOLD)
+        failure_threshold = url.pop_int('failure_threshold', DEFAULT_FAILURE_THRESHOLD)
+        rebalance = url.pop_bool('rebalance', True)
+        rebalance_throttle = url.pop_float('rebalance_throttle', None)
         assert shard_threshold is not None and pool_size is not None
-        assert timeout is not None
+        assert timeout is not None and replicas is not None
+        assert ring_vnodes is not None and hedge_threshold is not None
+        assert failure_threshold is not None
         return cls(
             node_id=url.netloc or None,
             peers=peers,
             shard_threshold=shard_threshold,
             pool_size=pool_size,
             timeout=timeout,
+            replicas=replicas,
+            ring_vnodes=ring_vnodes,
+            hedge_threshold=hedge_threshold,
+            failure_threshold=failure_threshold,
+            rebalance=rebalance,
+            rebalance_throttle=rebalance_throttle,
         )
 
     def close(self, clear: bool = False) -> None:

@@ -10,6 +10,15 @@ different wire protocol.
 A connector can either attach to an already running server (``host``/``port``)
 or start an in-process server on demand (``launch=True``), which is the
 convenient mode for tests and examples.
+
+With ``nodes=['h1:p1', 'h2:p2', ...]`` (URL:
+``redis://?nodes=h1:p1,h2:p2&replicas=2``) the connector becomes a
+*clustered* client over several SimKV servers: keys are placed by the same
+consistent-hash ring the DIM connectors use (:mod:`repro.cluster`), written
+to ``replicas`` servers, and read with hedging, failover and read-repair.
+Because placement is deterministic, every process pointed at the same
+``nodes`` list computes identical owners — keys stay plain
+:class:`ConnectorKey` tuples with no embedded location.
 """
 from __future__ import annotations
 
@@ -17,18 +26,74 @@ from typing import Any
 from typing import Iterable
 from typing import Sequence
 
+from repro.cluster.client import ClusterClient
+from repro.cluster.client import DEFAULT_HEDGE_THRESHOLD
+from repro.cluster.membership import ClusterMembership
+from repro.cluster.membership import DEFAULT_FAILURE_THRESHOLD
+from repro.cluster.rebalance import Rebalancer
+from repro.cluster.ring import DEFAULT_VNODES
 from repro.connectors.protocol import Connector
 from repro.connectors.protocol import ConnectorCapabilities
 from repro.connectors.protocol import ConnectorKey
 from repro.connectors.protocol import PutData
 from repro.connectors.protocol import new_object_id
 from repro.connectors.registry import StoreURL
+from repro.exceptions import ConnectorError
 from repro.kvserver.client import DEFAULT_POOL_SIZE
 from repro.kvserver.client import DEFAULT_TIMEOUT
 from repro.kvserver.client import KVClient
 from repro.kvserver.server import launch_server
 
 __all__ = ['RedisConnector']
+
+
+def _parse_node(node: Any) -> tuple[str, int]:
+    """Normalize a cluster node spec (``'host:port'`` or tuple) to an address."""
+    if isinstance(node, str):
+        host, sep, port = node.rpartition(':')
+        if not sep or not port.isdigit():
+            raise ConnectorError(
+                f'malformed cluster node {node!r}: expected host:port',
+            )
+        return (host, int(port))
+    if isinstance(node, (tuple, list)) and len(node) == 2:
+        return (str(node[0]), int(node[1]))
+    raise ConnectorError(
+        f'malformed cluster node {node!r}: expected host:port or (host, port)',
+    )
+
+
+class _KVNodeBackend:
+    """One SimKV server as a cluster node (drives the replication engine)."""
+
+    __slots__ = ('_client',)
+
+    def __init__(self, client: KVClient) -> None:
+        self._client = client
+
+    def put(self, key: str, value: Any) -> None:
+        self._client.set(key, value)
+
+    def put_batch(self, items: Sequence[tuple[str, Any]]) -> None:
+        self._client.mset(items)
+
+    def get(self, key: str) -> Any | None:
+        return self._client.get(key)
+
+    def get_batch(self, keys: Sequence[str]) -> list[Any]:
+        return self._client.mget(keys)
+
+    def exists(self, key: str) -> bool:
+        return self._client.exists(key)
+
+    def evict(self, key: str) -> None:
+        self._client.delete(key)
+
+    def evict_batch(self, keys: Sequence[str]) -> None:
+        self._client.mdel(keys)
+
+    def keys(self) -> list[str]:
+        return self._client.keys()
 
 
 class RedisConnector(Connector):
@@ -45,6 +110,22 @@ class RedisConnector(Connector):
             transfer does not head-of-line block small operations.
         timeout: per-request inactivity bound (seconds) — a request fails
             only after its connection receives nothing for this long.
+        nodes: cluster mode — ``'host:port'`` strings (or ``(host, port)``
+            tuples) of several SimKV servers.  Non-empty ``nodes`` replaces
+            the single central server with consistent-hash placement across
+            them; ``host``/``port``/``launch`` are then ignored.
+        launch_nodes: start this many in-process SimKV servers and use them
+            as the cluster (convenience for tests; mutually exclusive with
+            ``nodes``).
+        replicas: copies written per key in cluster mode.
+        ring_vnodes: virtual ring points per node.
+        hedge_threshold: seconds of primary silence before a read is hedged
+            to the second replica.
+        failure_threshold: consecutive unreachable failures before a node
+            is declared dead and dropped from the ring.
+        rebalance: re-replicate ring-delta keys in the background after
+            membership changes.
+        rebalance_throttle: optional bytes/second cap on migration copies.
     """
 
     connector_name = 'redis'
@@ -66,36 +147,108 @@ class RedisConnector(Connector):
         launch: bool = False,
         pool_size: int = DEFAULT_POOL_SIZE,
         timeout: float = DEFAULT_TIMEOUT,
+        nodes: Sequence[Any] = (),
+        launch_nodes: int = 0,
+        replicas: int = 2,
+        ring_vnodes: int = DEFAULT_VNODES,
+        hedge_threshold: float = DEFAULT_HEDGE_THRESHOLD,
+        failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        rebalance: bool = True,
+        rebalance_throttle: float | None = None,
     ) -> None:
-        if launch:
-            server = launch_server(host, port)
-            assert server.port is not None
-            host, port = server.host, server.port
-        self.host = host
-        self.port = port
+        if nodes and launch_nodes:
+            raise ConnectorError('pass either nodes or launch_nodes, not both')
+        if launch_nodes:
+            launched = [launch_server('127.0.0.1', 0) for _ in range(launch_nodes)]
+            nodes = [(s.host, s.port) for s in launched]
         self.pool_size = pool_size
         self.timeout = timeout
-        self._client = KVClient(host, port, pool_size=pool_size, timeout=timeout)
+        self.replicas = replicas
+        self.ring_vnodes = ring_vnodes
+        self.hedge_threshold = hedge_threshold
+        self.failure_threshold = failure_threshold
+        self.rebalance_throttle = rebalance_throttle
+        self._cluster: ClusterClient | None = None
+        self._rebalancer: Rebalancer | None = None
+        self._node_addrs: dict[str, tuple[str, int]] = {}
+        self._node_clients: list[KVClient] = []
+        if nodes:
+            addresses = [_parse_node(node) for node in nodes]
+            self.nodes = tuple(f'{h}:{p}' for h, p in addresses)
+            self._node_addrs = dict(zip(self.nodes, addresses))
+            # The primary host/port fields point at the first node so that
+            # repr/config stay meaningful; the cluster does the routing.
+            host, port = addresses[0]
+            self.host, self.port = host, port
+            self._client = None
+            membership = ClusterMembership(
+                self.nodes,
+                vnodes=ring_vnodes,
+                failure_threshold=failure_threshold,
+            )
+            self._cluster = ClusterClient(
+                self._node_backend,
+                membership,
+                replicas=replicas,
+                hedge_threshold=hedge_threshold,
+            )
+            if rebalance:
+                self._rebalancer = Rebalancer(
+                    self._cluster,
+                    throttle_bytes_per_s=rebalance_throttle,
+                )
+        else:
+            self.nodes = ()
+            if launch:
+                server = launch_server(host, port)
+                assert server.port is not None
+                host, port = server.host, server.port
+            self.host = host
+            self.port = port
+            self._client = KVClient(
+                host, port, pool_size=pool_size, timeout=timeout,
+            )
+
+    def _node_backend(self, node_id: str) -> _KVNodeBackend:
+        host, port = self._node_addrs[node_id]
+        client = KVClient(
+            host, port, pool_size=self.pool_size, timeout=self.timeout,
+        )
+        self._node_clients.append(client)
+        return _KVNodeBackend(client)
 
     def __repr__(self) -> str:
+        if self._cluster is not None:
+            return f'RedisConnector(nodes={list(self.nodes)!r})'
         return f'RedisConnector(host={self.host!r}, port={self.port})'
 
     # -- primary operations --------------------------------------------- #
     def put(self, data: PutData) -> ConnectorKey:
         key = ConnectorKey(object_id=new_object_id(), connector=self.connector_name)
-        # The KV client scatter/gathers the payload's segments straight out
-        # of the caller's buffers (pickle-5 out-of-band) — no local copy.
-        self._client.set(key.object_id, data)
+        if self._cluster is not None:
+            self._cluster.put(key.object_id, data)
+        else:
+            # The KV client scatter/gathers the payload's segments straight
+            # out of the caller's buffers (pickle-5 out-of-band) — no local
+            # copy.
+            self._client.set(key.object_id, data)
         return key
 
     def get(self, key: ConnectorKey) -> 'bytes | bytearray | memoryview | None':
+        if self._cluster is not None:
+            return self._cluster.get(key.object_id)
         return self._client.get(key.object_id)
 
     def exists(self, key: ConnectorKey) -> bool:
+        if self._cluster is not None:
+            return self._cluster.exists(key.object_id)
         return self._client.exists(key.object_id)
 
     def evict(self, key: ConnectorKey) -> None:
-        self._client.delete(key.object_id)
+        if self._cluster is not None:
+            self._cluster.evict(key.object_id)
+        else:
+            self._client.delete(key.object_id)
 
     # -- batch operations (one MSET/MGET round trip per batch) ------------- #
     def put_batch(self, datas: Sequence[PutData]) -> list[ConnectorKey]:
@@ -103,53 +256,151 @@ class RedisConnector(Connector):
             ConnectorKey(object_id=new_object_id(), connector=self.connector_name)
             for _ in datas
         ]
-        self._client.mset(
-            [(key.object_id, data) for key, data in zip(keys, datas)],
-        )
+        items = [(key.object_id, data) for key, data in zip(keys, datas)]
+        if self._cluster is not None:
+            self._cluster.put_batch(items)
+        else:
+            self._client.mset(items)
         return keys
 
     def get_batch(self, keys: Iterable[ConnectorKey]) -> list[Any]:
-        return self._client.mget([key.object_id for key in keys])
+        object_ids = [key.object_id for key in keys]
+        if self._cluster is not None:
+            return self._cluster.get_batch(object_ids)
+        return self._client.mget(object_ids)
 
     def evict_batch(self, keys: Iterable[ConnectorKey]) -> None:
-        self._client.mdel([key.object_id for key in keys])
+        object_ids = [key.object_id for key in keys]
+        if self._cluster is not None:
+            self._cluster.evict_batch(object_ids)
+        else:
+            self._client.mdel(object_ids)
 
     # -- deferred writes -------------------------------------------------- #
     def new_key(self) -> ConnectorKey:
         return ConnectorKey(object_id=new_object_id(), connector=self.connector_name)
 
     def set(self, key: ConnectorKey, data: PutData) -> None:
-        self._client.set(key.object_id, data)
+        if self._cluster is not None:
+            self._cluster.put(key.object_id, data)
+        else:
+            self._client.set(key.object_id, data)
+
+    # -- cluster ----------------------------------------------------------- #
+    def bind_metrics(self, metrics: Any) -> None:
+        """Thread per-node health and cluster events into store metrics."""
+        if self._cluster is not None:
+            self._cluster.bind_metrics(metrics)
+
+    def cluster_health(self) -> dict[str, Any]:
+        """Membership, per-node health, and self-healing counters."""
+        if self._cluster is None:
+            return {'clustered': False, 'replicas': 1}
+        health = {
+            'clustered': True,
+            'replicas': self.replicas,
+            'ring_vnodes': self._cluster.membership.vnodes,
+            'ring': list(self._cluster.membership.ring.nodes),
+            'nodes': self._cluster.membership.health(),
+            'stats': self._cluster.stats.as_dict(),
+        }
+        if self._rebalancer is not None:
+            health['rebalance'] = self._rebalancer.stats.as_dict()
+        return health
+
+    def join_node(self, node: Any) -> None:
+        """Add a ``host:port`` SimKV server to the cluster."""
+        if self._cluster is None:
+            raise ConnectorError('join_node requires a clustered RedisConnector')
+        address = _parse_node(node)
+        node_id = f'{address[0]}:{address[1]}'
+        self._node_addrs[node_id] = address
+        self.nodes = tuple(dict.fromkeys((*self.nodes, node_id)))
+        self._cluster.membership.join(node_id)
+
+    def leave_node(self, node: Any) -> None:
+        """Voluntarily drain a ``host:port`` server out of the cluster."""
+        if self._cluster is None:
+            raise ConnectorError('leave_node requires a clustered RedisConnector')
+        address = _parse_node(node)
+        self._cluster.membership.leave(f'{address[0]}:{address[1]}')
 
     # -- configuration / lifecycle --------------------------------------- #
     def config(self) -> dict[str, Any]:
-        return {
+        config: dict[str, Any] = {
             'host': self.host,
             'port': self.port,
             'pool_size': self.pool_size,
             'timeout': self.timeout,
         }
+        if self._cluster is not None:
+            config.update(
+                nodes=list(self.nodes),
+                replicas=self.replicas,
+                ring_vnodes=self.ring_vnodes,
+                hedge_threshold=self.hedge_threshold,
+                failure_threshold=self.failure_threshold,
+                rebalance=self._rebalancer is not None,
+                rebalance_throttle=self.rebalance_throttle,
+            )
+        return config
 
     @classmethod
     def from_url(cls, url: StoreURL | str) -> 'RedisConnector':
         """Build from ``redis://host:port[/name][?launch=1&pool_size=4&timeout=30]``.
 
+        Cluster mode adds ``nodes=h1:p1,h2:p2`` (or ``launch_nodes=N``),
+        ``replicas``, ``ring_vnodes``, ``hedge_threshold``,
+        ``failure_threshold``, ``rebalance``, and ``rebalance_throttle``.
         The path (if any) is left for ``Store.from_url`` to use as the store
         name, mirroring Redis database-namespace URLs.
         """
         url = StoreURL.parse(url)
         pool_size = url.pop_int('pool_size', DEFAULT_POOL_SIZE)
         timeout = url.pop_float('timeout', DEFAULT_TIMEOUT)
+        nodes = url.pop_tags('nodes')
+        launch_nodes = url.pop_int('launch_nodes', 0)
+        replicas = url.pop_int('replicas', 2)
+        ring_vnodes = url.pop_int('ring_vnodes', DEFAULT_VNODES)
+        hedge_threshold = url.pop_float('hedge_threshold', DEFAULT_HEDGE_THRESHOLD)
+        failure_threshold = url.pop_int('failure_threshold', DEFAULT_FAILURE_THRESHOLD)
+        rebalance = url.pop_bool('rebalance', True)
+        rebalance_throttle = url.pop_float('rebalance_throttle', None)
         assert pool_size is not None and timeout is not None
+        assert launch_nodes is not None and replicas is not None
+        assert ring_vnodes is not None and hedge_threshold is not None
+        assert failure_threshold is not None
         return cls(
             host=url.host or '127.0.0.1',
             port=url.port or 0,
             launch=url.pop_bool('launch', False),
             pool_size=pool_size,
             timeout=timeout,
+            nodes=nodes,
+            launch_nodes=launch_nodes,
+            replicas=replicas,
+            ring_vnodes=ring_vnodes,
+            hedge_threshold=hedge_threshold,
+            failure_threshold=failure_threshold,
+            rebalance=rebalance,
+            rebalance_throttle=rebalance_throttle,
         )
 
     def close(self, clear: bool = False) -> None:
+        if self._rebalancer is not None:
+            self._rebalancer.stop()
+        if self._cluster is not None:
+            if clear:
+                for node_id in self._cluster.membership.reachable():
+                    try:
+                        self._cluster.backend(node_id)._client.flush()
+                    except Exception:  # noqa: BLE001 - node may be gone
+                        pass
+            self._cluster.close()
+            for client in self._node_clients:
+                client.close()
+            self._node_clients.clear()
+            return
         if clear:
             try:
                 self._client.flush()

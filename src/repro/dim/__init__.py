@@ -17,8 +17,10 @@ substrate provides two transports that exercise the same architecture:
 """
 from repro.dim.node import DIMKey
 from repro.dim.node import DIMNode
+from repro.dim.node import DIMReplica
 from repro.dim.node import DIMShard
 from repro.dim.node import get_local_node
+from repro.dim.node import lookup_node
 from repro.dim.node import reset_nodes
 from repro.dim.client import DEFAULT_SHARD_THRESHOLD
 from repro.dim.client import DIMClient
@@ -28,7 +30,9 @@ __all__ = [
     'DIMClient',
     'DIMKey',
     'DIMNode',
+    'DIMReplica',
     'DIMShard',
     'get_local_node',
+    'lookup_node',
     'reset_nodes',
 ]

@@ -20,6 +20,19 @@ Two transport-level optimizations ride on top of the plain routing:
 * **Batching** — ``get_batch``/``put_batch``/``evict_batch`` group plain
   keys by node and issue one ``MGET``/``MSET``/``MDEL`` wire round trip per
   node (in parallel across nodes) instead of one round trip per key.
+
+With ``replicas >= 2`` (or ``ring_vnodes > 0``) the client becomes a
+**self-healing cluster member**: plain objects are placed by a
+consistent-hash ring over ``peers`` (every client computes the same owners
+— no coordinator), written to N replicas, and read with hedging, failover
+and read-repair.  A crashed peer is detected through the KV transport's
+typed :class:`~repro.exceptions.NodeUnavailableError`, removed from the
+ring, and a background :class:`~repro.cluster.Rebalancer` re-replicates
+exactly the ring-delta keys.  ``replicas=1`` without ``ring_vnodes``
+preserves the legacy static topology (a :class:`~repro.cluster.LegacyRing`
+pinning every put to the local node).  Sharded stripes remain pinned to
+their recorded locations — striping and replication are orthogonal, and
+the rebalancer skips stripe ids.
 """
 from __future__ import annotations
 
@@ -31,12 +44,21 @@ from typing import NamedTuple
 from typing import Optional
 from typing import Sequence
 
+from repro.cluster.client import ClusterClient
+from repro.cluster.client import DEFAULT_HEDGE_THRESHOLD
+from repro.cluster.membership import ClusterMembership
+from repro.cluster.membership import DEFAULT_FAILURE_THRESHOLD
+from repro.cluster.rebalance import Rebalancer
+from repro.cluster.ring import DEFAULT_VNODES
+from repro.cluster.ring import LegacyRing
 from repro.connectors.protocol import new_object_id
 from repro.dim.node import DIMKey
+from repro.dim.node import DIMReplica
 from repro.dim.node import DIMShard
 from repro.dim.node import get_local_node
 from repro.dim.node import lookup_node
 from repro.exceptions import ConnectorError
+from repro.exceptions import NodeUnavailableError
 from repro.kvserver.client import DEFAULT_POOL_SIZE
 from repro.kvserver.client import DEFAULT_TIMEOUT
 from repro.kvserver.client import KVClient
@@ -62,6 +84,81 @@ class _Target(NamedTuple):
     address: tuple[str, int] | None  # None = reachable only in-process
 
 
+class _DIMBackend:
+    """Per-node transport driven by the cluster replication engine.
+
+    TCP nodes resolve their current address through the owning client on
+    every operation (a rejoined node gets a fresh port); memory nodes go
+    through the in-process registry, where a closed node means *crashed* —
+    surfaced as :class:`NodeUnavailableError`, never as silently empty.
+    """
+
+    __slots__ = ('node_id', '_client')
+
+    def __init__(self, node_id: str, client: 'DIMClient') -> None:
+        self.node_id = node_id
+        self._client = client
+
+    def _kv(self) -> KVClient:
+        address = self._client._peer_address(self.node_id)
+        return self._client._tcp_client(address)
+
+    def _node(self):
+        node = lookup_node(self.node_id, 'memory')
+        if node is None or node.closed:
+            raise NodeUnavailableError(
+                f'DIM node {self.node_id!r} is not available in this process',
+            )
+        return node
+
+    def put(self, key: str, value: Any) -> None:
+        if self._client.transport == 'tcp':
+            self._kv().set(key, value)
+        else:
+            self._node().put_local(key, value)
+
+    def put_batch(self, items: Sequence[tuple[str, Any]]) -> None:
+        if self._client.transport == 'tcp':
+            self._kv().mset(items)
+        else:
+            self._node().put_local_batch(items)
+
+    def get(self, key: str) -> Any | None:
+        if self._client.transport == 'tcp':
+            return self._kv().get(key)
+        return self._node().get_local(key)
+
+    def get_batch(self, keys: Sequence[str]) -> list[Any]:
+        if self._client.transport == 'tcp':
+            return self._kv().mget(keys)
+        node = self._node()
+        return [node.get_local(key) for key in keys]
+
+    def exists(self, key: str) -> bool:
+        if self._client.transport == 'tcp':
+            return self._kv().exists(key)
+        return self._node().exists_local(key)
+
+    def evict(self, key: str) -> None:
+        if self._client.transport == 'tcp':
+            self._kv().delete(key)
+        else:
+            self._node().evict_local(key)
+
+    def evict_batch(self, keys: Sequence[str]) -> None:
+        if self._client.transport == 'tcp':
+            self._kv().mdel(keys)
+        else:
+            node = self._node()
+            for key in keys:
+                node.evict_local(key)
+
+    def keys(self) -> list[str]:
+        if self._client.transport == 'tcp':
+            return self._kv().keys()
+        return self._node().keys_local()
+
+
 class DIMClient:
     """Puts objects on the local node and gets them from any node.
 
@@ -78,6 +175,21 @@ class DIMClient:
             disables sharding regardless of ``peers``.
         pool_size: connections pooled per remote node (parallel streams).
         timeout: per-request inactivity bound passed to the KV clients.
+        replicas: copies written per plain object.  ``1`` (default) keeps
+            the legacy static topology; ``>= 2`` enables ring placement
+            over ``peers`` with replication, hedged reads, read-repair and
+            crash failover.
+        ring_vnodes: virtual ring points per peer.  ``0`` (default) keeps
+            the legacy topology unless ``replicas >= 2`` (which implies
+            the default of ``repro.cluster.DEFAULT_VNODES``).
+        hedge_threshold: seconds the primary replica may stay silent
+            before a read is hedged to the second replica.
+        failure_threshold: consecutive unavailable-failures before a peer
+            is declared dead and dropped from the ring.
+        rebalance: run the background rebalancer (migrate ring-delta keys
+            on membership changes).  Only meaningful when clustered.
+        rebalance_throttle: optional bytes/second cap on migration copies
+            so foreground traffic keeps priority.
     """
 
     def __init__(
@@ -89,7 +201,15 @@ class DIMClient:
         shard_threshold: int = DEFAULT_SHARD_THRESHOLD,
         pool_size: int = DEFAULT_POOL_SIZE,
         timeout: float = DEFAULT_TIMEOUT,
+        replicas: int = 1,
+        ring_vnodes: int = 0,
+        hedge_threshold: float = DEFAULT_HEDGE_THRESHOLD,
+        failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        rebalance: bool = True,
+        rebalance_throttle: float | None = None,
     ) -> None:
+        if replicas < 1:
+            raise ValueError('replicas must be at least 1')
         self.node_id = node_id
         self.transport = transport
         self.local_node = get_local_node(node_id, transport)
@@ -97,9 +217,48 @@ class DIMClient:
         self.shard_threshold = shard_threshold
         self.pool_size = pool_size
         self.timeout = timeout
+        self.replicas = replicas
+        self.ring_vnodes = ring_vnodes
+        self.hedge_threshold = hedge_threshold
+        self.failure_threshold = failure_threshold
+        self.rebalance_throttle = rebalance_throttle
         self._tcp_clients: dict[tuple[str, int], KVClient] = {}
         self._executor: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
+        self.cluster: ClusterClient | None = None
+        self.rebalancer: Rebalancer | None = None
+        self._peer_addrs: dict[str, tuple[str, int] | None] = {}
+        if replicas > 1 or ring_vnodes > 0:
+            if not self.peers:
+                raise ConnectorError(
+                    'cluster placement (replicas>1 or ring_vnodes>0) '
+                    'requires a non-empty peers list',
+                )
+            members = []
+            for peer in self.peers:
+                target = self._resolve_peer(peer)
+                self._peer_addrs[target.node_id] = target.address
+                members.append(target.node_id)
+            membership = ClusterMembership(
+                members,
+                vnodes=ring_vnodes or DEFAULT_VNODES,
+                failure_threshold=failure_threshold,
+            )
+            self.cluster = ClusterClient(
+                lambda nid: _DIMBackend(nid, self),
+                membership,
+                replicas=replicas,
+                hedge_threshold=hedge_threshold,
+            )
+            if rebalance:
+                self.rebalancer = Rebalancer(
+                    self.cluster,
+                    throttle_bytes_per_s=rebalance_throttle,
+                    # Stripe shards (`<id>.s<i>`) are pinned to the
+                    # locations recorded in their parent key — the ring
+                    # must not move them.
+                    key_filter=lambda key: '.s' not in key,
+                )
 
     # -- helpers ------------------------------------------------------------ #
     def _tcp_client(self, address: tuple[str, int]) -> KVClient:
@@ -127,6 +286,184 @@ class DIMClient:
         raise ConnectorError(
             f'malformed DIM peer {peer!r}: expected a node id or '
             '(node_id, host, port)',
+        )
+
+    # -- cluster placement --------------------------------------------------- #
+    @property
+    def ring(self):
+        """The placement function: the live hash ring, or the legacy pin."""
+        if self.cluster is not None:
+            return self.cluster.membership.ring
+        return LegacyRing(self.node_id)
+
+    def _peer_address(self, node_id: str) -> tuple[str, int]:
+        """Current TCP address of a cluster peer (refreshed on rejoin)."""
+        address = self._peer_addrs.get(node_id)
+        if address is None:
+            # In-process peer: its node (and port) may have been recreated.
+            node = lookup_node(node_id, 'tcp')
+            if node is not None and not node.closed and node.address is not None:
+                return node.address
+            raise NodeUnavailableError(
+                f'no address known for DIM peer {node_id!r}',
+            )
+        return address
+
+    def bind_metrics(self, metrics: Any) -> None:
+        """Thread per-node health and cluster events into store metrics."""
+        if self.cluster is not None:
+            self.cluster.bind_metrics(metrics)
+
+    def cluster_health(self) -> dict[str, Any]:
+        """Snapshot of membership, per-node health and self-healing stats."""
+        if self.cluster is None:
+            return {
+                'clustered': False,
+                'replicas': 1,
+                'ring': list(self.ring.nodes),
+            }
+        health = {
+            'clustered': True,
+            'replicas': self.replicas,
+            'ring_vnodes': self.cluster.membership.vnodes,
+            'ring': list(self.cluster.membership.ring.nodes),
+            'nodes': self.cluster.membership.health(),
+            'stats': self.cluster.stats.as_dict(),
+        }
+        if self.rebalancer is not None:
+            health['rebalance'] = self.rebalancer.stats.as_dict()
+        return health
+
+    def join_peer(self, peer: Any) -> None:
+        """Add ``peer`` to the cluster; the rebalancer pulls its key share.
+
+        Accepts the same forms as ``peers``: a node id (spawned/looked up
+        in-process) or ``(node_id, host, port)``.  Rejoining a crashed node
+        id spawns a fresh, empty node.
+        """
+        if self.cluster is None:
+            raise ConnectorError('join_peer requires a clustered DIMClient')
+        target = self._resolve_peer(peer)
+        self._peer_addrs[target.node_id] = target.address
+        self.cluster.membership.join(target.node_id)
+
+    def leave_peer(self, node_id: str) -> None:
+        """Voluntarily remove ``node_id``; its keys drain to the new owners.
+
+        The node stays reachable while the background rebalancer copies its
+        share to the remaining members (use ``rebalancer.wait_idle()`` to
+        block until the drain completes before actually stopping it).
+        """
+        if self.cluster is None:
+            raise ConnectorError('leave_peer requires a clustered DIMClient')
+        self.cluster.membership.leave(node_id)
+
+    def _replica_locations(self, owners: Sequence[str]) -> tuple[DIMReplica, ...]:
+        return tuple(
+            DIMReplica(
+                node_id=node_id,
+                transport=self.transport,
+                address=self._peer_addrs.get(node_id),
+            )
+            for node_id in owners
+        )
+
+    def _adopt_replica_addresses(self, key: DIMKey) -> None:
+        """Learn addresses recorded in a key for peers we have not met."""
+        assert key.replicas is not None
+        for replica in key.replicas:
+            if replica.address is not None:
+                self._peer_addrs.setdefault(
+                    replica.node_id, tuple(replica.address),
+                )
+
+    def _get_replicated(self, key: DIMKey) -> Any | None:
+        assert key.replicas is not None
+        if self.cluster is not None:
+            self._adopt_replica_addresses(key)
+            return self.cluster.get(
+                key.object_id, [r.node_id for r in key.replicas],
+            )
+        # Plain consumer (no cluster config): straight failover down the
+        # replica list recorded in the key.
+        for replica in key.replicas:
+            try:
+                if replica.transport == 'memory':
+                    node = lookup_node(replica.node_id, 'memory')
+                    if node is None or node.closed:
+                        continue
+                    value = node.get_local(key.object_id)
+                elif replica.address is None:
+                    continue
+                else:
+                    value = self._tcp_client(
+                        tuple(replica.address),
+                    ).get(key.object_id)
+            except NodeUnavailableError:
+                continue
+            if value is not None:
+                return value
+        return None
+
+    def _exists_replicated(self, key: DIMKey) -> bool:
+        assert key.replicas is not None
+        if self.cluster is not None:
+            self._adopt_replica_addresses(key)
+            return self.cluster.exists(
+                key.object_id, [r.node_id for r in key.replicas],
+            )
+        for replica in key.replicas:
+            try:
+                if replica.transport == 'memory':
+                    node = lookup_node(replica.node_id, 'memory')
+                    if node is None or node.closed:
+                        continue
+                    if node.exists_local(key.object_id):
+                        return True
+                elif replica.address is not None:
+                    if self._tcp_client(
+                        tuple(replica.address),
+                    ).exists(key.object_id):
+                        return True
+            except NodeUnavailableError:
+                continue
+        return False
+
+    def _evict_replicated(self, keys: Sequence[DIMKey]) -> None:
+        if self.cluster is not None:
+            candidates: dict[str, tuple[str, ...]] = {}
+            for key in keys:
+                assert key.replicas is not None
+                self._adopt_replica_addresses(key)
+                candidates[key.object_id] = tuple(
+                    r.node_id for r in key.replicas
+                )
+            self.cluster.evict_batch(list(candidates), candidates)
+            return
+        for key in keys:
+            assert key.replicas is not None
+            for replica in key.replicas:
+                try:
+                    if replica.transport == 'memory':
+                        node = lookup_node(replica.node_id, 'memory')
+                        if node is not None and not node.closed:
+                            node.evict_local(key.object_id)
+                    elif replica.address is not None:
+                        self._tcp_client(
+                            tuple(replica.address),
+                        ).delete(key.object_id)
+                except NodeUnavailableError:
+                    continue
+
+    def _put_replicated(self, object_id: str, data: Any) -> DIMKey:
+        assert self.cluster is not None
+        owners = self.cluster.put(object_id, data)
+        return DIMKey(
+            object_id=object_id,
+            node_id=owners[0],
+            transport=self.transport,
+            address=self._peer_addrs.get(owners[0]),
+            replicas=self._replica_locations(owners),
         )
 
     def _parallel(self, tasks: 'list[Any]') -> list[Any]:
@@ -295,6 +632,8 @@ class DIMClient:
         nbytes = payload_nbytes(data)
         if self._shardable(nbytes):
             return self._put_sharded(object_id, data, nbytes)
+        if self.cluster is not None:
+            return self._put_replicated(object_id, data)
         self.put_local(object_id, data)
         return DIMKey(
             object_id=object_id,
@@ -306,6 +645,8 @@ class DIMClient:
     def get(self, key: DIMKey) -> Optional[bytes]:
         if key.shards:
             return self._get_sharded(key)
+        if key.replicas:
+            return self._get_replicated(key)
         if key.transport == 'memory':
             node = lookup_node(key.node_id, 'memory')
             if node is None:
@@ -321,6 +662,8 @@ class DIMClient:
     def exists(self, key: DIMKey) -> bool:
         if key.shards:
             return all(self._shard_exists(shard) for shard in key.shards)
+        if key.replicas:
+            return self._exists_replicated(key)
         if key.transport == 'memory':
             node = lookup_node(key.node_id, 'memory')
             return node is not None and node.exists_local(key.object_id)
@@ -339,6 +682,9 @@ class DIMClient:
     def evict(self, key: DIMKey) -> None:
         if key.shards:
             self._evict_shards(key.shards)
+            return
+        if key.replicas:
+            self._evict_replicated([key])
             return
         if key.transport == 'memory':
             node = lookup_node(key.node_id, 'memory')
@@ -393,7 +739,20 @@ class DIMClient:
                 keys[i] = self._put_sharded(new_object_id(), data, nbytes)
             else:
                 plain.append((i, new_object_id(), data))
-        if plain:
+        if plain and self.cluster is not None:
+            placements = self.cluster.put_batch(
+                [(object_id, data) for _, object_id, data in plain],
+            )
+            for i, object_id, _ in plain:
+                owners = placements[object_id]
+                keys[i] = DIMKey(
+                    object_id=object_id,
+                    node_id=owners[0],
+                    transport=self.transport,
+                    address=self._peer_addrs.get(owners[0]),
+                    replicas=self._replica_locations(owners),
+                )
+        elif plain:
             self._put_local_batch(
                 [(object_id, data) for _, object_id, data in plain],
             )
@@ -428,6 +787,14 @@ class DIMClient:
                             j, self._get_shard(s),
                         ),
                     )
+            elif key.replicas:
+                # Replicated keys join the same parallel round; each gets
+                # the full hedged/failover read path.
+                thunks.append(
+                    lambda i=i, k=key: results.__setitem__(
+                        i, self._get_replicated(k),
+                    ),
+                )
             elif key.transport == 'memory' or key.address is None:
                 results[i] = self.get(key)
             else:
@@ -456,18 +823,27 @@ class DIMClient:
         """Evict several keys: one MDEL per node."""
         by_address: dict[tuple[str, int], list[str]] = {}
         shards: list[DIMShard] = []
+        replicated: list[DIMKey] = []
         for key in keys:
             if key.shards:
                 shards.extend(key.shards)
+            elif key.replicas:
+                replicated.append(key)
             elif key.transport == 'memory':
                 node = lookup_node(key.node_id, 'memory')
                 if node is not None:
                     node.evict_local(key.object_id)
             elif key.address is not None:
                 by_address.setdefault(tuple(key.address), []).append(key.object_id)
+        if replicated:
+            self._evict_replicated(replicated)
         self._evict_shards(shards, by_address)
 
     def close(self) -> None:
+        if self.rebalancer is not None:
+            self.rebalancer.stop()
+        if self.cluster is not None:
+            self.cluster.close()
         with self._lock:
             for client in self._tcp_clients.values():
                 client.close()

@@ -12,11 +12,26 @@ from repro.serialize.buffers import freeze_payload
 __all__ = [
     'DIMKey',
     'DIMNode',
+    'DIMReplica',
     'DIMShard',
     'get_local_node',
     'reset_nodes',
     'lookup_node',
 ]
+
+
+class DIMReplica(NamedTuple):
+    """One replica location of a cluster-placed object.
+
+    Attributes:
+        node_id: logical node name holding this copy.
+        transport: ``'memory'`` or ``'tcp'``.
+        address: ``(host, port)`` for TCP nodes, ``None`` for memory nodes.
+    """
+
+    node_id: str
+    transport: str
+    address: tuple[str, int] | None
 
 
 class DIMShard(NamedTuple):
@@ -48,6 +63,11 @@ class DIMKey(NamedTuple):
         shards: for large objects striped across nodes, the ordered shard
             locations whose concatenation is the object (``None`` for plain
             single-node objects).
+        replicas: for cluster-placed objects, the replica locations the
+            object was written to, primary first (``None`` for legacy
+            single-copy objects).  Readers treat these as *hints*: after a
+            crash the live copies may have migrated, so the consistent-hash
+            ring's current owners are also consulted.
     """
 
     object_id: str
@@ -55,6 +75,7 @@ class DIMKey(NamedTuple):
     transport: str
     address: tuple[str, int] | None
     shards: tuple[DIMShard, ...] | None = None
+    replicas: tuple[DIMReplica, ...] | None = None
 
 
 class DIMNode:
@@ -70,6 +91,9 @@ class DIMNode:
             raise ValueError(f'unknown DIM transport {transport!r}')
         self.node_id = node_id
         self.transport = transport
+        #: True once :meth:`close` ran — cluster backends treat a closed
+        #: node as crashed (its data is gone), never silently empty.
+        self.closed = False
         self._data: dict[str, Any] = {}
         self._lock = threading.Lock()
         self._server: KVServer | None = None
@@ -131,7 +155,13 @@ class DIMNode:
         with self._lock:
             self._data.pop(object_id, None)
 
+    def keys_local(self) -> list[str]:
+        """Every object id stored here (cluster rebalancer enumeration)."""
+        with self._lock:
+            return list(self._data)
+
     def close(self) -> None:
+        self.closed = True
         if self._client is not None:
             self._client.close()
             self._client = None
@@ -154,10 +184,15 @@ _NODES_LOCK = threading.Lock()
 
 
 def get_local_node(node_id: str, transport: str = 'memory') -> DIMNode:
-    """Return (creating if necessary) the storage server for ``node_id``."""
+    """Return (creating if necessary) the storage server for ``node_id``.
+
+    A node that was closed (crashed or shut down) is replaced by a fresh,
+    empty instance — rejoining a cluster after a crash starts from zero
+    rather than resurrecting a half-dead server.
+    """
     with _NODES_LOCK:
         node = _NODES.get((node_id, transport))
-        if node is None:
+        if node is None or node.closed:
             node = DIMNode(node_id, transport)
             _NODES[(node_id, transport)] = node
         return node

@@ -33,6 +33,18 @@ class ConnectorClosedError(ConnectorError):
     """Raised when an operation is attempted on a closed connector."""
 
 
+class NodeUnavailableError(ConnectorError):
+    """Raised when a storage node cannot be reached at all.
+
+    This is deliberately distinct from other :class:`ConnectorError`
+    failures: the request itself was fine but the node is gone (crashed,
+    stopped, or unreachable), so callers holding replicas elsewhere should
+    *retry on another node* rather than treat the operation as corrupt.
+    The cluster layer uses it as the replication failover and crash
+    detection trigger.
+    """
+
+
 class UnknownConnectorSchemeError(ConnectorError):
     """Raised when a URL scheme does not name a registered connector."""
 

@@ -38,6 +38,7 @@ from typing import Iterable
 from typing import Sequence
 
 from repro.exceptions import ConnectorError
+from repro.exceptions import NodeUnavailableError
 from repro.kvserver.protocol import StreamDecoder
 from repro.kvserver.protocol import encode_message
 from repro.serialize.buffers import SerializedObject
@@ -278,7 +279,9 @@ class KVClient:
                 try:
                     connection = _Connection(self.host, self.port, self.timeout)
                 except OSError as e:
-                    raise ConnectorError(
+                    # Typed so replicated callers know this node is down
+                    # (retry elsewhere) rather than the request being bad.
+                    raise NodeUnavailableError(
                         f'cannot connect to SimKV server at '
                         f'{self.host}:{self.port}: {e}',
                     ) from e
@@ -306,7 +309,12 @@ class KVClient:
             if status != 'ok':
                 raise ConnectorError(f'SimKV error: {payload}')
             return payload
-        raise ConnectorError(f'SimKV request failed: {last_error}')
+        # Every attempt died at the connection level: the node itself is
+        # unreachable (crashed or restarting), not the request malformed.
+        raise NodeUnavailableError(
+            f'SimKV server at {self.host}:{self.port} is unavailable: '
+            f'{last_error}',
+        )
 
     def close(self) -> None:
         """Close every pooled connection (a later request reconnects)."""
@@ -352,6 +360,14 @@ class KVClient:
     def exists(self, key: str) -> bool:
         """Return whether ``key`` currently exists on the server."""
         return bool(self._request('EXISTS', key))
+
+    def keys(self) -> list[str]:
+        """Return every key currently stored on the server.
+
+        Used by the cluster rebalancer to enumerate a node's holdings when
+        computing the ring-delta migration set.
+        """
+        return list(self._request('KEYS'))
 
     # -- pub/sub commands (stream event transport) -------------------------- #
     def publish(self, topic: str, payload: 'bytes | bytearray | memoryview | SerializedObject') -> int:

@@ -640,6 +640,11 @@ class KVServer:
         if command == 'EXISTS':
             with self._lock:
                 return ('ok', key in self._data)
+        if command == 'KEYS':
+            # Key enumeration for the cluster rebalancer: names only (no
+            # payload bytes), so even a full node answers in one small frame.
+            with self._lock:
+                return ('ok', list(self._data))
         if command == 'DEL':
             with self._lock:
                 return ('ok', self._data.pop(key, None) is not None)

@@ -97,6 +97,10 @@ class Store:
         )
         self.cache = LRUCache(cache_size, max_bytes=cache_max_bytes)
         self.metrics: StoreMetrics | None = StoreMetrics() if metrics else None
+        if self.metrics is not None and hasattr(connector, 'bind_metrics'):
+            # Clustered connectors thread per-node health and self-healing
+            # events into the same metrics the store's timings land in.
+            connector.bind_metrics(self.metrics)
         self._registered = False
         if register:
             register_store(self, exist_ok=False)
@@ -739,6 +743,19 @@ class Store:
         if self.metrics is None:
             return {}
         return self.metrics.as_dict()
+
+    def cluster_health(self) -> dict[str, Any]:
+        """Cluster membership and per-node health for clustered connectors.
+
+        Returns ``{'clustered': False}`` when the connector has no cluster
+        support (or runs in legacy single-copy mode); otherwise the
+        connector's membership snapshot: ring nodes, per-node health, and
+        the replication engine's self-healing counters.
+        """
+        health = getattr(self.connector, 'cluster_health', None)
+        if health is None:
+            return {'clustered': False}
+        return health()
 
     def cache_stats(self) -> dict[str, Any]:
         """Return cache hit/miss and residency statistics for this store."""

@@ -1,0 +1,124 @@
+"""Membership transitions, crash detection, and health bookkeeping."""
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterMembership
+from repro.exceptions import NodeUnavailableError
+from repro.store.metrics import StoreMetrics
+
+
+def membership(**kwargs):
+    return ClusterMembership(['a', 'b', 'c'], vnodes=16, **kwargs)
+
+
+def test_initial_members_are_alive_and_on_ring():
+    m = membership()
+    assert m.alive() == ('a', 'b', 'c')
+    assert m.reachable() == ('a', 'b', 'c')
+    assert set(m.ring.nodes) == {'a', 'b', 'c'}
+    assert m.state_of('a') == 'alive'
+    assert m.state_of('ghost') is None
+
+
+def test_join_adds_node_and_rebuilds_ring():
+    m = membership()
+    assert m.join('d')
+    assert 'd' in m.ring
+    assert not m.join('d')  # already alive: no-op
+
+
+def test_leave_keeps_node_reachable_but_off_ring():
+    m = membership()
+    assert m.leave('b')
+    assert m.state_of('b') == 'left'
+    assert 'b' not in m.ring
+    assert 'b' in m.reachable()  # still drainable
+    assert 'b' not in m.alive()
+
+
+def test_mark_dead_removes_node_from_reachable():
+    m = membership()
+    assert m.mark_dead('c', 'connection refused')
+    assert m.state_of('c') == 'dead'
+    assert 'c' not in m.ring
+    assert 'c' not in m.reachable()
+    assert m.health()['c']['last_error'] == 'connection refused'
+
+
+def test_forget_drops_non_alive_nodes_only():
+    m = membership()
+    assert not m.forget('a')  # alive nodes cannot be forgotten
+    m.mark_dead('a')
+    assert m.forget('a')
+    assert m.state_of('a') is None
+
+
+def test_join_revives_dead_node_with_fresh_health():
+    m = membership()
+    m.mark_dead('b', 'boom')
+    assert m.join('b')
+    assert m.state_of('b') == 'alive'
+    assert m.health()['b']['failures'] == 0
+
+
+def test_consecutive_unavailable_failures_declare_dead():
+    m = membership(failure_threshold=3)
+    err = NodeUnavailableError('down')
+    for _ in range(2):
+        m.record('a', ok=False, unavailable=True, error=err)
+    assert m.state_of('a') == 'alive'
+    m.record('a', ok=False, unavailable=True, error=err)
+    assert m.state_of('a') == 'dead'
+
+
+def test_success_resets_consecutive_failure_count():
+    m = membership(failure_threshold=2)
+    err = NodeUnavailableError('blip')
+    m.record('a', ok=False, unavailable=True, error=err)
+    m.record('a', ok=True, elapsed=0.001)
+    m.record('a', ok=False, unavailable=True, error=err)
+    assert m.state_of('a') == 'alive'  # never hit 2 in a row
+
+
+def test_non_unavailable_failures_never_evict():
+    m = membership(failure_threshold=1)
+    for _ in range(5):
+        m.record('a', ok=False, error=ValueError('corrupt request'))
+    assert m.state_of('a') == 'alive'
+    assert m.health()['a']['failures'] == 5
+
+
+def test_latency_ewma_tracks_successes():
+    m = membership()
+    m.record('a', ok=True, elapsed=0.1)
+    assert m.health()['a']['latency_ewma_s'] == pytest.approx(0.1)
+    m.record('a', ok=True, elapsed=0.2)
+    assert 0.1 < m.health()['a']['latency_ewma_s'] < 0.2
+
+
+def test_ring_change_notifies_subscribers():
+    m = membership()
+    events = []
+    m.subscribe(lambda old, new, reason: events.append((reason, new.nodes)))
+    m.join('d')
+    m.mark_dead('a')
+    m.record('b', ok=True)  # health-only: no ring change, no event
+    assert [r for r, _ in events] == ['join:d', 'dead:a']
+    assert events[-1][1] == ('b', 'c', 'd')
+
+
+def test_record_feeds_bound_metrics():
+    m = membership()
+    metrics = StoreMetrics()
+    m.bind_metrics(metrics)
+    m.record('a', ok=True, elapsed=0.01)
+    m.record('b', ok=False, unavailable=True, error=NodeUnavailableError('x'))
+    summary = metrics.as_dict()
+    assert summary['cluster.node.a.ok']['count'] == 1
+    assert summary['cluster.node.b.fail']['count'] == 1
+
+
+def test_failure_threshold_validation():
+    with pytest.raises(ValueError):
+        membership(failure_threshold=0)
