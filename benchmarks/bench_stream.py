@@ -19,13 +19,24 @@ the deployment shape where decoupling data flow from the event stream
 pays.  The inline baseline runs in its best configuration per size
 (batched publishes for small items, per-item for large).
 
+A third scenario exercises the **consumer-group** layer over the same
+emulator: a partitioned topic is drained by 1 then 4 single-process group
+members (separate Python processes — one consumer's throughput is bound by
+its own sequential per-item round trips, which is exactly what a group
+parallelizes), and a 3-member group has one member SIGKILLed mid-workload
+to measure at-least-once redelivery.
+
 Acceptance (recorded in the JSON):
 
 * proxy streaming sustains **>= 2x MB/s** over inline events at >= 1 MB
-  items, and
+  items,
 * a slow consumer cannot grow broker memory without bound — the per-topic
   ring retention is enforced while the consumer stalls, and the consumer
-  still converges afterwards (events beyond retention counted as lost).
+  still converges afterwards (events beyond retention counted as lost),
+* a 4-member consumer group sustains **>= 3x delivered-MB/s** over a
+  single member on the same partitioned topic, and
+* killing 1 of 3 group members mid-run loses zero events: survivors
+  redeliver the victim's un-acked window and coverage stays complete.
 
 Run directly (also used as a CI step)::
 
@@ -36,8 +47,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import os
 import platform
+import queue
 import sys
 import threading
 import time
@@ -80,6 +93,29 @@ SMOKE_SWEEP = [
 #: client share the cores) only ever adds time, so best-of is the
 #: cleanest estimate of each design's capability.
 REPETITIONS = 2
+
+# Consumer-group scenario parameters.  The group fleet uses a *longer*
+# wire (5 ms one-way: a metro-area hop) and sub-shard items: each member
+# resolves its items one round trip at a time (prefetch 0, one get per
+# item on one node), so a single member is latency-bound — the regime
+# where splitting the partitions across member processes parallelizes the
+# per-item round trips and delivered-MB/s scales with the member count.
+GROUP_ONE_WAY_LATENCY_S = 0.005
+GROUP_PARTITIONS = 4
+GROUP_ITEM_BYTES = 128 * 1024
+GROUP_ITEMS = 192
+GROUP_SMOKE_ITEMS = 96
+GROUP_SESSION_TIMEOUT = 10.0
+GROUP_NAME = 'bench-group'
+#: Ring placement over the peer nodes (sub-shard items would otherwise be
+#: pinned to the producer's *local* in-process node, which forked member
+#: processes inherit — resolving would be a memcpy, not a network fetch).
+GROUP_RING_VNODES = 64
+#: Commit/evict every N items — amortizes the ack round trips the same
+#: way for every fleet size, so the scaling ratio measures the data path.
+GROUP_ACK_EVERY = 8
+KILL_ITEMS = 32
+KILL_SESSION_TIMEOUT = 1.5
 
 
 def _run_stream(
@@ -270,18 +306,344 @@ def bench_backpressure(*, retention: int = 8, events: int = 64) -> dict[str, Any
     return result
 
 
+# --------------------------------------------------------------------------- #
+# Consumer-group scenarios
+# --------------------------------------------------------------------------- #
+def _group_member_main(
+    report: Any,
+    gate: Any,
+    member: str,
+    broker_addr: tuple[str, int],
+    peers: list,
+    topic: str,
+    pace: float,
+    ack_every: int | None,
+    session_timeout: float,
+) -> None:
+    """Subprocess body: one group member draining its partitions.
+
+    Joins the group at construction, reports ``('joined', ...)``, then
+    waits for the parent's gate so every fleet size starts from a
+    converged membership.  Emits ``('val', member, i)`` per item (the
+    parent's coverage ledger) and a final ``('done', member, stats)``.
+    """
+    connector = ZMQConnector(
+        f'bench-group-{member}',
+        peers=peers,
+        shard_threshold=SHARD_THRESHOLD,
+        ring_vnodes=GROUP_RING_VNODES,
+        pool_size=2,
+    )
+    store = Store('stream-group-bench', connector, cache_size=0)
+    bus = KVEventBus(*broker_addr, poll_interval=0.05)
+    consumer = StreamConsumer(
+        store, bus, topic,
+        group=GROUP_NAME,
+        partitions=GROUP_PARTITIONS,
+        member=member,
+        session_timeout=session_timeout,
+        timeout=120.0,
+    )
+    report.put(('joined', member, None))
+    gate.wait()
+    consumer.refresh()
+    started = time.time()
+    ended = started
+    delivered_bytes = 0
+    since_ack = 0
+    for item in consumer:
+        report.put(('val', member, int(item['i'])))
+        delivered_bytes += len(item['data'])
+        since_ack += 1
+        if ack_every and since_ack >= ack_every:
+            consumer.ack()
+            since_ack = 0
+        # Timestamp the last *processed* item: iteration only returns once
+        # the whole group converges on done, and that coordination tail
+        # (0.1 s poll quanta) is not part of the delivered-MB/s data path.
+        ended = time.time()
+        if pace:
+            time.sleep(pace)
+    if ack_every:
+        consumer.ack()
+    stats = consumer.stats()
+    consumer.close()
+    report.put((
+        'done', member,
+        {**stats, 'bytes': delivered_bytes, 'start': started, 'end': ended},
+    ))
+    store.close()
+    bus.close()
+
+
+def _publish_group_topic(
+    broker_addr: tuple[str, int],
+    peers: list,
+    topic: str,
+    count: int,
+    nbytes: int,
+) -> None:
+    """Publish ``count`` items round-robin across the partition topics."""
+    connector = ZMQConnector(
+        f'bench-group-producer-{topic}',
+        peers=peers,
+        shard_threshold=SHARD_THRESHOLD,
+        ring_vnodes=GROUP_RING_VNODES,
+        pool_size=2,
+    )
+    store = Store('stream-group-bench', connector, cache_size=0)
+    bus = KVEventBus(
+        *broker_addr, retention=max(64, count), poll_interval=0.05,
+    )
+    producer = StreamProducer(
+        store, bus, topic, partitions=GROUP_PARTITIONS,
+    )
+    payload = b'\xee' * nbytes
+    for i in range(count):
+        producer.send({'i': i, 'data': payload})
+    producer.close()
+    bus.close()
+    store.close()  # no clear: members evict the keys as they ack
+
+
+def _run_group_fleet(
+    members: list[tuple[str, float, int | None]],
+    topic: str,
+    count: int,
+    nbytes: int,
+    broker_addr: tuple[str, int],
+    peers: list,
+    session_timeout: float,
+    kill: str | None = None,
+    kill_after_vals: int = 2,
+    kill_grace_s: float = 0.5,
+) -> dict[str, Any]:
+    """Publish ``count`` items, then drain them with a group-member fleet.
+
+    ``members`` is ``(name, pace_seconds, ack_every_or_None)`` per member.
+    With ``kill=<name>``, that member is SIGKILLed once it has reported
+    ``kill_after_vals`` items plus a heartbeat's grace — mid-workload, so
+    its un-acked window must be redelivered to the survivors.
+    """
+    _publish_group_topic(broker_addr, peers, topic, count, nbytes)
+    context = multiprocessing.get_context('fork')
+    report = context.Queue()
+    gate = context.Event()
+    procs = {
+        name: context.Process(
+            target=_group_member_main,
+            args=(
+                report, gate, name, broker_addr, peers, topic,
+                pace, ack_every, session_timeout,
+            ),
+            daemon=True,
+        )
+        for name, pace, ack_every in members
+    }
+    for proc in procs.values():
+        proc.start()
+    joined: set[str] = set()
+    deadline = time.monotonic() + 60.0
+    while len(joined) < len(procs):
+        kind, member, _ = report.get(timeout=max(0.1, deadline - time.monotonic()))
+        assert kind == 'joined', kind
+        joined.add(member)
+    gate.set()
+    values: dict[str, list[int]] = {name: [] for name in procs}
+    stats: dict[str, dict[str, Any]] = {}
+    killed = False
+    expected_done = len(procs) - (1 if kill else 0)
+    deadline = time.monotonic() + 300.0
+    while len(stats) < expected_done:
+        assert time.monotonic() < deadline, (
+            f'group fleet stalled: done={sorted(stats)}, '
+            f'values={ {m: len(v) for m, v in values.items()} }'
+        )
+        try:
+            kind, member, payload = report.get(timeout=1.0)
+        except queue.Empty:
+            continue
+        if kind == 'val':
+            values[member].append(payload)
+        elif kind == 'done':
+            stats[member] = payload
+        if kill and not killed and len(values[kill]) >= kill_after_vals:
+            # One more heartbeat reports the victim's delivered positions
+            # (the group watermark survivors count redelivery against).
+            time.sleep(kill_grace_s)
+            procs[kill].kill()
+            killed = True
+    for name, proc in procs.items():
+        proc.join(timeout=10.0)
+        if kill and name == kill:
+            assert proc.exitcode not in (0, None), 'victim exited cleanly'
+        else:
+            assert proc.exitcode == 0, f'{name} exited {proc.exitcode}'
+    elapsed = (
+        max(s['end'] for s in stats.values())
+        - min(s['start'] for s in stats.values())
+    )
+    return {'values': values, 'stats': stats, 'elapsed_s': elapsed}
+
+
+def bench_group_scaling(
+    broker_addr: tuple[str, int],
+    peers: list,
+    count: int,
+    repetitions: int,
+) -> dict[str, Any]:
+    """Delivered-MB/s of 1 vs 4 group members over one partitioned topic."""
+    runs = []
+    for n_members in (1, 4):
+        best: dict[str, Any] | None = None
+        for rep in range(repetitions):
+            topic = f'bench-group-scale-{n_members}-{rep}'
+            members = [
+                (f'scale{n_members}r{rep}-m{i}', 0.0, GROUP_ACK_EVERY)
+                for i in range(n_members)
+            ]
+            run = _run_group_fleet(
+                members, topic, count, GROUP_ITEM_BYTES,
+                broker_addr, peers, GROUP_SESSION_TIMEOUT,
+            )
+            seen = {v for vals in run['values'].values() for v in vals}
+            assert seen == set(range(count)), (
+                f'{n_members} members: incomplete coverage '
+                f'({len(seen)}/{count})'
+            )
+            entry = {
+                'elapsed_s': round(run['elapsed_s'], 4),
+                'MBps': round(count * GROUP_ITEM_BYTES / run['elapsed_s'] / 1e6, 1),
+                'delivered': sum(s['delivered'] for s in run['stats'].values()),
+                'redelivered': sum(
+                    s['redelivered'] for s in run['stats'].values()
+                ),
+                'lost': sum(s['lost'] for s in run['stats'].values()),
+            }
+            if best is None or entry['elapsed_s'] < best['elapsed_s']:
+                best = entry
+        assert best is not None
+        runs.append({'consumers': n_members, **best})
+        print(
+            f'group x{n_members}: {best["MBps"]:>6.1f} MB/s '
+            f'({best["delivered"]} delivered, '
+            f'{best["redelivered"]} redelivered)',
+        )
+    scaling = round(runs[1]['MBps'] / runs[0]['MBps'], 2)
+    return {
+        'items': count,
+        'item_bytes': GROUP_ITEM_BYTES,
+        'partitions': GROUP_PARTITIONS,
+        'ack_every': GROUP_ACK_EVERY,
+        'runs': runs,
+        'scaling_MBps_4_over_1': scaling,
+        'passes_3x_at_4': scaling >= 3.0,
+    }
+
+
+def bench_group_kill(
+    broker_addr: tuple[str, int],
+    peers: list,
+    count: int = KILL_ITEMS,
+) -> dict[str, Any]:
+    """SIGKILL 1 of 3 group members mid-workload; survivors must cover all.
+
+    The victim (named to sort first, so round-robin assigns it two of the
+    four partitions) paces slowly and never acks — the worst case: its
+    whole delivered window is un-acked when the kill lands.  Survivors
+    must redeliver it from the committed offsets after lease expiry, so
+    their coverage alone spans every item, with zero events lost.
+    """
+    victim = 'a-victim'
+    members: list[tuple[str, float, int | None]] = [
+        (victim, 0.2, None),
+        ('surv-1', 0.01, 4),
+        ('surv-2', 0.01, 4),
+    ]
+    run = _run_group_fleet(
+        members, 'bench-group-kill', count, GROUP_ITEM_BYTES,
+        broker_addr, peers, KILL_SESSION_TIMEOUT, kill=victim,
+    )
+    survivor_seen = {
+        v for name, vals in run['values'].items()
+        for v in vals if name != victim
+    }
+    coverage_complete = survivor_seen == set(range(count))
+    redelivered = sum(s['redelivered'] for s in run['stats'].values())
+    lost = sum(s['lost'] for s in run['stats'].values())
+    result = {
+        'items': count,
+        'item_bytes': GROUP_ITEM_BYTES,
+        'members': len(members),
+        'killed': victim,
+        'victim_delivered_before_kill': len(run['values'][victim]),
+        'survivor_delivered': sum(
+            s['delivered'] for s in run['stats'].values()
+        ),
+        'redelivered': redelivered,
+        'deduplicated': sum(
+            s['deduplicated'] for s in run['stats'].values()
+        ),
+        'lost': lost,
+        'elapsed_s': round(run['elapsed_s'], 4),
+        'at_least_once_held': coverage_complete and lost == 0 and redelivered >= 1,
+    }
+    print(
+        f'group kill: victim died after {result["victim_delivered_before_kill"]} '
+        f'items un-acked, survivors redelivered {redelivered}, lost {lost} '
+        f'-> at-least-once held: {result["at_least_once_held"]}',
+    )
+    return result
+
+
+def bench_group(smoke: bool) -> dict[str, Any]:
+    """Consumer-group scaling + kill-one-member, on a fresh emulated fleet."""
+    procs, addresses = _spawn_nodes(
+        1 + N_DATA_NODES,
+        latency_s=GROUP_ONE_WAY_LATENCY_S,
+        bandwidth_bps=LINK_BANDWIDTH_BPS,
+    )
+    broker_addr, node_addrs = addresses[0], addresses[1:]
+    peers = [
+        (f'bench-gnode-{i}', host, port)
+        for i, (host, port) in enumerate(node_addrs)
+    ]
+    try:
+        scaling = bench_group_scaling(
+            broker_addr, peers,
+            GROUP_SMOKE_ITEMS if smoke else GROUP_ITEMS,
+            1 if smoke else REPETITIONS,
+        )
+        kill = bench_group_kill(broker_addr, peers)
+    finally:
+        for proc in procs:
+            proc.terminate()
+        reset_nodes()
+    return {
+        'emulation': {
+            'one_way_latency_s': GROUP_ONE_WAY_LATENCY_S,
+            'link_bandwidth_Gbps': round(LINK_BANDWIDTH_BPS * 8 / 1e9, 2),
+            'data_nodes': N_DATA_NODES,
+        },
+        'scaling': scaling,
+        'kill_one_consumer': kill,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument('--out', default='BENCH_stream.json')
     parser.add_argument(
         '--smoke',
         action='store_true',
-        help='quick CI run: 1KB and 1MB points only, fewer items',
+        help='quick CI run: 1KB and 1MB points and a smaller group '
+             'scaling sweep (the kill-one-consumer scenario runs in full)',
     )
     args = parser.parse_args(argv)
 
     throughput = bench_throughput(SMOKE_SWEEP if args.smoke else SWEEP)
     backpressure = bench_backpressure()
+    consumer_group = bench_group(args.smoke)
 
     passes_2x = all(entry['passes_2x'] for entry in throughput)
     report = {
@@ -299,12 +661,16 @@ def main(argv: list[str] | None = None) -> int:
         'throughput': throughput,
         'passes_2x_at_1MB_plus': passes_2x,
         'backpressure': backpressure,
+        'consumer_group': consumer_group,
     }
     with open(args.out, 'w') as f:
         json.dump(report, f, indent=2)
     print(
         f'wrote {args.out} (>=2x at >=1MB: {passes_2x}, retention bound '
-        f'enforced: {backpressure["retention_bound_enforced"]})',
+        f'enforced: {backpressure["retention_bound_enforced"]}, group '
+        f'scaling {consumer_group["scaling"]["scaling_MBps_4_over_1"]}x '
+        f'at 4 consumers, at-least-once held: '
+        f'{consumer_group["kill_one_consumer"]["at_least_once_held"]})',
     )
     return 0
 

@@ -111,6 +111,21 @@ class ProxyFutureTimeoutError(ProxyFutureError):
     """Raised when a future-backed proxy times out waiting for its producer."""
 
 
+class StreamGroupError(StoreError):
+    """Base class for consumer-group failures on a streaming topic."""
+
+
+class GroupMembershipError(StreamGroupError):
+    """Raised when a group member's lease expired at the coordinator.
+
+    The broker expired the member after missed heartbeats (e.g. a long GC
+    pause or network partition), so its partitions may already be claimed
+    by survivors.  The member must rejoin and resync its assignment before
+    consuming further; the :class:`~repro.stream.groups.GroupConsumer`
+    does this automatically.
+    """
+
+
 class TransferError(ReproError):
     """Raised when a simulated or real bulk transfer task fails."""
 

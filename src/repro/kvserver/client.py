@@ -410,6 +410,91 @@ class KVClient:
         """Return broker statistics for ``topic`` (``None`` if it never existed)."""
         return self._request('TSTATS', topic)
 
+    # -- consumer-group commands -------------------------------------------- #
+    def group_join(
+        self,
+        group: str,
+        member: str,
+        *,
+        session_timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """Join ``group`` as ``member``; returns ``{'generation', 'members'}``.
+
+        ``session_timeout`` is the member's heartbeat lease: miss it and
+        the broker expires the member, bumping the group generation so
+        survivors rebalance its partitions.
+        """
+        return self._request('GROUP_JOIN', group, {
+            'member': member, 'session_timeout': session_timeout,
+        })
+
+    def group_heartbeat(
+        self,
+        group: str,
+        member: str,
+        positions: dict[str, int] | None = None,
+        ends: dict[str, int] | None = None,
+    ) -> dict[str, Any]:
+        """Refresh ``member``'s lease, reporting delivered ``positions``.
+
+        ``ends`` reports partitions whose end-of-stream marker this member
+        delivered (topic -> marker seq) — the group-completion signal.
+        Returns the current ``{'generation', 'members'}`` view; raises
+        :class:`~repro.exceptions.ConnectorError` if the member was already
+        expired (it must rejoin and resync before consuming further).
+        """
+        return self._request('GROUP_HEARTBEAT', group, {
+            'member': member, 'positions': positions or {},
+            'ends': ends or {},
+        })
+
+    def group_leave(
+        self,
+        group: str,
+        member: str,
+        positions: dict[str, int] | None = None,
+    ) -> dict[str, Any]:
+        """Leave ``group`` voluntarily (bumps the generation immediately)."""
+        return self._request('GROUP_LEAVE', group, {
+            'member': member, 'positions': positions or {},
+        })
+
+    def offset_commit(
+        self,
+        group: str,
+        offsets: dict[str, int],
+        *,
+        member: str | None = None,
+        positions: dict[str, int] | None = None,
+        ends: dict[str, int] | None = None,
+    ) -> dict[str, Any]:
+        """Commit per-partition offsets (monotonic: stale commits are kept).
+
+        ``offsets`` maps partition topic to the first *un-acked* sequence
+        number; a successor claiming the partition resumes there.  ``ends``
+        reports delivered end-of-stream markers.  A commit from a live
+        ``member`` doubles as a heartbeat.
+        """
+        return self._request('OFFSET_COMMIT', group, {
+            'offsets': offsets,
+            'member': member or '',
+            'positions': positions or {},
+            'ends': ends or {},
+        })
+
+    def offset_fetch(self, group: str, topics: Sequence[str]) -> dict[str, Any]:
+        """Fetch per-partition offset state for ``topics``.
+
+        Each entry carries ``committed`` (replay point), ``watermark``
+        (furthest delivered), ``end`` (end-marker seq or ``None``) and
+        ``end_member`` (who reported it).
+        """
+        return self._request('OFFSET_FETCH', group, {'topics': list(topics)})
+
+    def group_stats(self, group: str) -> dict[str, Any]:
+        """Return the group's full broker-side state (members, offsets)."""
+        return self._request('GROUP_STATS', group)
+
     def topic_config(self, topic: str, *, retention: int) -> dict[str, Any]:
         """Set ``topic``'s ring-buffer retention (trimming immediately)."""
         return self._request('TCONFIG', topic, {'retention': retention})

@@ -40,6 +40,7 @@ from repro.serialize.buffers import vectored_write
 __all__ = [
     'COMMANDS',
     'EVENT_STATUS',
+    'GROUP_COMMANDS',
     'MAX_FRAME_BYTES',
     'STREAM_COMMANDS',
     'StreamDecoder',
@@ -56,11 +57,19 @@ STREAM_COMMANDS = frozenset({
     'TSTATS', 'TCONFIG',
 })
 
+#: Consumer-group commands (see repro.stream.groups): membership with
+#: heartbeat-timeout expiry plus per-partition committed offsets and
+#: delivered watermarks, all held by the group's designated broker.
+GROUP_COMMANDS = frozenset({
+    'GROUP_JOIN', 'GROUP_LEAVE', 'GROUP_HEARTBEAT',
+    'OFFSET_COMMIT', 'OFFSET_FETCH', 'GROUP_STATS',
+})
+
 #: Commands understood by the server.
 COMMANDS = frozenset({
     'SET', 'GET', 'EXISTS', 'DEL', 'FLUSH', 'PING', 'SIZE', 'SHUTDOWN',
     'MSET', 'MGET', 'MDEL',
-}) | STREAM_COMMANDS
+}) | STREAM_COMMANDS | GROUP_COMMANDS
 
 #: ``status`` value of a server-initiated push frame (not a response to any
 #: request): ``(None, EVENT_STATUS, (topic, [(seq, payload), ...]))``.

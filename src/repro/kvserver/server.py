@@ -38,6 +38,7 @@ from itertools import islice
 from typing import Any
 
 from repro.kvserver.protocol import EVENT_STATUS
+from repro.kvserver.protocol import GROUP_COMMANDS
 from repro.kvserver.protocol import STREAM_COMMANDS
 from repro.kvserver.protocol import StreamDecoder
 from repro.kvserver.protocol import encode_message
@@ -55,11 +56,21 @@ DEFAULT_PUSH_HIGHWATER = 8 * 1024 * 1024
 #: Events per pushed ``EVENT`` frame when replaying a backlog.
 _PUSH_BATCH = 64
 
+#: Seconds a subscriber connection may sit with queued push bytes and make
+#: no read/write progress before the server reaps it (frees its buffers).
+DEFAULT_SUBSCRIBER_TIMEOUT = 30.0
+
+#: Default seconds without a heartbeat before a group member is expired.
+DEFAULT_SESSION_TIMEOUT = 10.0
+
 
 class _ClientConn:
     """Per-connection state tracked by the event loop."""
 
-    __slots__ = ('sock', 'decoder', 'out', 'events', 'queued_bytes', 'topics')
+    __slots__ = (
+        'sock', 'decoder', 'out', 'events', 'queued_bytes', 'topics',
+        'last_progress',
+    )
 
     def __init__(self, sock: socket.socket) -> None:
         self.sock = sock
@@ -72,6 +83,9 @@ class _ClientConn:
         self.queued_bytes = 0
         #: Topics this connection has subscribed to.
         self.topics: set[str] = set()
+        #: Monotonic timestamp of the last read or write progress — the
+        #: dead-subscriber reaper's liveness signal.
+        self.last_progress = time.monotonic()
 
 
 class _Topic:
@@ -80,6 +94,7 @@ class _Topic:
     __slots__ = (
         'name', 'next_seq', 'ring', 'ring_bytes', 'retention',
         'subscribers', 'dropped_events', 'dropped_pushes',
+        'reaped_subscribers',
     )
 
     def __init__(self, name: str, retention: int) -> None:
@@ -95,6 +110,8 @@ class _Topic:
         self.dropped_events = 0
         #: Pushes skipped because a subscriber was over the highwater mark.
         self.dropped_pushes = 0
+        #: Subscriber connections reaped by the no-progress sweep.
+        self.reaped_subscribers = 0
 
     def append(self, payload: Any, nbytes: int) -> int:
         """Retain one event payload; returns its sequence number."""
@@ -127,6 +144,87 @@ class _Topic:
         return events[:limit], lost
 
 
+class _Group:
+    """Consumer-group state held by the group's designated broker.
+
+    Membership is leased: each member carries its own ``session_timeout``
+    and a deadline refreshed by ``GROUP_HEARTBEAT``.  Any group command
+    first sweeps expired members; every membership change bumps the
+    ``generation`` so clients detect that the partition assignment must be
+    recomputed.  Offsets are per partition topic: ``committed`` is the
+    at-least-once replay point (advanced only by ``OFFSET_COMMIT``, i.e.
+    after the consumer acked), ``watermark`` the furthest delivered
+    position any member reported — the gap between them is exactly the
+    un-acked window a successor must redeliver.
+    """
+
+    __slots__ = ('name', 'generation', 'members', 'committed', 'watermarks',
+                 'ends', 'expired_members')
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.generation = 0
+        #: member id -> (heartbeat deadline, session timeout seconds).
+        self.members: dict[str, tuple[float, float]] = {}
+        #: partition topic -> first un-acked sequence number.
+        self.committed: dict[str, int] = {}
+        #: partition topic -> furthest delivered position reported.
+        self.watermarks: dict[str, int] = {}
+        #: partition topic -> (end-marker seq, reporting member).  A
+        #: partition is *finished* once its end is recorded and either
+        #: committed reached it or the reporter is still a live member
+        #: (it will ack; if it dies first, expiry re-opens the partition).
+        self.ends: dict[str, tuple[int, str]] = {}
+        #: Members removed by heartbeat expiry (not voluntary leaves).
+        self.expired_members = 0
+
+    def sweep(self, now: float) -> bool:
+        """Expire members whose heartbeat deadline passed; True if any did."""
+        dead = [m for m, (deadline, _) in self.members.items() if now > deadline]
+        for member in dead:
+            del self.members[member]
+            self.expired_members += 1
+        if dead:
+            self.generation += 1
+        return bool(dead)
+
+    def touch(self, member: str, now: float, session_timeout: float | None = None) -> bool:
+        """Refresh (or create) ``member``'s lease; True if membership changed."""
+        known = member in self.members
+        timeout = (
+            session_timeout if session_timeout is not None
+            else self.members[member][1] if known
+            else DEFAULT_SESSION_TIMEOUT
+        )
+        self.members[member] = (now + timeout, timeout)
+        if not known:
+            self.generation += 1
+        return not known
+
+    def advance_watermarks(self, positions: Any) -> None:
+        """Fold member-reported delivered positions into the watermarks."""
+        if not isinstance(positions, dict):
+            return
+        for topic, position in positions.items():
+            position = int(position)
+            if position > self.watermarks.get(topic, 0):
+                self.watermarks[topic] = position
+
+    def record_ends(self, member: str, ends: Any) -> None:
+        """Record end-of-stream markers a member delivered on its partitions."""
+        if not isinstance(ends, dict):
+            return
+        for topic, end_seq in ends.items():
+            self.ends[topic] = (int(end_seq), member)
+
+    def view(self) -> dict[str, Any]:
+        """The membership snapshot returned by every group command."""
+        return {
+            'generation': self.generation,
+            'members': sorted(self.members),
+        }
+
+
 class KVServer:
     """In-memory key-value store and pub/sub event broker reachable over TCP.
 
@@ -139,6 +237,10 @@ class KVServer:
             for subscriber catch-up); ``TCONFIG`` overrides it per topic.
         push_highwater: queued outgoing bytes on a subscriber connection
             above which event pushes are skipped (backpressure bound).
+        subscriber_timeout: seconds a subscriber connection may hold queued
+            push bytes without any read/write progress before the server
+            reaps it — a dead push connection must not pin
+            ``push_highwater`` bytes per topic forever.
     """
 
     def __init__(
@@ -149,20 +251,28 @@ class KVServer:
         drain_timeout: float = 5.0,
         stream_retention: int = DEFAULT_RETENTION,
         push_highwater: int = DEFAULT_PUSH_HIGHWATER,
+        subscriber_timeout: float = DEFAULT_SUBSCRIBER_TIMEOUT,
     ) -> None:
         if stream_retention < 1:
             raise ValueError('stream_retention must be at least 1')
+        if subscriber_timeout <= 0:
+            raise ValueError('subscriber_timeout must be positive')
         self.host = host
         self._requested_port = port
         self.port: int | None = None
         self.drain_timeout = drain_timeout
         self.stream_retention = stream_retention
         self.push_highwater = push_highwater
+        self.subscriber_timeout = subscriber_timeout
+        #: Subscriber connections closed by the no-progress reaper.
+        self.reaped_subscribers = 0
         # Values are whatever buffer the protocol layer received into
         # (bytes, bytearray, or a view thereof) — stored without copying.
         self._data: dict[str, Any] = {}
-        # Topics are touched exclusively from the event-loop thread.
+        # Topics and groups are touched exclusively from the event-loop
+        # thread.
         self._topics: dict[str, _Topic] = {}
+        self._groups: dict[str, _Group] = {}
         self._lock = threading.Lock()
         self._listener: socket.socket | None = None
         self._selector: selectors.BaseSelector | None = None
@@ -237,6 +347,9 @@ class KVServer:
         assert selector is not None
         draining = False
         drain_deadline = 0.0
+        # Bounded select so the dead-subscriber reaper runs even when no
+        # socket is active; fine-grained enough for short test timeouts.
+        tick = min(1.0, self.subscriber_timeout / 4)
         try:
             while True:
                 if draining:
@@ -246,7 +359,8 @@ class KVServer:
                     if not events and not any(c.out for c in self._conns.values()):
                         break  # quiet pass with nothing left to flush: drained
                 else:
-                    events = selector.select(timeout=None)
+                    events = selector.select(timeout=tick)
+                    self._reap_stalled_subscribers()
                 for key, _mask in events:
                     if key.data == 'listener':
                         self._accept_ready()
@@ -313,10 +427,37 @@ class KVServer:
         conn.out.extend(segments)
         conn.queued_bytes += sum(len(segment) for segment in segments)
 
+    def _reap_stalled_subscribers(self) -> None:
+        """Close subscriber connections holding push bytes with no progress.
+
+        A subscriber that stops reading (a crashed-but-connected consumer,
+        a host that vanished without a TCP reset) keeps its queued ``EVENT``
+        frames pinned in ``out`` forever — up to ``push_highwater`` bytes
+        per topic.  Any connection that is subscribed, has queued bytes,
+        and has made no read/write progress for ``subscriber_timeout``
+        seconds is reaped: the close frees its buffers and unsubscribes it
+        from every topic (counted per topic in ``reaped_subscribers``).
+        """
+        cutoff = time.monotonic() - self.subscriber_timeout
+        stalled = [
+            conn
+            for conn in self._conns.values()
+            if conn.topics and conn.queued_bytes and conn.last_progress < cutoff
+        ]
+        for conn in stalled:
+            self.reaped_subscribers += 1
+            for topic_name in conn.topics:
+                topic = self._topics.get(topic_name)
+                if topic is not None:
+                    topic.reaped_subscribers += 1
+            self._close_conn(conn)
+
     def _service_conn(self, conn: _ClientConn, mask: int) -> None:
         closed = False
         if mask & selectors.EVENT_READ:
             messages, closed = conn.decoder.read_from(conn.sock)
+            if messages:
+                conn.last_progress = time.monotonic()
             for request in messages:
                 self._enqueue(conn, encode_message(self._handle(request, conn)))
         if conn.out:
@@ -344,6 +485,8 @@ class KVServer:
             except OSError:
                 return False
             conn.queued_bytes -= sent
+            if sent:
+                conn.last_progress = time.monotonic()
             while sent:
                 head = out[0]
                 if sent >= len(head):
@@ -385,6 +528,7 @@ class KVServer:
         for conn in list(self._conns.values()):
             self._close_conn(conn)
         self._topics.clear()
+        self._groups.clear()
         if self._selector is not None:
             self._selector.close()
         for wake in (self._wake_recv, self._wake_send):
@@ -575,6 +719,97 @@ class KVServer:
                 'subscribers': len(topic.subscribers),
                 'dropped_events': topic.dropped_events,
                 'dropped_pushes': topic.dropped_pushes,
+                'reaped_subscribers': topic.reaped_subscribers,
+            })
+        return ('error', f'unknown command {command!r}')  # pragma: no cover
+
+    # -- consumer groups ----------------------------------------------------- #
+    def _group(self, name: Any) -> _Group:
+        """Return (creating on first use) the group state for ``name``."""
+        group = self._groups.get(name)
+        if group is None:
+            group = self._groups[name] = _Group(str(name))
+        return group
+
+    def _execute_group(
+        self,
+        command: str,
+        key: Any,
+        value: Any,
+    ) -> tuple[str, Any]:
+        """Handle one consumer-group command (state lives on the loop thread).
+
+        Every command sweeps expired members first, so death detection
+        needs no dedicated timer: survivors heartbeat at a fraction of the
+        session timeout, and each heartbeat doubles as the expiry check
+        that bumps the generation when a member died.
+        """
+        options = value if isinstance(value, dict) else {}
+        group = self._group(key)
+        now = time.monotonic()
+        group.sweep(now)
+        if command == 'GROUP_JOIN':
+            member = str(options.get('member', ''))
+            if not member:
+                return ('error', 'GROUP_JOIN requires a member id')
+            timeout = float(
+                options.get('session_timeout') or DEFAULT_SESSION_TIMEOUT,
+            )
+            if timeout <= 0:
+                return ('error', 'session_timeout must be positive')
+            group.touch(member, now, timeout)
+            return ('ok', group.view())
+        if command == 'GROUP_HEARTBEAT':
+            member = str(options.get('member', ''))
+            if member not in group.members:
+                # The member was expired (or never joined): it must rejoin
+                # and resync its assignment before consuming further.
+                return ('error', f'unknown member {member!r}')
+            group.touch(member, now)
+            group.advance_watermarks(options.get('positions'))
+            group.record_ends(member, options.get('ends'))
+            return ('ok', group.view())
+        if command == 'GROUP_LEAVE':
+            member = str(options.get('member', ''))
+            if group.members.pop(member, None) is not None:
+                group.generation += 1
+            group.advance_watermarks(options.get('positions'))
+            return ('ok', group.view())
+        if command == 'OFFSET_COMMIT':
+            offsets = options.get('offsets')
+            if not isinstance(offsets, dict):
+                return ('error', 'OFFSET_COMMIT requires an offsets dict')
+            for topic, offset in offsets.items():
+                offset = int(offset)
+                if offset > group.committed.get(topic, 0):
+                    group.committed[topic] = offset
+            group.advance_watermarks(options.get('positions'))
+            member = str(options.get('member', ''))
+            group.record_ends(member, options.get('ends'))
+            if member in group.members:  # a commit doubles as a heartbeat
+                group.touch(member, now)
+            return ('ok', group.view())
+        if command == 'OFFSET_FETCH':
+            topics = options.get('topics')
+            if not isinstance(topics, (list, tuple)):
+                return ('error', 'OFFSET_FETCH requires a topics list')
+            payload = {}
+            for topic in topics:
+                end = group.ends.get(topic)
+                payload[topic] = {
+                    'committed': group.committed.get(topic, 0),
+                    'watermark': group.watermarks.get(topic, 0),
+                    'end': None if end is None else end[0],
+                    'end_member': None if end is None else end[1],
+                }
+            return ('ok', payload)
+        if command == 'GROUP_STATS':
+            return ('ok', {
+                **group.view(),
+                'committed': dict(group.committed),
+                'watermarks': dict(group.watermarks),
+                'ends': {t: e[0] for t, e in group.ends.items()},
+                'expired_members': group.expired_members,
             })
         return ('error', f'unknown command {command!r}')  # pragma: no cover
 
@@ -588,6 +823,8 @@ class KVServer:
         """Execute one parsed command; returns ``(status, payload)``."""
         if command in STREAM_COMMANDS:
             return self._execute_stream(command, key, value, conn)
+        if command in GROUP_COMMANDS:
+            return self._execute_group(command, key, value)
         if command == 'PING':
             return ('ok', 'PONG')
         if command == 'SET':

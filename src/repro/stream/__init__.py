@@ -10,12 +10,18 @@ in-process pipelines and :class:`~repro.stream.kv.KVEventBus` for
 multi-process streams brokered by the SimKV server (server-side fan-out,
 ring-buffer retention, consumer catch-up).
 
+Consumer groups (:class:`~repro.stream.groups.GroupConsumer`, built by
+``StreamConsumer(group=..., partitions=N)``) add partitioned topics,
+committed offsets, and at-least-once crash redelivery on top of either
+transport.
+
 See ``docs/ARCHITECTURE.md`` ("The stream path") for the data-flow
 diagram and ``examples/streaming_pipeline.py`` for a runnable tour.
 """
 from repro.stream.bus import EventBus
 from repro.stream.bus import LocalEventBus
 from repro.stream.bus import Subscription
+from repro.stream.bus import broker_id
 from repro.stream.bus import bus_from_config
 from repro.stream.bus import event_bus_from_url
 from repro.stream.bus import list_event_buses
@@ -23,6 +29,10 @@ from repro.stream.bus import register_event_bus
 from repro.stream.channels import StreamConsumer
 from repro.stream.channels import StreamProducer
 from repro.stream.events import StreamEvent
+from repro.stream.groups import GroupConsumer
+from repro.stream.groups import GroupCoordinator
+from repro.stream.groups import PartitionRouter
+from repro.stream.groups import partition_topics
 
 
 def __getattr__(name: str):
@@ -39,15 +49,20 @@ def __getattr__(name: str):
 
 __all__ = [
     'EventBus',
+    'GroupConsumer',
+    'GroupCoordinator',
     'KVEventBus',
     'KVSubscription',
     'LocalEventBus',
+    'PartitionRouter',
     'StreamConsumer',
     'StreamEvent',
     'StreamProducer',
     'Subscription',
+    'broker_id',
     'bus_from_config',
     'event_bus_from_url',
     'list_event_buses',
+    'partition_topics',
     'register_event_bus',
 ]

@@ -43,6 +43,7 @@ __all__ = [
     'EventBus',
     'LocalEventBus',
     'Subscription',
+    'broker_id',
     'event_bus_from_url',
     'list_event_buses',
     'register_event_bus',
@@ -115,6 +116,28 @@ class EventBus(Protocol):
     def close(self) -> None:
         """Release transport resources held by this bus handle."""
         ...
+
+
+def broker_id(bus: EventBus) -> str:
+    """Stable, process-independent identity of the broker behind ``bus``.
+
+    Partitioned topics place each partition on a broker through a
+    consistent-hash ring over these ids (see :mod:`repro.stream.groups`),
+    so two processes handed the same broker URLs must derive the *same*
+    id per broker: the id is built from the bus config's addressing
+    fields (scheme plus host:port or bus id), never from handle identity.
+    """
+    config = bus.config()
+    scheme = config.get('scheme', bus.__class__.__name__)
+    if 'host' in config and 'port' in config:
+        return f'{scheme}://{config["host"]}:{config["port"]}'
+    if 'bus_id' in config:
+        return f'{scheme}://{config["bus_id"]}'
+    # Fallback for third-party buses: every non-callable config field.
+    detail = ','.join(
+        f'{k}={v}' for k, v in sorted(config.items()) if k != 'scheme'
+    )
+    return f'{scheme}://{detail}'
 
 
 # --------------------------------------------------------------------------- #

@@ -21,8 +21,21 @@ Lifetime management is first-class because streams never end on their own:
 
 Producers and consumers pickle: the state that travels is the store
 config, the bus config, the topic, and (for consumers) the current
-position — so a consumer can be shipped to another process and resume
-where it left off, the same way proxies rebuild their stores anywhere.
+position plus any delivered-but-unacked keys — so a consumer can be
+shipped to another process, resume where it left off, and still evict
+everything it was responsible for, the same way proxies rebuild their
+stores anywhere.
+
+Two fleet-scale extensions live on top of this module:
+
+* ``StreamProducer(partitions=N, ...)`` splits the topic into N partition
+  topics spread deterministically over a broker fleet (see
+  :class:`~repro.stream.groups.PartitionRouter`), routing each send by an
+  optional ``partition_key`` (stable ``blake2b`` hashing) or round-robin.
+* ``StreamConsumer(group=..., partitions=N)`` constructs a
+  :class:`~repro.stream.groups.GroupConsumer` instead: members of the
+  group split the partitions, commit offsets on ``ack()``, and redeliver
+  a crashed member's un-acked events — at-least-once delivery.
 """
 from __future__ import annotations
 
@@ -77,6 +90,11 @@ class StreamProducer:
             instead of storing it — the "data rides the message bus"
             baseline.  Per-call ``send(..., inline=...)`` overrides this.
         serializer: optional per-producer serializer override.
+        partitions: split the topic into this many partition topics placed
+            over the broker(s) by consistent hashing.  ``1`` (the default)
+            keeps the plain, unpartitioned topic; more enable consumer
+            groups to divide the stream (``bus`` may then be a sequence of
+            buses/URLs forming a broker fleet).
 
     Thread safety: ``send``/``send_batch`` may be called from many threads
     concurrently (stores and buses are thread-safe); ``close`` must not
@@ -86,18 +104,32 @@ class StreamProducer:
     def __init__(
         self,
         store: 'Store',
-        bus: 'EventBus | str',
+        bus: 'EventBus | str | Sequence[EventBus | str]',
         topic: str,
         *,
         inline: bool = False,
         serializer: Callable[[Any], bytes] | None = None,
+        partitions: int = 1,
     ) -> None:
+        if partitions < 1:
+            raise ValueError('partitions must be at least 1')
         self.store = store
-        self.bus = _resolve_bus(bus)
+        if partitions > 1 or (
+            not isinstance(bus, (str, bytes)) and isinstance(bus, Sequence)
+        ):
+            from repro.stream.groups import PartitionRouter
+
+            self._router = PartitionRouter(topic, partitions, bus)
+            self.bus = self._router.brokers[0]
+        else:
+            self._router = None
+            self.bus = _resolve_bus(bus)  # type: ignore[arg-type]
         self.topic = topic
+        self.partitions = partitions
         self.inline = inline
         self._serializer = serializer
         self._closed = False
+        self._rr = 0
         self.sent = 0
 
     def __repr__(self) -> str:
@@ -133,25 +165,47 @@ class StreamProducer:
         key = self.store.put(obj, serializer=self._serializer)
         return StreamEvent(key=key, metadata=dict(metadata or {}))
 
+    def _partition_of(self, partition_key: 'str | None') -> int:
+        """Partition index for one send: keyed hash or round-robin."""
+        if self._router is None:
+            return 0
+        if partition_key is not None:
+            from repro.stream.groups import partition_for
+
+            return partition_for(partition_key, self.partitions)
+        index = self._rr % self.partitions
+        self._rr += 1
+        return index
+
+    def _publish(self, partition: int, data: bytes) -> int:
+        if self._router is None:
+            return self.bus.publish(self.topic, data)
+        topic = self._router.topics[partition]
+        return self._router.bus_for(topic).publish(topic, data)
+
     def send(
         self,
         obj: Any,
         *,
         metadata: dict[str, Any] | None = None,
         inline: bool | None = None,
+        partition_key: str | None = None,
     ) -> int:
-        """Publish one item; returns its topic sequence number.
+        """Publish one item; returns its sequence number on its partition.
 
         The item's bytes go through ``store.put`` (zero-copy where the
         connector supports it) and only the key travels in the event —
-        unless ``inline`` embeds the payload in the event itself.
+        unless ``inline`` embeds the payload in the event itself.  On a
+        partitioned topic the event lands on the partition chosen by
+        ``partition_key`` (stable hashing: equal keys share a partition,
+        preserving their relative order) or round-robin when omitted.
 
         Raises:
             StoreError: if the producer is already closed.
         """
         self._check_open()
         event = self._event_for(obj, metadata, self.inline if inline is None else inline)
-        seq = self.bus.publish(self.topic, event.encode())
+        seq = self._publish(self._partition_of(partition_key), event.encode())
         self.sent += 1
         return seq
 
@@ -161,18 +215,25 @@ class StreamProducer:
         *,
         metadata: Sequence[dict[str, Any] | None] | None = None,
         inline: bool | None = None,
+        partition_keys: Sequence[str | None] | None = None,
     ) -> list[int]:
         """Publish several items with batched store and bus operations.
 
         Bulk data goes through one ``store.put_batch`` (one connector
         round trip on batching connectors) and all events through one
-        ``publish_batch`` frame.
+        ``publish_batch`` frame per partition touched.
         """
         self._check_open()
         inline = self.inline if inline is None else inline
         metas = list(metadata) if metadata is not None else [None] * len(objs)
         if len(metas) != len(objs):
             raise ValueError('metadata must match objs in length')
+        pkeys = (
+            list(partition_keys) if partition_keys is not None
+            else [None] * len(objs)
+        )
+        if len(pkeys) != len(objs):
+            raise ValueError('partition_keys must match objs in length')
         if inline:
             events = [
                 self._event_for(obj, meta, True)
@@ -184,11 +245,26 @@ class StreamProducer:
                 StreamEvent(key=key, metadata=dict(meta or {}))
                 for key, meta in zip(keys, metas)
             ]
-        seqs = self.bus.publish_batch(
-            self.topic, [event.encode() for event in events],
-        )
+        if self._router is None:
+            seqs = list(self.bus.publish_batch(
+                self.topic, [event.encode() for event in events],
+            ))
+        else:
+            by_partition: dict[int, list[int]] = {}
+            for index, pkey in enumerate(pkeys):
+                by_partition.setdefault(
+                    self._partition_of(pkey), [],
+                ).append(index)
+            seqs = [0] * len(events)
+            for partition, indices in by_partition.items():
+                topic = self._router.topics[partition]
+                batch_seqs = self._router.bus_for(topic).publish_batch(
+                    topic, [events[i].encode() for i in indices],
+                )
+                for i, seq in zip(indices, batch_seqs):
+                    seqs[i] = seq
         self.sent += len(objs)
-        return list(seqs)
+        return seqs
 
     def close(self, *, end: bool = True) -> None:
         """Mark the stream finished.
@@ -205,7 +281,15 @@ class StreamProducer:
             return
         self._closed = True
         if end:
-            self.bus.publish(self.topic, StreamEvent(end=True).encode())
+            if self._router is None:
+                self.bus.publish(self.topic, StreamEvent(end=True).encode())
+            else:
+                # Every partition gets its own marker: group members end
+                # independently once each of their partitions is drained.
+                for topic in self._router.topics:
+                    self._router.bus_for(topic).publish(
+                        topic, StreamEvent(end=True).encode(),
+                    )
 
     def __enter__(self) -> 'StreamProducer':
         return self
@@ -220,20 +304,34 @@ class StreamProducer:
                 'a producer with a custom serializer cannot be pickled '
                 '(callables do not travel); create it in the target process',
             )
-        return {
+        state = {
             'store_config': self.store.config(),
             'bus_config': self.bus.config(),
             'topic': self.topic,
             'inline': self.inline,
         }
+        if self._router is not None:
+            state['router_config'] = self._router.config()
+        return state
 
     def __setstate__(self, state: dict[str, Any]) -> None:
         self.store = get_or_create_store(state['store_config'])
-        self.bus = bus_from_config(state['bus_config'])
+        router_config = state.get('router_config')
+        if router_config is not None:
+            from repro.stream.groups import PartitionRouter
+
+            self._router = PartitionRouter.from_config(router_config)
+            self.bus = self._router.brokers[0]
+            self.partitions = self._router.partitions
+        else:
+            self._router = None
+            self.bus = bus_from_config(state['bus_config'])
+            self.partitions = 1
         self.topic = state['topic']
         self.inline = state['inline']
         self._serializer = None
         self._closed = False
+        self._rr = 0
         self.sent = 0
 
 
@@ -265,7 +363,25 @@ class StreamConsumer:
     Iterating yields one item per event: a :class:`~repro.proxy.Proxy`
     (or ``OwnedProxy``) for proxied items, or the deserialized object for
     inline events.  Iteration ends at an end-of-stream event.
+
+    Passing ``group=...`` (with ``partitions=N``) returns a
+    :class:`~repro.stream.groups.GroupConsumer` instead: a member of a
+    consumer group with committed offsets and at-least-once redelivery.
     """
+
+    def __new__(
+        cls,
+        store: 'Store | None' = None,
+        bus: Any = None,
+        topic: str | None = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Dispatch to a group consumer when ``group=`` is given."""
+        if kwargs.get('group') is not None:
+            from repro.stream.groups import GroupConsumer
+
+            return GroupConsumer(store, bus, topic, **kwargs)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -278,7 +394,9 @@ class StreamConsumer:
         from_seq: int | None = None,
         timeout: float | None = DEFAULT_CONSUME_TIMEOUT,
         prefetch: int = 0,
+        group: str | None = None,
     ) -> None:
+        assert group is None  # group=... dispatched to GroupConsumer in __new__
         if owned and lifetime is not None:
             raise ValueError(
                 'owned=True and lifetime=... are mutually exclusive: owned '
@@ -415,12 +533,15 @@ class StreamConsumer:
             self.store.evict_batch(keys)
         return len(keys)
 
-    def close(self, *, evict_pending: bool = False) -> None:
+    def close(self, *, evict_pending: bool = True) -> None:
         """Detach from the topic.
 
         Args:
-            evict_pending: also evict items delivered but never acked
-                (plain mode only); the default leaves them stored.
+            evict_pending: evict items delivered but never acked (plain
+                mode only) — the default, so closing a consumer can never
+                strand keys in the backing store.  Pass ``False`` to leave
+                them stored (e.g. when another party will resolve them);
+                the caller then owns their eviction.
         """
         if self._closed:
             return
@@ -464,6 +585,10 @@ class StreamConsumer:
             'from_seq': position,
             'timeout': self.timeout,
             'prefetch': self.prefetch,
+            # The clone inherits the eviction duty for everything this
+            # consumer delivered but never acked — a pickle handoff must
+            # not strand keys (evict_batch tolerates double eviction).
+            'unacked': list(self._unacked),
         }
 
     def __setstate__(self, state: dict[str, Any]) -> None:
@@ -476,3 +601,4 @@ class StreamConsumer:
             timeout=state['timeout'],
             prefetch=state.get('prefetch', 0),
         )
+        self._unacked = list(state.get('unacked', []))

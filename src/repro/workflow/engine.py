@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 from dataclasses import field
@@ -27,6 +28,7 @@ from typing import Callable
 from typing import Iterable
 from typing import TYPE_CHECKING
 
+from repro.exceptions import NodeUnavailableError
 from repro.exceptions import WorkflowError
 from repro.serialize import deserialize
 from repro.serialize import freeze_payload
@@ -47,6 +49,7 @@ class EngineStats:
     input_bytes: int = 0
     result_bytes: int = 0
     serialization_passes: int = 0
+    task_retries: int = 0
 
 
 class WorkflowFuture:
@@ -181,6 +184,8 @@ class WorkflowEngine:
         output: 'StreamProducer | None' = None,
         max_outstanding: int | None = None,
         close_output: bool = True,
+        max_retries: int = 3,
+        retry_backoff: float = 0.05,
     ) -> dict[str, int]:
         """Dispatch one task per stream item, optionally publishing results.
 
@@ -201,20 +206,49 @@ class WorkflowEngine:
                 stream from ballooning the hub queue.
             close_output: publish end-of-stream on ``output`` once the
                 input ends (set ``False`` when more runs will append).
+            max_retries: resubmissions per task after a
+                :class:`~repro.exceptions.NodeUnavailableError` — the
+                typed crash signal raised when a task's proxy resolves
+                against a dead storage node.  Retries back off
+                exponentially from ``retry_backoff`` seconds (capped at
+                1s), giving failover or a restart time to land.  Any other
+                exception, or exhausting the budget, propagates — and a
+                failed run still publishes no clean end marker.
+            retry_backoff: initial retry delay in seconds.
 
         Returns:
-            Counts: ``{'tasks': submitted, 'published': results sent}``.
+            Counts: ``{'tasks': submitted, 'published': results sent,
+            'retries': resubmissions}``.
         """
         if max_outstanding is None:
             max_outstanding = 2 * self.n_workers
         if max_outstanding < 1:
             raise ValueError('max_outstanding must be at least 1')
-        in_flight: deque[WorkflowFuture] = deque()
-        tasks = published = 0
+        if max_retries < 0:
+            raise ValueError('max_retries must be non-negative')
+        in_flight: deque[tuple[WorkflowFuture, Any, int]] = deque()
+        tasks = published = retries = 0
+        retry_metrics = getattr(output, 'store', None) or getattr(items, 'store', None)
+        retry_metrics = getattr(retry_metrics, 'metrics', None)
 
         def drain_one() -> None:
-            nonlocal published
-            result = in_flight.popleft().result()
+            nonlocal published, retries
+            future, item, attempts = in_flight.popleft()
+            try:
+                result = future.result()
+            except NodeUnavailableError:
+                if attempts >= max_retries:
+                    raise
+                # Capped exponential backoff: transient node loss (restart,
+                # failover, rebalance) usually resolves within a few beats.
+                time.sleep(min(retry_backoff * (2 ** attempts), 1.0))
+                retries += 1
+                self.stats.task_retries += 1
+                if retry_metrics is not None:
+                    retry_metrics.record('stream.task_retries', 0.0)
+                # Resubmit at the head so output order is preserved.
+                in_flight.appendleft((self.submit(func, item), item, attempts + 1))
+                return
             if output is not None:
                 output.send(result)
                 published += 1
@@ -222,7 +256,7 @@ class WorkflowEngine:
         completed = False
         try:
             for item in items:
-                in_flight.append(self.submit(func, item))
+                in_flight.append((self.submit(func, item), item, 0))
                 tasks += 1
                 while len(in_flight) >= max_outstanding:
                     drain_one()
@@ -235,7 +269,7 @@ class WorkflowEngine:
             # complete stream (mirrors StreamProducer.__exit__).
             if output is not None and close_output:
                 output.close(end=completed)
-        return {'tasks': tasks, 'published': published}
+        return {'tasks': tasks, 'published': published, 'retries': retries}
 
     # -- workers ---------------------------------------------------------------- #
     def _worker_loop(self) -> None:

@@ -251,3 +251,61 @@ def test_kv_subscription_survives_reconnect(make_bus, topic):
         received = sub.next_batch(timeout=1.0)
     assert [bytes(d) for _, d in received] == [b'after']
     sub.close()
+
+
+def test_stalled_subscriber_is_reaped():
+    """A subscriber that stops reading with bytes queued is evicted.
+
+    Without the no-progress sweep one dead (but not closed) subscriber
+    connection would hold its queued frames forever — the broker-side
+    leak the subscriber_timeout reaper exists to stop.
+    """
+    import socket as socket_mod
+
+    from repro.kvserver.client import KVClient
+    from repro.kvserver.protocol import recv_message
+    from repro.kvserver.protocol import send_message
+    from repro.kvserver.server import KVServer
+
+    server = KVServer(
+        stream_retention=8,
+        push_highwater=64 * 1024,
+        subscriber_timeout=0.5,
+    )
+    host, port = server.start()
+    stalled = socket_mod.socket()
+    client = KVClient(host, port)
+    topic = 'reap-topic'
+    try:
+        # A raw subscriber with a tiny receive window that never reads:
+        # the kernel buffers fill, the server's queue backs up, and the
+        # connection makes no progress.
+        stalled.setsockopt(
+            socket_mod.SOL_SOCKET, socket_mod.SO_RCVBUF, 4096,
+        )
+        stalled.connect((host, port))
+        send_message(stalled, (1, 'SUBSCRIBE', topic, {'from_seq': None}))
+        reply = recv_message(stalled)
+        assert reply[0] == 1 and reply[1] == 'ok'
+        assert client.topic_stats(topic)['subscribers'] == 1
+
+        payload = b'x' * (32 * 1024)
+        deadline = time.monotonic() + 20
+        while server.reaped_subscribers == 0:
+            assert time.monotonic() < deadline, 'subscriber never reaped'
+            client.publish(topic, payload)
+            time.sleep(0.02)
+
+        stats = client.topic_stats(topic)
+        assert stats['reaped_subscribers'] == 1
+        assert stats['subscribers'] == 0
+        assert server.reaped_subscribers == 1
+        # The reap closed the connection: the stalled socket sees EOF
+        # once the already-buffered bytes are drained.
+        stalled.settimeout(5.0)
+        while stalled.recv(1 << 16):
+            pass
+    finally:
+        stalled.close()
+        client.close()
+        server.stop()

@@ -247,3 +247,50 @@ def test_consumer_pickle_resumes_position(stream_store, make_bus, topic):
     finally:
         if resumed.store is not stream_store:
             resumed.store.close()
+
+
+def test_consumer_close_evicts_delivered_unacked_keys(stream_store, make_bus, topic):
+    """Closing a consumer must not strand keys: items delivered but never
+    acked are evicted by default (context exit takes the same path)."""
+    producer, consumer = _channel(stream_store, make_bus, topic)
+    for i in range(3):
+        producer.send(i)
+    producer.close()
+    with consumer:
+        keys = [event.key for event, _ in consumer.events()]
+        assert all(stream_store.exists(key) for key in keys)
+    assert not any(stream_store.exists(key) for key in keys)
+
+
+def test_consumer_close_can_leave_pending_stored(stream_store, make_bus, topic):
+    producer, consumer = _channel(stream_store, make_bus, topic)
+    producer.send('kept')
+    producer.close()
+    (event, _item), = list(consumer.events())
+    consumer.close(evict_pending=False)
+    # The caller explicitly took over eviction duty.
+    assert stream_store.exists(event.key)
+    stream_store.evict(event.key)
+
+
+def test_consumer_pickle_clone_inherits_eviction_duty(stream_store, make_bus, topic):
+    """A pickled consumer carries its delivered-but-unacked keys: the
+    clone's ack (or close) evicts them, so a handoff cannot strand keys."""
+    bus = make_bus()
+    producer = StreamProducer(stream_store, bus, topic)
+    consumer = StreamConsumer(
+        stream_store, make_bus(), topic, from_seq=0, timeout=10.0,
+    )
+    for i in range(2):
+        producer.send(i)
+    producer.close()
+    iterator = consumer.events()
+    keys = [next(iterator)[0].key for _ in range(2)]
+    clone = pickle.loads(pickle.dumps(consumer))
+    try:
+        assert all(stream_store.exists(key) for key in keys)
+        assert clone.ack() == 2
+        assert not any(stream_store.exists(key) for key in keys)
+    finally:
+        if clone.store is not stream_store:
+            clone.store.close()

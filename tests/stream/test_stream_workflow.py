@@ -41,7 +41,7 @@ def test_run_stream_dispatches_one_task_per_event(stream_store, make_bus, topic)
     producer.close()
     with WorkflowEngine(n_workers=2, extra_hops=0) as engine:
         stats = engine.run_stream(_double, consumer)
-    assert stats == {'tasks': 8, 'published': 0}
+    assert stats == {'tasks': 8, 'published': 0, 'retries': 0}
     assert engine.stats.tasks_completed == 8
 
 
@@ -61,7 +61,7 @@ def test_run_stream_publishes_results_in_order(stream_store, make_bus, topic):
     producer.close()
     with WorkflowEngine(n_workers=3, extra_hops=0) as engine:
         stats = engine.run_stream(_double, consumer, output=out_producer)
-    assert stats == {'tasks': 6, 'published': 6}
+    assert stats == {'tasks': 6, 'published': 6, 'retries': 0}
     results = list(out_consumer)
     assert len(results) == 6
     for i, result in enumerate(results):
@@ -99,5 +99,78 @@ def test_failed_run_stream_does_not_end_output_topic(stream_store, make_bus, top
             engine.run_stream(_explode, consumer, output=out_producer)
     # The output topic did not terminate: iterating it times out rather
     # than ending as if the stream completed.
+    with pytest.raises(TimeoutError):
+        list(out_consumer)
+
+
+_FLAKY_STATE: dict[str, int] = {}
+
+
+def _flaky_double(value):
+    """Fail with the typed crash signal until the third attempt."""
+    from repro.exceptions import NodeUnavailableError
+
+    attempts = _FLAKY_STATE['attempts'] = _FLAKY_STATE.get('attempts', 0) + 1
+    if attempts <= 2:
+        raise NodeUnavailableError('storage node down')
+    return np.asarray(value) * 2
+
+
+def _always_down(value):
+    from repro.exceptions import NodeUnavailableError
+
+    raise NodeUnavailableError('storage node down')
+
+
+def test_run_stream_retries_node_unavailable(stream_store, make_bus, topic):
+    """Transient node loss is retried with backoff, counted, and metered."""
+    _FLAKY_STATE.clear()
+    store = repro.store_from_url(
+        f'local:///wf-retry-store-{next(_COUNTER)}?metrics=1',
+    )
+    try:
+        bus = make_bus()
+        producer = StreamProducer(store, bus, topic)
+        consumer = StreamConsumer(
+            store, make_bus(), topic, from_seq=0, timeout=10.0,
+        )
+        producer.send(np.arange(4))
+        producer.close()
+        with WorkflowEngine(n_workers=1, extra_hops=0) as engine:
+            stats = engine.run_stream(
+                _flaky_double, consumer, retry_backoff=0.01,
+            )
+        assert stats == {'tasks': 1, 'published': 0, 'retries': 2}
+        assert engine.stats.task_retries == 2
+        summary = store.metrics_summary()
+        assert summary['stream.task_retries']['count'] == 2
+    finally:
+        store.close(clear=True)
+
+
+def test_run_stream_propagates_exhausted_retries(stream_store, make_bus, topic):
+    """A permanently dead node exhausts the budget and fails the run —
+    without publishing a clean end marker downstream."""
+    bus = make_bus()
+    out_topic = topic + '-out'
+    producer = StreamProducer(stream_store, bus, topic)
+    consumer = StreamConsumer(
+        stream_store, make_bus(), topic, from_seq=0, timeout=10.0,
+    )
+    out_producer = StreamProducer(stream_store, make_bus(), out_topic)
+    out_consumer = StreamConsumer(
+        stream_store, make_bus(), out_topic, from_seq=0, timeout=0.3,
+    )
+    producer.send(np.arange(4))
+    producer.close()
+    from repro.exceptions import NodeUnavailableError
+
+    with WorkflowEngine(n_workers=1, extra_hops=0) as engine:
+        with pytest.raises(NodeUnavailableError):
+            engine.run_stream(
+                _always_down, consumer,
+                output=out_producer, max_retries=2, retry_backoff=0.01,
+            )
+    assert engine.stats.task_retries == 2
     with pytest.raises(TimeoutError):
         list(out_consumer)
