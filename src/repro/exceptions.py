@@ -115,7 +115,7 @@ class StreamGroupError(StoreError):
     """Base class for consumer-group failures on a streaming topic."""
 
 
-class GroupMembershipError(StreamGroupError):
+class GroupMembershipError(StreamGroupError, ConnectorError):
     """Raised when a group member's lease expired at the coordinator.
 
     The broker expired the member after missed heartbeats (e.g. a long GC
@@ -123,6 +123,13 @@ class GroupMembershipError(StreamGroupError):
     by survivors.  The member must rejoin and resync its assignment before
     consuming further; the :class:`~repro.stream.groups.GroupConsumer`
     does this automatically.
+
+    The class derives from **both** :class:`StreamGroupError` and
+    :class:`ConnectorError`: lease expiry surfaces at the connector seam
+    (the broker rejected the request), but unlike other connector failures
+    it is *recoverable by rejoining* rather than by retrying the same call.
+    Callers distinguishing "rejoin" from "fatal" should catch this class
+    **before** the broader :class:`ConnectorError`.
     """
 
 

@@ -1,0 +1,214 @@
+"""Transport-seam fault injection for the SimKV wire protocol.
+
+A process-global :class:`FaultInjector` (installed with
+:func:`install_injector`) is consulted by the SimKV client at its two
+transport seams — **connect** and **send** — and can:
+
+* refuse connections (``add_refuse``) — simulates a dead/restarting broker,
+* reset established connections (``add_reset``) — simulates an RST mid-flight,
+* add latency (``add_latency``) — simulates a congested or distant link,
+* truncate payloads (``add_truncate``) — simulates a peer crashing mid-write
+  (the frame is cut short and the connection killed, exactly what a SIGKILL
+  between ``sendmsg`` calls produces).
+
+Faults are keyed by a *target* string, normally ``"host:port"``; the
+wildcard target ``'*'`` matches every connection.  When no injector is
+installed the seams are a single module-attribute read — effectively free.
+
+The injector is deliberately one-per-process: it models the *network* as
+seen by this process, not a per-client property, and keeps the seams
+zero-configuration for tests and benchmarks.
+"""
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = [
+    'FaultInjector',
+    'current_injector',
+    'install_injector',
+    'uninstall_injector',
+]
+
+
+class _Rule:
+    """Mutable per-target fault state."""
+
+    __slots__ = ('latency', 'latency_until', 'resets', 'truncates', 'refusals')
+
+    def __init__(self) -> None:
+        self.latency = 0.0
+        self.latency_until: float | None = None
+        self.resets = 0
+        self.truncates = 0
+        self.refusals = 0
+
+
+class FaultInjector:
+    """A schedulable set of transport faults, keyed by ``host:port`` target.
+
+    Count-based faults (``reset``/``truncate``/``refuse``) decrement as
+    they fire; latency persists until ``duration`` elapses or the rule is
+    cleared.  Every fired fault is recorded in :attr:`triggered` so tests
+    can assert the plan actually executed.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._rules: dict[str, _Rule] = {}
+        #: ``(target, kind)`` tuples for every fault that actually fired.
+        self.triggered: list[tuple[str, str]] = []
+
+    # -- configuration ------------------------------------------------------ #
+    def _rule(self, target: str) -> _Rule:
+        rule = self._rules.get(target)
+        if rule is None:
+            rule = self._rules[target] = _Rule()
+        return rule
+
+    def add_latency(self, target: str, delay: float, *, duration: float | None = None) -> None:
+        """Delay every connect/send to ``target`` by ``delay`` seconds.
+
+        ``duration`` bounds how long (seconds from now) the latency stays
+        in effect; ``None`` keeps it until :meth:`clear`.
+        """
+        with self._lock:
+            rule = self._rule(target)
+            rule.latency = float(delay)
+            rule.latency_until = (
+                None if duration is None else time.monotonic() + duration
+            )
+
+    def add_reset(self, target: str, count: int = 1) -> None:
+        """Reset the next ``count`` sends to ``target`` (connection RST)."""
+        with self._lock:
+            self._rule(target).resets += int(count)
+
+    def add_truncate(self, target: str, count: int = 1) -> None:
+        """Truncate the next ``count`` request frames to ``target`` mid-write."""
+        with self._lock:
+            self._rule(target).truncates += int(count)
+
+    def add_refuse(self, target: str, count: int = 1) -> None:
+        """Refuse the next ``count`` connection attempts to ``target``."""
+        with self._lock:
+            self._rule(target).refusals += int(count)
+
+    def clear(self, target: str | None = None) -> None:
+        """Drop all faults for ``target`` (or every target when ``None``)."""
+        with self._lock:
+            if target is None:
+                self._rules.clear()
+            else:
+                self._rules.pop(target, None)
+
+    # -- seam hooks --------------------------------------------------------- #
+    def _matching(self, target: str) -> list[_Rule]:
+        rules = []
+        for key in (target, '*'):
+            rule = self._rules.get(key)
+            if rule is not None:
+                rules.append(rule)
+        return rules
+
+    def _latency_of(self, rules: list[_Rule]) -> float:
+        now = time.monotonic()
+        delay = 0.0
+        for rule in rules:
+            if rule.latency <= 0.0:
+                continue
+            if rule.latency_until is not None and now >= rule.latency_until:
+                rule.latency = 0.0
+                rule.latency_until = None
+                continue
+            delay = max(delay, rule.latency)
+        return delay
+
+    def on_connect(self, target: str) -> None:
+        """Seam hook: called before a socket connect to ``target``.
+
+        May sleep (latency) or raise :class:`ConnectionRefusedError`.
+        """
+        with self._lock:
+            rules = self._matching(target)
+            delay = self._latency_of(rules)
+            refuse = False
+            for rule in rules:
+                if rule.refusals > 0:
+                    rule.refusals -= 1
+                    refuse = True
+                    break
+            if refuse:
+                self.triggered.append((target, 'refuse'))
+            elif delay > 0.0:
+                self.triggered.append((target, 'latency'))
+        if delay > 0.0:
+            time.sleep(delay)
+        if refuse:
+            raise ConnectionRefusedError(f'injected connection refusal to {target}')
+
+    def on_send(self, target: str) -> str | None:
+        """Seam hook: called before a request frame is written to ``target``.
+
+        Returns ``'reset'`` (caller must fail the connection), ``'truncate'``
+        (caller must cut the frame short and fail the connection), or
+        ``None``.  May sleep for injected latency first.
+        """
+        with self._lock:
+            rules = self._matching(target)
+            delay = self._latency_of(rules)
+            action: str | None = None
+            for rule in rules:
+                if rule.resets > 0:
+                    rule.resets -= 1
+                    action = 'reset'
+                    break
+                if rule.truncates > 0:
+                    rule.truncates -= 1
+                    action = 'truncate'
+                    break
+            if action is not None:
+                self.triggered.append((target, action))
+            elif delay > 0.0:
+                self.triggered.append((target, 'latency'))
+        if delay > 0.0:
+            time.sleep(delay)
+        return action
+
+
+#: The process-global injector; ``None`` means all seams are no-ops.
+_INJECTOR: FaultInjector | None = None
+
+
+def install_injector(injector: FaultInjector | None = None) -> FaultInjector:
+    """Install (and return) the process-global fault injector."""
+    global _INJECTOR
+    _INJECTOR = injector if injector is not None else FaultInjector()
+    return _INJECTOR
+
+
+def uninstall_injector() -> None:
+    """Remove the process-global injector (seams become no-ops again)."""
+    global _INJECTOR
+    _INJECTOR = None
+
+
+def current_injector() -> FaultInjector | None:
+    """Return the installed injector, or ``None``."""
+    return _INJECTOR
+
+
+def on_connect(host: str, port: int) -> None:
+    """Module-level connect seam (cheap no-op when nothing is installed)."""
+    injector = _INJECTOR
+    if injector is not None:
+        injector.on_connect(f'{host}:{port}')
+
+
+def on_send(host: str, port: int) -> str | None:
+    """Module-level send seam (cheap no-op when nothing is installed)."""
+    injector = _INJECTOR
+    if injector is None:
+        return None
+    return injector.on_send(f'{host}:{port}')

@@ -1,0 +1,248 @@
+"""Seeded, schedulable fault plans.
+
+A :class:`FaultPlan` is a script of timed :class:`FaultAction` entries —
+process SIGKILLs, connection resets/refusals, added latency, payload
+truncation — executed by a background thread relative to
+:meth:`FaultPlan.start`.  Action times can carry seeded jitter so chaos
+runs are *randomised but reproducible*: the same seed always produces
+the same schedule.
+
+Process kills resolve their target through a ``pids`` mapping supplied
+at start time (values may be ints or zero-argument callables, so a plan
+can be built before its victims are spawned).  Network faults are
+applied through a :class:`~repro.faults.injection.FaultInjector`
+installed at the transport seams.
+
+Used by the chaos tests and by ``benchmarks/bench_pipeline.py`` to kill
+a broker and a consumer mid-run under a recorded, reproducible schedule.
+"""
+from __future__ import annotations
+
+import os
+import random
+import signal
+import threading
+import time
+from collections.abc import Callable
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.faults.injection import FaultInjector
+from repro.faults.injection import current_injector
+from repro.faults.injection import install_injector
+
+__all__ = ['FaultAction', 'FaultPlan', 'FaultPlanRun']
+
+#: Action kinds a plan may schedule.
+KINDS = ('kill', 'reset', 'refuse', 'latency', 'truncate')
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled fault.
+
+    ``at`` is seconds from plan start.  ``target`` names a process (for
+    ``kill``, resolved via the ``pids`` mapping) or a ``host:port``
+    transport address (for network faults; ``'*'`` matches every
+    connection).  ``count`` applies to reset/refuse/truncate; ``delay``
+    and ``duration`` to latency.
+    """
+
+    at: float
+    kind: str
+    target: str
+    count: int = 1
+    delay: float = 0.0
+    duration: float | None = None
+
+    def __post_init__(self) -> None:
+        """Validate the action kind and schedule time."""
+        if self.kind not in KINDS:
+            raise ValueError(f'unknown fault kind {self.kind!r}')
+        if self.at < 0:
+            raise ValueError('action time must be >= 0')
+
+
+class FaultPlan:
+    """An ordered, optionally seed-jittered schedule of faults."""
+
+    def __init__(self, *, seed: int | None = None) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.actions: list[FaultAction] = []
+
+    def _jittered(self, at: float, jitter: float) -> float:
+        if jitter <= 0.0:
+            return at
+        return max(0.0, at + self._rng.uniform(-jitter, jitter))
+
+    def kill(self, target: str, at: float, *, jitter: float = 0.0) -> 'FaultPlan':
+        """Schedule a SIGKILL of process ``target`` at ``at`` (± ``jitter``) s."""
+        self.actions.append(FaultAction(self._jittered(at, jitter), 'kill', target))
+        return self
+
+    def reset(self, target: str, at: float, *, count: int = 1, jitter: float = 0.0) -> 'FaultPlan':
+        """Schedule ``count`` connection resets against ``target``."""
+        self.actions.append(
+            FaultAction(self._jittered(at, jitter), 'reset', target, count=count),
+        )
+        return self
+
+    def refuse(self, target: str, at: float, *, count: int = 1, jitter: float = 0.0) -> 'FaultPlan':
+        """Schedule ``count`` connection refusals against ``target``."""
+        self.actions.append(
+            FaultAction(self._jittered(at, jitter), 'refuse', target, count=count),
+        )
+        return self
+
+    def latency(
+        self,
+        target: str,
+        at: float,
+        *,
+        delay: float,
+        duration: float | None = None,
+        jitter: float = 0.0,
+    ) -> 'FaultPlan':
+        """Schedule added per-operation latency against ``target``."""
+        self.actions.append(
+            FaultAction(
+                self._jittered(at, jitter), 'latency', target,
+                delay=delay, duration=duration,
+            ),
+        )
+        return self
+
+    def truncate(self, target: str, at: float, *, count: int = 1, jitter: float = 0.0) -> 'FaultPlan':
+        """Schedule ``count`` mid-frame payload truncations against ``target``."""
+        self.actions.append(
+            FaultAction(self._jittered(at, jitter), 'truncate', target, count=count),
+        )
+        return self
+
+    def start(
+        self,
+        *,
+        pids: Mapping[str, 'int | Callable[[], int | None]'] | None = None,
+        injector: FaultInjector | None = None,
+    ) -> 'FaultPlanRun':
+        """Begin executing the plan on a background thread.
+
+        ``pids`` resolves ``kill`` targets; network faults go through
+        ``injector`` (defaulting to the installed process-global one,
+        installing a fresh one if none exists).
+        """
+        needs_network = any(a.kind != 'kill' for a in self.actions)
+        if injector is None and needs_network:
+            injector = current_injector() or install_injector()
+        return FaultPlanRun(self.actions, pids=pids or {}, injector=injector)
+
+
+@dataclass
+class _Fired:
+    """Record of one executed (or failed) action."""
+
+    elapsed: float
+    action: FaultAction
+    error: str | None = None
+
+
+class FaultPlanRun:
+    """A running fault plan: a daemon thread firing actions on schedule."""
+
+    def __init__(
+        self,
+        actions: list[FaultAction],
+        *,
+        pids: Mapping[str, 'int | Callable[[], int | None]'],
+        injector: FaultInjector | None,
+    ) -> None:
+        self._actions = sorted(actions, key=lambda a: a.at)
+        self._pids = pids
+        self._injector = injector
+        self._stop = threading.Event()
+        self._started = time.monotonic()
+        #: Execution log: one :class:`_Fired` per action that came due.
+        self.executed: list[_Fired] = []
+        self._thread = threading.Thread(
+            target=self._run, name='fault-plan', daemon=True,
+        )
+        self._thread.start()
+
+    # -- lifecycle ---------------------------------------------------------- #
+    def stop(self) -> None:
+        """Cancel any not-yet-fired actions and stop the thread."""
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait until every scheduled action has fired (or ``stop`` is called)."""
+        self._thread.join(timeout=timeout)
+
+    @property
+    def done(self) -> bool:
+        """Whether the schedule has finished executing."""
+        return not self._thread.is_alive()
+
+    def report(self) -> list[dict]:
+        """JSON-friendly execution log (for benchmark reports)."""
+        return [
+            {
+                'elapsed_s': round(f.elapsed, 3),
+                'kind': f.action.kind,
+                'target': f.action.target,
+                'at_s': round(f.action.at, 3),
+                'error': f.error,
+            }
+            for f in self.executed
+        ]
+
+    # -- execution ---------------------------------------------------------- #
+    def _resolve_pid(self, target: str) -> int | None:
+        entry = self._pids.get(target)
+        if callable(entry):
+            entry = entry()
+        return int(entry) if entry is not None else None
+
+    def _fire(self, action: FaultAction) -> str | None:
+        if action.kind == 'kill':
+            pid = self._resolve_pid(action.target)
+            if pid is None:
+                return f'no pid known for target {action.target!r}'
+            try:
+                os.kill(pid, getattr(signal, 'SIGKILL', signal.SIGTERM))
+            except ProcessLookupError:
+                return 'process already gone'
+            return None
+        if self._injector is None:
+            return 'no injector installed for network fault'
+        if action.kind == 'reset':
+            self._injector.add_reset(action.target, action.count)
+        elif action.kind == 'refuse':
+            self._injector.add_refuse(action.target, action.count)
+        elif action.kind == 'truncate':
+            self._injector.add_truncate(action.target, action.count)
+        elif action.kind == 'latency':
+            self._injector.add_latency(
+                action.target, action.delay, duration=action.duration,
+            )
+        return None
+
+    def _run(self) -> None:
+        for action in self._actions:
+            while True:
+                remaining = action.at - (time.monotonic() - self._started)
+                if remaining <= 0:
+                    break
+                if self._stop.wait(min(remaining, 0.25)):
+                    return
+            if self._stop.is_set():
+                return
+            error: str | None
+            try:
+                error = self._fire(action)
+            except Exception as e:  # noqa: BLE001 - never kill the plan thread
+                error = repr(e)
+            self.executed.append(
+                _Fired(time.monotonic() - self._started, action, error),
+            )

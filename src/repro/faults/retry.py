@@ -1,0 +1,131 @@
+"""Shared retry policy: jittered exponential backoff.
+
+Every reconnect/retry path in the code base — the SimKV client's
+stale-connection loop, streaming subscription reconnects, broker
+failover, and the workflow engine's transient-fault resubmission —
+derives its delays from one :class:`RetryPolicy` so backoff behaviour
+(growth rate, cap, jitter) is tuned in exactly one place.
+
+The jitter is *full-spread around the nominal delay*: attempt ``n``
+sleeps ``base * multiplier**n`` (capped at ``max_delay``), scaled by a
+uniform factor in ``[1 - jitter, 1 + jitter]``.  Jitter decorrelates
+retry storms when many clients lose the same broker at once; a seeded
+:class:`random.Random` makes the schedule reproducible in tests.
+"""
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable
+from collections.abc import Iterator
+from dataclasses import dataclass
+from typing import Any
+from typing import TypeVar
+
+T = TypeVar('T')
+
+#: Process-wide rng used when a policy call does not supply one.
+_GLOBAL_RNG = random.Random()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """An immutable jittered-exponential-backoff schedule.
+
+    ``max_attempts`` bounds the *total* number of tries (so a policy with
+    ``max_attempts=1`` never retries).  ``delay(n)`` is the sleep taken
+    *after* failed attempt ``n`` (0-based); with ``base_delay=0`` the
+    policy retries immediately, which is what pipelined clients cycling
+    to a fresh pooled connection want.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 1.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        """Validate the schedule parameters."""
+        if self.max_attempts < 1:
+            raise ValueError('max_attempts must be >= 1')
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError('delays must be >= 0')
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError('jitter must be in [0, 1]')
+
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Return the backoff delay (seconds) after failed attempt ``attempt``."""
+        nominal = min(self.base_delay * (self.multiplier ** attempt), self.max_delay)
+        if nominal <= 0.0 or self.jitter == 0.0:
+            return nominal
+        rng = rng if rng is not None else _GLOBAL_RNG
+        spread = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return nominal * spread
+
+    def backoffs(self, rng: random.Random | None = None) -> Iterator[float]:
+        """Yield the ``max_attempts - 1`` delays between consecutive attempts."""
+        for attempt in range(self.max_attempts - 1):
+            yield self.delay(attempt, rng)
+
+    def attempts(self, rng: random.Random | None = None) -> Iterator[int]:
+        """Yield attempt indices ``0..max_attempts-1``, sleeping in between.
+
+        The canonical retry loop::
+
+            for attempt in policy.attempts():
+                try:
+                    return do_thing()
+                except TransientError:
+                    continue
+            raise
+
+        The backoff sleep happens lazily *before* yielding each retry, so
+        a loop that succeeds (breaks/returns) on attempt ``n`` never pays
+        the delay for attempt ``n + 1``.
+        """
+        for attempt in range(self.max_attempts):
+            if attempt:
+                pause = self.delay(attempt - 1, rng)
+                if pause > 0.0:
+                    time.sleep(pause)
+            yield attempt
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        *,
+        retry_on: tuple[type[BaseException], ...] = (Exception,),
+        rng: random.Random | None = None,
+        on_retry: Callable[[int, BaseException], Any] | None = None,
+    ) -> T:
+        """Call ``fn`` under this policy, retrying on ``retry_on`` failures.
+
+        ``on_retry(attempt, error)`` is invoked before each backoff sleep;
+        the final failure is re-raised unmodified.
+        """
+        for attempt in range(self.max_attempts):
+            try:
+                return fn()
+            except retry_on as error:
+                if attempt + 1 >= self.max_attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, error)
+                pause = self.delay(attempt, rng)
+                if pause > 0.0:
+                    time.sleep(pause)
+        raise AssertionError('unreachable')  # pragma: no cover
+
+
+#: Default policy for broker reconnect/failover paths: ~6 attempts spanning
+#: roughly 1.5 s of nominal backoff — long enough to ride out a broker
+#: restart, short enough that failover to a replica is quick.
+DEFAULT_RECONNECT_POLICY = RetryPolicy(
+    max_attempts=6, base_delay=0.05, max_delay=0.5, jitter=0.5,
+)
+
+#: Default policy for pipelined request clients: retry immediately on a
+#: stale pooled connection (no sleep), bounded by the pool size at the
+#: call site.
+IMMEDIATE_POLICY = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)

@@ -39,6 +39,8 @@ from typing import Sequence
 
 from repro.exceptions import ConnectorError
 from repro.exceptions import NodeUnavailableError
+from repro.faults import injection
+from repro.faults.retry import RetryPolicy
 from repro.kvserver.protocol import StreamDecoder
 from repro.kvserver.protocol import encode_message
 from repro.serialize.buffers import SerializedObject
@@ -87,6 +89,8 @@ class _Connection:
     """
 
     def __init__(self, host: str, port: int, timeout: float) -> None:
+        self._addr = (host, port)
+        injection.on_connect(host, port)  # fault seam: refuse/latency
         self.sock = socket.create_connection((host, port), timeout=timeout)
         self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         # The reader thread owns all receives and blocks until frames
@@ -147,6 +151,12 @@ class _Connection:
 
     def _fail(self, error: Exception) -> None:
         """Mark the connection dead and wake every in-flight waiter."""
+        # Strip the traceback before storing: a kept traceback pins the
+        # failing frame — including wire segments whose memoryviews still
+        # hold pickle buffer exports.  A reference cycle through such a
+        # view makes the GC's tp_clear raise BufferError and can abort
+        # the whole process.
+        error = error.with_traceback(None)
         with self._state_lock:
             if self.dead:
                 return
@@ -176,7 +186,13 @@ class _Connection:
         failure detected *on* the reader thread) is skipped.
         """
         if self._reader is not threading.current_thread():
-            self._reader.join(timeout=timeout)
+            try:
+                self._reader.join(timeout=timeout)
+            except RuntimeError:  # pragma: no cover - interpreter shutdown
+                # join() can refuse during interpreter teardown (daemon
+                # threads are being finalized); close() must stay safe to
+                # call from __del__ at that point.
+                pass
 
     # -- send side --------------------------------------------------------- #
     def request(self, message_tail: tuple, timeout: float | None) -> tuple[Any, Any]:
@@ -201,9 +217,23 @@ class _Connection:
         # on the actual socket write.
         segments = encode_message((request_id, *message_tail))
         try:
+            fault = injection.on_send(*self._addr)  # fault seam
+            if fault == 'reset':
+                raise ConnectionResetError('injected connection reset')
             with self._send_lock:
+                if fault == 'truncate':
+                    # A strict prefix of the frame, then death — exactly
+                    # what a peer crashing mid-write produces on the wire.
+                    head = bytes(segments[0])
+                    self.sock.sendall(head[: max(1, len(head) // 2)])
+                    raise ConnectionResetError('injected payload truncation')
                 vectored_write(self.sock.sendmsg, segments)
         except OSError as e:
+            # Drop the frame's reference to the wire segments before the
+            # exception (whose traceback pins this frame) escapes: their
+            # memoryviews hold pickle buffer exports, and an exported view
+            # caught in a GC cycle crashes the collector's tp_clear.
+            del segments
             with self._state_lock:
                 self._pending.pop(request_id, None)
             self._fail(e)
@@ -229,6 +259,7 @@ class _Connection:
         return waiter.result
 
     def close(self) -> None:
+        """Fail the connection and reap its reader (idempotent)."""
         self._fail(ConnectionError('client closed the connection'))
         self.join_reader()
 
@@ -244,6 +275,11 @@ class KVClient:
             connection has received no bytes for this long, so large
             transfers that are still streaming never trip it.
         pool_size: number of pooled connections requests round-robin over.
+        retry_policy: backoff schedule for stale-connection retries.  The
+            default retries immediately (zero delay) ``pool_size + 1``
+            times — cycling to a fresh pooled socket costs nothing — but
+            failover-aware callers may install a jittered schedule from
+            :mod:`repro.faults.retry` to ride out broker restarts.
     """
 
     def __init__(
@@ -253,6 +289,7 @@ class KVClient:
         *,
         timeout: float = DEFAULT_TIMEOUT,
         pool_size: int = DEFAULT_POOL_SIZE,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if pool_size < 1:
             raise ValueError('pool_size must be at least 1')
@@ -260,6 +297,9 @@ class KVClient:
         self.port = port
         self.timeout = timeout
         self.pool_size = pool_size
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=pool_size + 1, base_delay=0.0, jitter=0.0,
+        )
         self._pool: list[_Connection | None] = [None] * pool_size
         self._pool_lock = threading.Lock()
         # Per-slot locks so a blocking (re)connect of one slot never stalls
@@ -295,11 +335,12 @@ class KVClient:
         retried on a fresh connection (every SimKV command is idempotent).
         Up to ``pool_size`` stale connections may be encountered before a
         fresh one (e.g. after a server restart every pooled socket is
-        dead), so stale failures do not consume the retry — the request
-        only fails after ``pool_size + 1`` attempts.
+        dead), so stale failures do not consume the retry — by default the
+        request only fails after ``pool_size + 1`` immediate attempts;
+        ``retry_policy`` governs the attempt count and any backoff.
         """
         last_error: Exception | None = None
-        for _attempt in range(self.pool_size + 1):
+        for _attempt in self.retry_policy.attempts():
             connection = self._connection()
             try:
                 status, payload = connection.request((command, key, value), self.timeout)
@@ -317,12 +358,25 @@ class KVClient:
         )
 
     def close(self) -> None:
-        """Close every pooled connection (a later request reconnects)."""
+        """Close every pooled connection (a later request reconnects).
+
+        Idempotent and safe from ``__del__``: a second close sees an empty
+        pool and does nothing, and connection teardown tolerates reader
+        threads that already exited (or cannot be joined at interpreter
+        shutdown).
+        """
         with self._pool_lock:
             connections = [c for c in self._pool if c is not None]
             self._pool = [None] * self.pool_size
         for connection in connections:
             connection.close()
+
+    def __del__(self) -> None:
+        """Best-effort close so dropped clients never leak reader threads."""
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - interpreter teardown
+            pass
 
     def __enter__(self) -> 'KVClient':
         return self
@@ -498,6 +552,38 @@ class KVClient:
     def topic_config(self, topic: str, *, retention: int) -> dict[str, Any]:
         """Set ``topic``'s ring-buffer retention (trimming immediately)."""
         return self._request('TCONFIG', topic, {'retention': retention})
+
+    # -- replication commands (broker failover) ------------------------------ #
+    def repl_publish(
+        self,
+        topic: str,
+        entries: Sequence[tuple[int, 'bytes | bytearray | memoryview | SerializedObject']],
+    ) -> dict[str, Any]:
+        """Mirror ``(seq, payload)`` events into ``topic``'s ring on a replica.
+
+        Unlike ``publish``, the sequence numbers are *explicit* — they were
+        assigned by the primary broker — so the replica's ring ends up with
+        identical numbering and a failed-over subscriber resumes from its
+        cursor without renumbering.  Idempotent: duplicates and already
+        trimmed events are dropped server-side.  Returns ``{'accepted',
+        'next_seq'}``.
+        """
+        return self._request(
+            'REPL_PUBLISH', topic,
+            [(int(seq), _wrap_value(payload)) for seq, payload in entries],
+        )
+
+    def repl_group(self, group: str, state: dict[str, Any]) -> dict[str, Any]:
+        """Mirror a coordinator-state delta for ``group`` onto a replica.
+
+        ``state`` carries ``op`` ('join'/'heartbeat'/'commit'/'leave'),
+        ``member``, ``generation``, and optionally ``session_timeout``,
+        ``offsets``, ``positions``, and ``ends``.  Applied leniently and
+        monotonically server-side, so deltas may arrive late, duplicated,
+        or out of order.  Returns the replica's ``{'generation', 'members'}``
+        view.
+        """
+        return self._request('REPL_GROUP', group, dict(state))
 
     def delete(self, key: str) -> bool:
         return bool(self._request('DEL', key))

@@ -42,6 +42,7 @@ __all__ = [
     'EVENT_STATUS',
     'GROUP_COMMANDS',
     'MAX_FRAME_BYTES',
+    'REPL_COMMANDS',
     'STREAM_COMMANDS',
     'StreamDecoder',
     'encode_message',
@@ -65,11 +66,19 @@ GROUP_COMMANDS = frozenset({
     'OFFSET_COMMIT', 'OFFSET_FETCH', 'GROUP_STATS',
 })
 
+#: Replication commands (broker failover, see repro.stream.failover):
+#: clients mirror a partition topic's retention ring (REPL_PUBLISH carries
+#: events *with explicit sequence numbers*) and the group coordinator's
+#: state (REPL_GROUP carries a lenient, monotonic state delta) onto the
+#: hash-ring successor brokers, so a replica can take over with the same
+#: sequence numbering and committed offsets when the primary dies.
+REPL_COMMANDS = frozenset({'REPL_PUBLISH', 'REPL_GROUP'})
+
 #: Commands understood by the server.
 COMMANDS = frozenset({
     'SET', 'GET', 'EXISTS', 'DEL', 'FLUSH', 'PING', 'SIZE', 'SHUTDOWN',
     'MSET', 'MGET', 'MDEL',
-}) | STREAM_COMMANDS | GROUP_COMMANDS
+}) | STREAM_COMMANDS | GROUP_COMMANDS | REPL_COMMANDS
 
 #: ``status`` value of a server-initiated push frame (not a response to any
 #: request): ``(None, EVENT_STATUS, (topic, [(seq, payload), ...]))``.

@@ -39,6 +39,7 @@ from typing import Any
 
 from repro.kvserver.protocol import EVENT_STATUS
 from repro.kvserver.protocol import GROUP_COMMANDS
+from repro.kvserver.protocol import REPL_COMMANDS
 from repro.kvserver.protocol import STREAM_COMMANDS
 from repro.kvserver.protocol import StreamDecoder
 from repro.kvserver.protocol import encode_message
@@ -124,6 +125,45 @@ class _Topic:
             self.ring_bytes -= old_nbytes
             self.dropped_events += 1
         return seq
+
+    def append_at(self, seq: int, payload: Any, nbytes: int) -> bool:
+        """Retain a *replicated* event at an explicit sequence number.
+
+        Used by ``REPL_PUBLISH`` to mirror a primary broker's ring onto
+        this replica with identical numbering.  Idempotent and tolerant of
+        reordering: duplicates and events older than the ring's trim point
+        are dropped (returns ``False``), out-of-order arrivals are inserted
+        in sequence order, and ``next_seq`` only moves forward — so a
+        replica promoted to primary continues the primary's numbering.
+        """
+        if self.ring:
+            first = self.ring[0][0]
+            last = self.ring[-1][0]
+            if seq < first:
+                self.next_seq = max(self.next_seq, seq + 1)
+                return False
+            if seq <= last:
+                # Out-of-order arrival: scan from the right (arrivals are
+                # nearly ordered) for the insert point; drop duplicates.
+                index = len(self.ring)
+                while index > 0 and self.ring[index - 1][0] > seq:
+                    index -= 1
+                if index > 0 and self.ring[index - 1][0] == seq:
+                    return False
+                self.ring.insert(index, (seq, payload, nbytes))
+            else:
+                self.ring.append((seq, payload, nbytes))
+        else:
+            if seq < self.next_seq:
+                return False  # aged out of an empty ring
+            self.ring.append((seq, payload, nbytes))
+        self.ring_bytes += nbytes
+        self.next_seq = max(self.next_seq, seq + 1)
+        while len(self.ring) > self.retention:
+            _, _, old_nbytes = self.ring.popleft()
+            self.ring_bytes -= old_nbytes
+            self.dropped_events += 1
+        return True
 
     def events_since(self, since: int, limit: int) -> tuple[list, int]:
         """Retained ``(seq, payload)`` pairs with ``seq >= since``.
@@ -813,6 +853,76 @@ class KVServer:
             })
         return ('error', f'unknown command {command!r}')  # pragma: no cover
 
+    # -- replication (broker failover) --------------------------------------- #
+    def _execute_repl(
+        self,
+        command: str,
+        key: Any,
+        value: Any,
+    ) -> tuple[str, Any]:
+        """Handle one replication command from a mirroring client.
+
+        ``REPL_PUBLISH`` inserts events *with explicit sequence numbers*
+        into ``key``'s ring (idempotent, reorder-tolerant) and fans the
+        newly retained ones out to any subscribers already attached here —
+        so a subscriber that failed over to this replica keeps receiving
+        live pushes even while producers still publish via the primary.
+
+        ``REPL_GROUP`` applies a coordinator-state delta *leniently*: the
+        member lease is created if missing (no error), committed offsets
+        merge monotonically, and the generation only moves forward — so
+        mirrored deltas may arrive late, duplicated, or out of order
+        without corrupting the replica's view.
+        """
+        if command == 'REPL_PUBLISH':
+            if not isinstance(value, list):
+                return ('error', 'REPL_PUBLISH value must be [(seq, payload), ...]')
+            topic = self._topic(key)
+            accepted = []
+            for entry in value:
+                try:
+                    seq, raw = entry
+                except (TypeError, ValueError):
+                    return ('error', f'malformed REPL_PUBLISH entry: {entry!r}')
+                payload = self._own_value(raw)
+                if payload is None:
+                    return ('error', 'REPL_PUBLISH payloads must be bytes')
+                if topic.append_at(int(seq), payload, len(payload)):
+                    accepted.append((int(seq), payload))
+            self._push_events(topic, accepted)
+            return ('ok', {'accepted': len(accepted), 'next_seq': topic.next_seq})
+        if command == 'REPL_GROUP':
+            options = value if isinstance(value, dict) else {}
+            group = self._group(key)
+            now = time.monotonic()
+            group.sweep(now)
+            generation = int(options.get('generation', 0))
+            if generation > group.generation:
+                group.generation = generation
+            member = str(options.get('member', ''))
+            op = str(options.get('op', 'heartbeat'))
+            if member and op in ('join', 'heartbeat', 'commit'):
+                # Quiet lease refresh: create-if-missing without bumping the
+                # generation (the primary's bump arrives via ``generation``).
+                known = member in group.members
+                timeout = float(
+                    options.get('session_timeout')
+                    or (group.members[member][1] if known else DEFAULT_SESSION_TIMEOUT),
+                )
+                group.members[member] = (now + timeout, timeout)
+            elif member and op == 'leave':
+                group.members.pop(member, None)
+            offsets = options.get('offsets')
+            if isinstance(offsets, dict):
+                for topic_name, offset in offsets.items():
+                    offset = int(offset)
+                    if offset > group.committed.get(topic_name, 0):
+                        group.committed[topic_name] = offset
+            group.advance_watermarks(options.get('positions'))
+            group.record_ends(member, options.get('ends'))
+            return ('ok', group.view())
+        return ('error', f'unknown command {command!r}')  # pragma: no cover
+
     def _execute(
         self,
         command: str,
@@ -825,6 +935,8 @@ class KVServer:
             return self._execute_stream(command, key, value, conn)
         if command in GROUP_COMMANDS:
             return self._execute_group(command, key, value)
+        if command in REPL_COMMANDS:
+            return self._execute_repl(command, key, value)
         if command == 'PING':
             return ('ok', 'PONG')
         if command == 'SET':

@@ -102,6 +102,7 @@ class Store:
             # events into the same metrics the store's timings land in.
             connector.bind_metrics(self.metrics)
         self._registered = False
+        self._closed = False
         if register:
             register_store(self, exist_ok=False)
             self._registered = True
@@ -219,6 +220,11 @@ class Store:
     def close(self, clear: bool = False) -> None:
         """Unregister the store and close its connector.
 
+        Idempotent: a second ``close()`` is a no-op unless it escalates a
+        plain close to ``clear=True``, so double-close (e.g. an explicit
+        close followed by ``__del__``, or fixture and test both closing)
+        never re-tears-down the connector.
+
         Args:
             clear: also ask the connector to remove all stored objects and
                 drop this store's local deserialized-object cache.
@@ -228,7 +234,17 @@ class Store:
             self._registered = False
         if clear:
             self.cache.clear()
-        self.connector.close(clear=clear)
+        if not self._closed or clear:
+            self.connector.close(clear=clear)
+        self._closed = True
+
+    def __del__(self) -> None:
+        """Best-effort close so dropped stores release connector resources."""
+        try:
+            if not getattr(self, '_closed', True):
+                self.close()
+        except Exception:  # noqa: BLE001 - interpreter teardown
+            pass
 
     def _record(self, operation: str, elapsed: float, nbytes: int = 0) -> None:
         if self.metrics is not None:

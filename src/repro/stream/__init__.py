@@ -29,6 +29,7 @@ from repro.stream.bus import register_event_bus
 from repro.stream.channels import StreamConsumer
 from repro.stream.channels import StreamProducer
 from repro.stream.events import StreamEvent
+from repro.stream.failover import FailoverSubscription
 from repro.stream.groups import GroupConsumer
 from repro.stream.groups import GroupCoordinator
 from repro.stream.groups import PartitionRouter
@@ -49,6 +50,7 @@ def __getattr__(name: str):
 
 __all__ = [
     'EventBus',
+    'FailoverSubscription',
     'GroupConsumer',
     'GroupCoordinator',
     'KVEventBus',

@@ -95,6 +95,10 @@ class StreamProducer:
             keeps the plain, unpartitioned topic; more enable consumer
             groups to divide the stream (``bus`` may then be a sequence of
             buses/URLs forming a broker fleet).
+        replicas: mirror each partition's events onto this many ring
+            brokers (requires ``partitions > 1``).  Above 1, publishes
+            survive a broker death: the producer fails over to the next
+            live replica with jittered backoff.
 
     Thread safety: ``send``/``send_batch`` may be called from many threads
     concurrently (stores and buses are thread-safe); ``close`` must not
@@ -110,16 +114,21 @@ class StreamProducer:
         inline: bool = False,
         serializer: Callable[[Any], bytes] | None = None,
         partitions: int = 1,
+        replicas: int = 1,
     ) -> None:
         if partitions < 1:
             raise ValueError('partitions must be at least 1')
+        if replicas > 1 and partitions < 2:
+            raise ValueError('replicas > 1 requires a partitioned topic')
         self.store = store
         if partitions > 1 or (
             not isinstance(bus, (str, bytes)) and isinstance(bus, Sequence)
         ):
             from repro.stream.groups import PartitionRouter
 
-            self._router = PartitionRouter(topic, partitions, bus)
+            self._router = PartitionRouter(
+                topic, partitions, bus, replicas=replicas,
+            )
             self.bus = self._router.brokers[0]
         else:
             self._router = None
@@ -180,8 +189,7 @@ class StreamProducer:
     def _publish(self, partition: int, data: bytes) -> int:
         if self._router is None:
             return self.bus.publish(self.topic, data)
-        topic = self._router.topics[partition]
-        return self._router.bus_for(topic).publish(topic, data)
+        return self._router.publish(self._router.topics[partition], data)
 
     def send(
         self,
@@ -258,7 +266,7 @@ class StreamProducer:
             seqs = [0] * len(events)
             for partition, indices in by_partition.items():
                 topic = self._router.topics[partition]
-                batch_seqs = self._router.bus_for(topic).publish_batch(
+                batch_seqs = self._router.publish_batch(
                     topic, [events[i].encode() for i in indices],
                 )
                 for i, seq in zip(indices, batch_seqs):
@@ -287,7 +295,7 @@ class StreamProducer:
                 # Every partition gets its own marker: group members end
                 # independently once each of their partitions is drained.
                 for topic in self._router.topics:
-                    self._router.bus_for(topic).publish(
+                    self._router.publish(
                         topic, StreamEvent(end=True).encode(),
                     )
 
@@ -395,8 +403,15 @@ class StreamConsumer:
         timeout: float | None = DEFAULT_CONSUME_TIMEOUT,
         prefetch: int = 0,
         group: str | None = None,
+        replicas: int = 1,
     ) -> None:
         assert group is None  # group=... dispatched to GroupConsumer in __new__
+        if replicas != 1:
+            raise ValueError(
+                'replicas requires a consumer group (pass group=... and '
+                'partitions=N); a plain consumer has no partition ring to '
+                'fail over on',
+            )
         if owned and lifetime is not None:
             raise ValueError(
                 'owned=True and lifetime=... are mutually exclusive: owned '

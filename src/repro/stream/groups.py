@@ -52,6 +52,8 @@ from typing import Iterator
 from typing import Sequence
 from typing import TYPE_CHECKING
 
+from repro.cluster.membership import ClusterMembership
+from repro.cluster.membership import DEFAULT_FAILURE_THRESHOLD
 from repro.cluster.ring import HashRing
 from repro.exceptions import ConnectorError
 from repro.exceptions import GroupMembershipError
@@ -62,11 +64,13 @@ from repro.exceptions import ProxyResolveError
 from repro.proxy.proxy import Proxy
 from repro.proxy.resolve import resolve
 from repro.proxy.resolve import resolve_async
+from repro.faults.retry import DEFAULT_RECONNECT_POLICY
 from repro.store.factory import StoreFactory
 from repro.stream.bus import EventBus
 from repro.stream.bus import broker_id
 from repro.stream.bus import bus_from_config
 from repro.stream.bus import event_bus_from_url
+from repro.stream.failover import FailoverSubscription
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
     from repro.store.store import Store
@@ -149,11 +153,23 @@ class PartitionRouter:
         brokers: the broker fleet — event-bus instances, bus URLs, or a
             mixture.  Buses created here from URLs are owned by the router
             (closed by :meth:`close`); caller-passed instances are shared.
+        replicas: how many ring-successor brokers hold each partition
+            topic's retention ring.  With ``replicas > 1`` (and more than
+            one broker) the router mirrors every publish to the successor
+            replicas via ``REPL_PUBLISH``, tracks broker health in a
+            :class:`~repro.cluster.membership.ClusterMembership`, and
+            fails publishes and subscriptions over to the next live owner
+            when a broker dies.
+        failure_threshold: consecutive unavailable-failures before a
+            broker is declared dead by this router's failure detector.
 
     Placement hashes each partition topic onto a consistent-hash ring over
     the brokers' stable ids, so adding a broker moves ~``1/N`` of the
     partitions and every process computes the same map without talking to
-    anyone.
+    anyone.  The ring stays *static* over the full fleet even when a
+    broker dies: failover walks the partition's fixed owner list to the
+    first live broker, so independent processes — each with their own
+    failure detector — converge on the same replica without coordination.
     """
 
     def __init__(
@@ -161,11 +177,16 @@ class PartitionRouter:
         topic: str,
         partitions: int,
         brokers: 'Sequence[EventBus | str] | EventBus | str',
+        *,
+        replicas: int = 1,
+        failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
     ) -> None:
         if isinstance(brokers, (str, bytes)) or not isinstance(brokers, Sequence):
             brokers = [brokers]  # type: ignore[list-item]
         if not brokers:
             raise ValueError('at least one broker is required')
+        if replicas < 1:
+            raise ValueError('replicas must be at least 1')
         self.topic = topic
         self.partitions = partitions
         self._owned: list[EventBus] = []
@@ -182,6 +203,17 @@ class PartitionRouter:
             raise ValueError('brokers must have distinct identities')
         self.ring = HashRing(self._by_id)
         self.topics = partition_topics(topic, partitions)
+        self.replicas = min(replicas, len(self._by_id))
+        #: Failure detector over the broker fleet — present only when
+        #: replication is on (with one owner per partition there is no
+        #: live replica to fail over to, so detection buys nothing).
+        self.membership: ClusterMembership | None = (
+            ClusterMembership(
+                list(self._by_id), failure_threshold=failure_threshold,
+            )
+            if self.replicas > 1
+            else None
+        )
 
     def __repr__(self) -> str:
         return (
@@ -194,21 +226,151 @@ class PartitionRouter:
         """Every broker bus handle, in ring-id order."""
         return [self._by_id[node] for node in self.ring.nodes]
 
-    def bus_for(self, partition_topic: str) -> EventBus:
-        """The broker bus that hosts ``partition_topic``."""
-        node = self.ring.primary(partition_topic)
-        assert node is not None  # the ring is never empty
+    # -- placement and health ------------------------------------------------ #
+    def _alive(self, node: str) -> bool:
+        """Whether ``node`` is considered usable by the failure detector."""
+        if self.membership is None:
+            return True
+        return self.membership.state_of(node) != 'dead'
+
+    def owners(self, key: str) -> list[str]:
+        """The fixed ring-owner node ids for ``key`` (primary first)."""
+        return list(self.ring.owners(key, self.replicas))
+
+    def ordered_owners(self, key: str) -> list[str]:
+        """Owner node ids for ``key``, live brokers first.
+
+        The order is the failover walk: the ring primary when healthy,
+        otherwise the first live successor; dead owners trail the list so
+        a broker that comes back is still retried last-resort when every
+        replica is down.
+        """
+        owners = self.owners(key)
+        if self.membership is None:
+            return owners
+        alive = [n for n in owners if self._alive(n)]
+        dead = [n for n in owners if not self._alive(n)]
+        return alive + dead
+
+    def bus_of(self, node: str) -> EventBus:
+        """The bus handle for ring node ``node``."""
         return self._by_id[node]
+
+    def client_of(self, node: str) -> Any:
+        """The node's SimKV request client, or ``None`` (local transport)."""
+        return getattr(self._by_id[node], 'client', None)
+
+    def record(
+        self,
+        node: str,
+        *,
+        ok: bool,
+        unavailable: bool = False,
+        error: Exception | None = None,
+    ) -> None:
+        """Fold one broker-operation outcome into the failure detector.
+
+        A streak of ``unavailable`` failures (``failure_threshold``
+        consecutive) marks the broker dead, after which
+        :meth:`ordered_owners` routes around it.  A no-op when
+        replication (and therefore the detector) is off.
+        """
+        if self.membership is not None:
+            self.membership.record(
+                node, ok=ok, unavailable=unavailable, error=error,
+            )
+
+    def bus_for(self, partition_topic: str) -> EventBus:
+        """The live broker bus that currently hosts ``partition_topic``."""
+        return self._by_id[self.ordered_owners(partition_topic)[0]]
 
     def bus_for_partition(self, partition: int) -> EventBus:
         """The broker bus that hosts partition index ``partition``."""
         return self.bus_for(self.topics[partition])
 
     def designated(self, label: str) -> EventBus:
-        """The broker designated (by ring position) to coordinate ``label``."""
-        node = self.ring.primary(f'coordinator:{label}')
-        assert node is not None
-        return self._by_id[node]
+        """The live broker currently designated to coordinate ``label``."""
+        return self._by_id[self.coordinator_owners(label)[0]]
+
+    def coordinator_owners(self, label: str) -> list[str]:
+        """Owner node ids for coordinating ``label``, live brokers first."""
+        return self.ordered_owners(f'coordinator:{label}')
+
+    # -- replicated publish -------------------------------------------------- #
+    def publish(self, partition_topic: str, payload: Any) -> int:
+        """Publish one payload with failover and replication; returns its seq."""
+        return self.publish_batch(partition_topic, [payload])[0]
+
+    def publish_batch(self, partition_topic: str, payloads: Sequence[Any]) -> list[int]:
+        """Publish ``payloads`` to the partition's live primary, then mirror.
+
+        The first live ring owner assigns the sequence numbers; the events
+        are then mirrored — with those explicit numbers — onto the other
+        live owners via ``REPL_PUBLISH`` *before returning*, so a single
+        broker death after the publish cannot lose an event the caller was
+        told succeeded.  Owner walk and retries use the shared jittered
+        backoff policy; a replica mirror failure is recorded against that
+        replica but does not fail the publish (the data is durable on the
+        primary — the fleet is merely under-replicated until it recovers).
+        """
+        last: Exception | None = None
+        for _attempt in DEFAULT_RECONNECT_POLICY.attempts():
+            owners = self.ordered_owners(partition_topic)
+            for node in owners:
+                bus = self._by_id[node]
+                try:
+                    seqs = list(bus.publish_batch(partition_topic, list(payloads)))
+                except NodeUnavailableError as e:
+                    self.record(node, ok=False, unavailable=True, error=e)
+                    last = e
+                    continue
+                self.record(node, ok=True)
+                self._replicate(
+                    partition_topic, list(zip(seqs, payloads)), primary=node,
+                )
+                return seqs
+        raise last if last is not None else NodeUnavailableError(
+            f'no broker reachable for topic {partition_topic!r}',
+        )
+
+    def _replicate(
+        self,
+        partition_topic: str,
+        entries: list[tuple[int, Any]],
+        *,
+        primary: str,
+    ) -> None:
+        """Mirror ``(seq, payload)`` events onto the non-primary live owners."""
+        if self.replicas < 2 or not entries:
+            return
+        for node in self.owners(partition_topic):
+            if node == primary or not self._alive(node):
+                continue
+            repl = getattr(self.client_of(node), 'repl_publish', None)
+            if repl is None:
+                continue  # transport without replication support
+            try:
+                repl(partition_topic, entries)
+            except NodeUnavailableError as e:
+                self.record(node, ok=False, unavailable=True, error=e)
+            except ConnectorError as e:
+                self.record(node, ok=False, error=e)
+            else:
+                self.record(node, ok=True)
+
+    def subscribe(self, partition_topic: str, *, from_seq: int | None = None) -> Any:
+        """Subscribe to ``partition_topic`` on its current live owner.
+
+        With replication on, returns a
+        :class:`~repro.stream.failover.FailoverSubscription` that rides
+        out broker death by re-subscribing on the next live owner from
+        its cursor; otherwise a plain transport subscription.
+        """
+        if self.replicas > 1:
+            return FailoverSubscription(self, partition_topic, from_seq=from_seq)
+        return self.bus_for(partition_topic).subscribe(
+            partition_topic, from_seq=from_seq,
+        )
 
     def config(self) -> dict[str, Any]:
         """Return a picklable dict re-creating an equivalent router."""
@@ -216,6 +378,7 @@ class PartitionRouter:
             'topic': self.topic,
             'partitions': self.partitions,
             'brokers': [bus.config() for bus in self.brokers],
+            'replicas': self.replicas,
         }
 
     @classmethod
@@ -225,6 +388,7 @@ class PartitionRouter:
             config['topic'],
             config['partitions'],
             [bus_from_config(c) for c in config['brokers']],
+            replicas=int(config.get('replicas', 1)),
         )
         # Buses rebuilt from configs are owned by this router.
         router._owned = router.brokers
@@ -424,6 +588,157 @@ class _KVBackend:
         return self._client.group_stats(self._group)
 
 
+class _ReplicatedKVBackend:
+    """Group-state backend over a replicated coordinator broker chain.
+
+    Every mutating command goes to the *acting* coordinator — the first
+    live broker in the fixed ring-owner list for ``coordinator:group:X``
+    — and is then mirrored to the other live owners as a lenient
+    ``REPL_GROUP`` delta carrying the primary's post-op generation.  When
+    the acting broker dies (a :class:`~repro.exceptions.NodeUnavailableError`
+    streak recorded into the router's failure detector), the owner walk
+    lands on the next live replica, whose mirrored state — membership
+    leases, generation, committed offsets, recorded ends — lets the group
+    continue without losing a commit.  :attr:`failovers` counts acting-
+    broker changes; consumers observing a bump force a rejoin/resync.
+    """
+
+    def __init__(self, group: str, router: PartitionRouter) -> None:
+        self._group = group
+        self._router = router
+        self._key = f'group:{group}'
+        #: Times the acting coordinator broker changed (observed by
+        #: consumers as the force-rejoin signal).
+        self.failovers = 0
+        self._acting: str | None = None
+
+    @property
+    def acting_broker(self) -> str | None:
+        """Node id of the broker that last served a coordinator command."""
+        return self._acting
+
+    def _call(self, op: Any, mirror: dict[str, Any] | None = None) -> Any:
+        """Run ``op(client)`` on the acting coordinator with failover.
+
+        Only :class:`~repro.exceptions.NodeUnavailableError` triggers the
+        failover walk — any other connector error is the request's own
+        problem (e.g. an expired member) and propagates to the caller.
+        """
+        last: Exception | None = None
+        for _attempt in DEFAULT_RECONNECT_POLICY.attempts():
+            for node in self._router.coordinator_owners(self._key):
+                client = self._router.client_of(node)
+                if client is None:
+                    continue
+                try:
+                    result = op(client)
+                except NodeUnavailableError as e:
+                    self._router.record(node, ok=False, unavailable=True, error=e)
+                    last = e
+                    continue
+                self._router.record(node, ok=True)
+                if self._acting is not None and node != self._acting:
+                    self.failovers += 1
+                self._acting = node
+                if mirror is not None:
+                    if isinstance(result, dict) and 'generation' in result:
+                        mirror['generation'] = result['generation']
+                    self._mirror(node, mirror)
+                return result
+        raise last if last is not None else NodeUnavailableError(
+            f'no coordinator broker reachable for group {self._group!r}',
+        )
+
+    def _mirror(self, primary: str, payload: dict[str, Any]) -> None:
+        """Best-effort REPL_GROUP mirror to the non-acting live owners."""
+        for node in self._router.owners(f'coordinator:{self._key}'):
+            if node == primary or not self._router._alive(node):
+                continue
+            client = self._router.client_of(node)
+            if client is None or not hasattr(client, 'repl_group'):
+                continue
+            try:
+                client.repl_group(self._group, payload)
+            except NodeUnavailableError as e:
+                self._router.record(node, ok=False, unavailable=True, error=e)
+            except ConnectorError as e:
+                self._router.record(node, ok=False, error=e)
+            else:
+                self._router.record(node, ok=True)
+
+    def join(self, member: str, session_timeout: float) -> dict[str, Any]:
+        """Join on the acting coordinator; mirrored to the replicas."""
+        return self._call(
+            lambda c: c.group_join(
+                self._group, member, session_timeout=session_timeout,
+            ),
+            mirror={
+                'op': 'join', 'member': member,
+                'session_timeout': session_timeout,
+            },
+        )
+
+    def heartbeat(
+        self,
+        member: str,
+        positions: dict[str, int],
+        ends: dict[str, int] | None = None,
+    ) -> dict[str, Any]:
+        """Heartbeat the acting coordinator (lease refresh mirrors too)."""
+        try:
+            return self._call(
+                lambda c: c.group_heartbeat(self._group, member, positions, ends),
+                mirror={
+                    'op': 'heartbeat', 'member': member,
+                    'positions': dict(positions), 'ends': dict(ends or {}),
+                },
+            )
+        except NodeUnavailableError:
+            raise
+        except ConnectorError as e:
+            if 'unknown member' in str(e):
+                raise GroupMembershipError(
+                    f'member {member!r} expired from the group',
+                ) from e
+            raise
+
+    def leave(self, member: str, positions: dict[str, int]) -> None:
+        """Leave via the acting coordinator; mirrored to the replicas."""
+        self._call(
+            lambda c: c.group_leave(self._group, member, positions),
+            mirror={
+                'op': 'leave', 'member': member, 'positions': dict(positions),
+            },
+        )
+
+    def commit(
+        self,
+        member: str,
+        offsets: dict[str, int],
+        positions: dict[str, int],
+        ends: dict[str, int] | None = None,
+    ) -> None:
+        """Commit offsets on the acting coordinator; mirrored monotonically."""
+        self._call(
+            lambda c: c.offset_commit(
+                self._group, offsets,
+                member=member, positions=positions, ends=ends,
+            ),
+            mirror={
+                'op': 'commit', 'member': member, 'offsets': dict(offsets),
+                'positions': dict(positions), 'ends': dict(ends or {}),
+            },
+        )
+
+    def fetch(self, topics: Sequence[str]) -> dict[str, dict[str, int]]:
+        """Fetch offset state from the acting coordinator (read-only)."""
+        return self._call(lambda c: c.offset_fetch(self._group, list(topics)))
+
+    def stats(self) -> dict[str, Any]:
+        """Fetch full group state from the acting coordinator (read-only)."""
+        return self._call(lambda c: c.group_stats(self._group))
+
+
 class GroupCoordinator:
     """Client handle to one group's membership and offset state.
 
@@ -443,7 +758,10 @@ class GroupCoordinator:
         designated = router.designated(f'group:{group}')
         client = getattr(designated, 'client', None)
         if client is not None and hasattr(client, 'group_join'):
-            self._backend: Any = _KVBackend(client, group)
+            if router.replicas > 1:
+                self._backend: Any = _ReplicatedKVBackend(group, router)
+            else:
+                self._backend = _KVBackend(client, group)
         elif type(designated).__name__ == 'LocalEventBus':
             self._backend = _LocalBackend(designated.bus_id, group)
         else:
@@ -451,6 +769,11 @@ class GroupCoordinator:
                 f'bus {designated!r} supports no group-state backend',
             )
         self.designated_broker = broker_id(designated)
+
+    @property
+    def failovers(self) -> int:
+        """Coordinator-broker failovers observed (0 without replication)."""
+        return getattr(self._backend, 'failovers', 0)
 
     def __repr__(self) -> str:
         return (
@@ -572,6 +895,10 @@ class GroupConsumer:
             raises ``TimeoutError`` (``None`` = wait forever).
         prefetch: kick off background resolution of up to this many
             delivered-but-unconsumed proxies.
+        replicas: partition replication factor — must match the
+            producer's.  Above 1, subscriptions fail over to replica
+            brokers and the coordinator state survives the designated
+            broker's death (the member rejoins on the surviving replica).
 
     Iteration ends when every partition assigned to this member has
     delivered its end-of-stream marker.  The marker is deliberately never
@@ -592,6 +919,7 @@ class GroupConsumer:
         heartbeat_interval: float | None = None,
         timeout: float | None = 30.0,
         prefetch: int = 0,
+        replicas: int = 1,
     ) -> None:
         if session_timeout <= 0:
             raise ValueError('session_timeout must be positive')
@@ -600,7 +928,7 @@ class GroupConsumer:
         from repro.connectors.protocol import new_object_id
 
         self.store = store
-        self.router = PartitionRouter(topic, partitions, bus)
+        self.router = PartitionRouter(topic, partitions, bus, replicas=replicas)
         self.topic = topic
         self.group = group
         self.member = member if member is not None else f'member-{new_object_id()}'
@@ -619,6 +947,7 @@ class GroupConsumer:
         self._view: dict[str, Any] = {'generation': -1, 'members': []}
         self._needs_rejoin = False
         self._synced_generation = -1
+        self._seen_failovers = 0
         self._closed = threading.Event()
         self._rr = 0
 
@@ -718,13 +1047,25 @@ class GroupConsumer:
 
     def _sync_membership(self) -> None:
         """Re-derive this member's partition claims from the latest view."""
+        failovers = self.coordinator.failovers
+        if failovers != self._seen_failovers:
+            # The coordinator broker changed under us.  The replica's
+            # mirrored state is authoritative now but its generation may
+            # trail the one we synced to — rejoin and resync from scratch.
+            self._seen_failovers = failovers
+            self._needs_rejoin = True
         if self._needs_rejoin:
-            # Our lease expired: survivors may already own our partitions.
-            # Drop every claim (their un-acked events will be redelivered —
-            # possibly to us) and start over from the committed offsets.
+            # Our lease expired (or the coordinator failed over):
+            # survivors may already own our partitions.  Drop every claim
+            # (their un-acked events will be redelivered — possibly to us)
+            # and start over from the committed offsets.  The view resets
+            # too: a stale generation from the old coordinator must not
+            # out-rank the new acting coordinator's numbering.
             self._needs_rejoin = False
             self._drop_claims(list(self._claims))
             self._synced_generation = -1
+            with self._view_lock:
+                self._view = {'generation': -1, 'members': []}
             self._set_view(
                 self.coordinator.join(self.member, self.session_timeout),
             )
@@ -744,7 +1085,7 @@ class GroupConsumer:
                 entry = offsets.get(topic, {})
                 committed = int(entry.get('committed', 0))
                 watermark = int(entry.get('watermark', 0))
-                subscription = self.router.bus_for(topic).subscribe(
+                subscription = self.router.subscribe(
                     topic, from_seq=committed,
                 )
                 self._claims[topic] = _PartitionClaim(

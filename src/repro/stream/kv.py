@@ -32,6 +32,10 @@ from typing import Sequence
 
 from repro.connectors.registry import StoreURL
 from repro.exceptions import ConnectorError
+from repro.exceptions import NodeUnavailableError
+from repro.faults import injection
+from repro.faults.retry import DEFAULT_RECONNECT_POLICY
+from repro.faults.retry import RetryPolicy
 from repro.kvserver.client import DEFAULT_POOL_SIZE
 from repro.kvserver.client import DEFAULT_TIMEOUT
 from repro.kvserver.client import KVClient
@@ -71,10 +75,12 @@ class KVSubscription:
         *,
         max_queued_batches: int = DEFAULT_MAX_QUEUED_BATCHES,
         poll_interval: float = 0.5,
+        reconnect_policy: RetryPolicy | None = None,
     ) -> None:
         self._bus = bus
         self.topic = topic
         self._poll_interval = poll_interval
+        self._reconnect_policy = reconnect_policy or DEFAULT_RECONNECT_POLICY
         self._queue: queue.Queue[list[tuple[int, Any]]] = queue.Queue(
             maxsize=max_queued_batches,
         )
@@ -91,11 +97,14 @@ class KVSubscription:
         """Open the dedicated push connection and issue the SUBSCRIBE."""
         reply_box: queue.Queue[Any] = queue.Queue(maxsize=1)
         try:
+            injection.on_connect(self._bus.host, self._bus.port)
             sock = socket.create_connection(
                 (self._bus.host, self._bus.port), timeout=self._bus.timeout,
             )
         except OSError as e:
-            raise ConnectorError(
+            # Typed as node-unavailable so failover layers know the broker
+            # itself is gone (vs. a request-level failure).
+            raise NodeUnavailableError(
                 f'cannot connect to SimKV broker at '
                 f'{self._bus.host}:{self._bus.port}: {e}',
             ) from e
@@ -297,11 +306,31 @@ class KVSubscription:
         return []
 
     def _reconnect(self) -> None:
-        """Re-establish a died push connection, resuming from the cursor."""
+        """Re-establish a died push connection, resuming from the cursor.
+
+        Retries with the subscription's jittered-backoff policy: a broker
+        that is restarting (same address, new process) answers within a
+        few attempts and the cursor-driven SUBSCRIBE backfills the gap
+        from its ring.  Only after the policy is exhausted does the
+        failure propagate — at which point a replication-aware wrapper
+        (:class:`~repro.stream.failover.FailoverSubscription`) fails over
+        to another broker instead.
+        """
         if self._closed:
             return
         self._teardown_socket()
-        self._connect(self._expected)
+        last: Exception | None = None
+        for _attempt in self._reconnect_policy.attempts():
+            if self._closed:
+                return
+            try:
+                self._connect(self._expected)
+            except ConnectorError as e:
+                last = e
+                continue
+            return
+        if last is not None:
+            raise last
 
     # -- lifecycle --------------------------------------------------------- #
     def _teardown_socket(self) -> None:
@@ -349,6 +378,9 @@ class KVEventBus:
         poll_interval: seconds an idle subscription waits between direct
             ring polls (the liveness net when its pushes were dropped
             under backpressure); lower it for latency-sensitive consumers.
+        reconnect_policy: jittered-backoff schedule subscriptions use to
+            re-establish a died push connection (default:
+            :data:`~repro.faults.retry.DEFAULT_RECONNECT_POLICY`).
     """
 
     scheme = 'kv'
@@ -364,6 +396,7 @@ class KVEventBus:
         pool_size: int = DEFAULT_POOL_SIZE,
         max_queued_batches: int = DEFAULT_MAX_QUEUED_BATCHES,
         poll_interval: float = 0.5,
+        reconnect_policy: RetryPolicy | None = None,
     ) -> None:
         if launch:
             server = launch_server(host, port)
@@ -376,6 +409,7 @@ class KVEventBus:
         self.pool_size = pool_size
         self.max_queued_batches = max_queued_batches
         self.poll_interval = poll_interval
+        self.reconnect_policy = reconnect_policy or DEFAULT_RECONNECT_POLICY
         self.client = KVClient(host, port, timeout=timeout, pool_size=pool_size)
         self._configured: set[str] = set()
         self._configure_lock = threading.Lock()
@@ -418,6 +452,7 @@ class KVEventBus:
             from_seq,
             max_queued_batches=self.max_queued_batches,
             poll_interval=self.poll_interval,
+            reconnect_policy=self.reconnect_policy,
         )
 
     def topic_stats(self, topic: str) -> dict[str, Any] | None:

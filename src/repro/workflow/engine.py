@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING
 
 from repro.exceptions import NodeUnavailableError
 from repro.exceptions import WorkflowError
+from repro.faults.retry import RetryPolicy
 from repro.serialize import deserialize
 from repro.serialize import freeze_payload
 from repro.serialize import serialize
@@ -209,9 +210,10 @@ class WorkflowEngine:
             max_retries: resubmissions per task after a
                 :class:`~repro.exceptions.NodeUnavailableError` — the
                 typed crash signal raised when a task's proxy resolves
-                against a dead storage node.  Retries back off
-                exponentially from ``retry_backoff`` seconds (capped at
-                1s), giving failover or a restart time to land.  Any other
+                against a dead storage node.  Retries back off via a
+                :class:`~repro.faults.retry.RetryPolicy` built from
+                ``retry_backoff`` (jittered exponential, capped at 1s),
+                giving failover or a restart time to land.  Any other
                 exception, or exhausting the budget, propagates — and a
                 failed run still publishes no clean end marker.
             retry_backoff: initial retry delay in seconds.
@@ -230,6 +232,11 @@ class WorkflowEngine:
         tasks = published = retries = 0
         retry_metrics = getattr(output, 'store', None) or getattr(items, 'store', None)
         retry_metrics = getattr(retry_metrics, 'metrics', None)
+        retry_policy = RetryPolicy(
+            max_attempts=max_retries + 1,
+            base_delay=retry_backoff,
+            max_delay=1.0,
+        )
 
         def drain_one() -> None:
             nonlocal published, retries
@@ -239,9 +246,10 @@ class WorkflowEngine:
             except NodeUnavailableError:
                 if attempts >= max_retries:
                     raise
-                # Capped exponential backoff: transient node loss (restart,
-                # failover, rebalance) usually resolves within a few beats.
-                time.sleep(min(retry_backoff * (2 ** attempts), 1.0))
+                # Jittered backoff from the shared policy: transient node
+                # loss (restart, failover, rebalance) usually resolves
+                # within a few beats.
+                time.sleep(retry_policy.delay(attempts))
                 retries += 1
                 self.stats.task_retries += 1
                 if retry_metrics is not None:

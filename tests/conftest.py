@@ -1,10 +1,71 @@
-"""Shared pytest fixtures for the test suite."""
+"""Shared pytest fixtures and chaos/timeout wiring for the test suite."""
 from __future__ import annotations
+
+import signal
+import threading
 
 import pytest
 
 from repro.serialize.registry import default_registry
 from repro.store import unregister_all
+
+try:
+    import pytest_timeout  # noqa: F401
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+
+def pytest_configure(config):
+    """Register the suite's custom markers (no pytest.ini in this repo)."""
+    config.addinivalue_line(
+        'markers',
+        'chaos: fault-injection tests that kill real subprocesses '
+        "(deselect with -m 'not chaos')",
+    )
+    config.addinivalue_line(
+        'markers',
+        'timeout(seconds): fail the test if it runs longer than the bound '
+        '(pytest-timeout when installed, SIGALRM fallback otherwise)',
+    )
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """SIGALRM fallback for ``@pytest.mark.timeout`` without pytest-timeout.
+
+    A hung failover test must fail fast, not wedge the whole run.  When
+    the real plugin is installed it handles the marker itself; this
+    fallback only arms an alarm on the main thread of platforms that
+    have ``SIGALRM`` (the CI runners do).
+    """
+    marker = item.get_closest_marker('timeout')
+    seconds = 0
+    if marker is not None and not _HAVE_PYTEST_TIMEOUT:
+        if marker.args:
+            seconds = int(marker.args[0])
+        elif 'seconds' in marker.kwargs:
+            seconds = int(marker.kwargs['seconds'])
+    usable = (
+        seconds > 0
+        and hasattr(signal, 'SIGALRM')
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        return (yield)
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f'test exceeded its {seconds}s timeout (SIGALRM fallback)',
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        return (yield)
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(autouse=True)

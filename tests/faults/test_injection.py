@@ -1,0 +1,111 @@
+"""Fault-injector tests: both the rule mechanics and the live wire seams."""
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exceptions import ConnectorError
+from repro.faults import FaultInjector
+from repro.faults import current_injector
+from repro.faults import install_injector
+from repro.faults import uninstall_injector
+from repro.kvserver.client import KVClient
+from repro.kvserver.server import KVServer
+
+
+@pytest.fixture()
+def injector():
+    """A process-global injector, uninstalled on teardown."""
+    injector = install_injector()
+    yield injector
+    uninstall_injector()
+
+
+@pytest.fixture()
+def server():
+    """A live SimKV server on an ephemeral port."""
+    server = KVServer()
+    server.start()
+    yield server
+    server.stop()
+
+
+def test_install_uninstall_roundtrip():
+    assert current_injector() is None
+    installed = install_injector()
+    assert current_injector() is installed
+    uninstall_injector()
+    assert current_injector() is None
+
+
+def test_rules_decrement_and_clear():
+    injector = FaultInjector()
+    injector.add_reset('a:1', count=2)
+    assert injector.on_send('a:1') == 'reset'
+    assert injector.on_send('a:1') == 'reset'
+    assert injector.on_send('a:1') is None  # count exhausted
+    injector.add_truncate('a:1')
+    injector.clear('a:1')
+    assert injector.on_send('a:1') is None
+    assert injector.triggered == [('a:1', 'reset'), ('a:1', 'reset')]
+
+
+def test_wildcard_matches_any_target():
+    injector = FaultInjector()
+    injector.add_reset('*', count=1)
+    assert injector.on_send('anything:99') == 'reset'
+    assert injector.on_send('anything:99') is None
+
+
+def test_latency_expires_after_duration():
+    injector = FaultInjector()
+    injector.add_latency('b:2', 0.01, duration=0.05)
+    start = time.monotonic()
+    injector.on_send('b:2')
+    assert time.monotonic() - start >= 0.01
+    time.sleep(0.06)
+    start = time.monotonic()
+    injector.on_send('b:2')
+    assert time.monotonic() - start < 0.01  # expired
+
+
+def test_refuse_blocks_connect_seam(injector, server):
+    target = f'{server.host}:{server.port}'
+    injector.add_refuse(target, count=50)
+    with pytest.raises(ConnectorError):
+        client = KVClient(server.host, server.port, pool_size=1)
+        client.set('k', b'v')
+    assert ('refuse' in {kind for _t, kind in injector.triggered})
+
+
+def test_reset_on_send_recovers_via_pooled_retry(injector, server):
+    # A single injected reset kills one pooled connection; the client's
+    # stale-connection retry transparently re-issues on a fresh socket.
+    client = KVClient(server.host, server.port, pool_size=2)
+    client.set('warm', b'1')  # establish the pool
+    injector.add_reset(f'{server.host}:{server.port}', count=1)
+    client.set('k', b'v')
+    assert client.get('k') == b'v'
+    assert ('reset' in {kind for _t, kind in injector.triggered})
+    client.close()
+
+
+def test_truncate_mid_frame_recovers_via_pooled_retry(injector, server):
+    # Truncation writes half a frame then kills the connection — the
+    # server must discard the partial frame and the client must retry.
+    client = KVClient(server.host, server.port, pool_size=2)
+    client.set('warm', b'1')
+    injector.add_truncate(f'{server.host}:{server.port}', count=1)
+    client.set('k', b'x' * 4096)
+    assert client.get('k') == b'x' * 4096
+    assert ('truncate' in {kind for _t, kind in injector.triggered})
+    client.close()
+
+
+def test_no_injector_seams_are_noops(server):
+    assert current_injector() is None
+    client = KVClient(server.host, server.port)
+    client.set('k', b'v')
+    assert client.get('k') == b'v'
+    client.close()

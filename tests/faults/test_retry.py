@@ -1,0 +1,102 @@
+"""Tests for the shared jittered-backoff retry policy."""
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.faults import DEFAULT_RECONNECT_POLICY
+from repro.faults import RetryPolicy
+from repro.faults.retry import IMMEDIATE_POLICY
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+
+
+def test_delay_exponential_and_capped():
+    policy = RetryPolicy(
+        max_attempts=10, base_delay=0.1, max_delay=0.4,
+        multiplier=2.0, jitter=0.0,
+    )
+    assert policy.delay(0) == pytest.approx(0.1)
+    assert policy.delay(1) == pytest.approx(0.2)
+    assert policy.delay(2) == pytest.approx(0.4)
+    assert policy.delay(5) == pytest.approx(0.4)  # capped
+
+
+def test_jitter_is_bounded_and_seed_reproducible():
+    policy = RetryPolicy(max_attempts=6, base_delay=0.1, jitter=0.5)
+    schedule_a = list(policy.backoffs(random.Random(7)))
+    schedule_b = list(policy.backoffs(random.Random(7)))
+    assert schedule_a == schedule_b  # same seed, same schedule
+    for attempt, delay in enumerate(schedule_a):
+        nominal = min(0.1 * (2.0 ** attempt), policy.max_delay)
+        assert 0.5 * nominal <= delay <= 1.5 * nominal
+
+
+def test_zero_base_delay_retries_immediately():
+    policy = RetryPolicy(max_attempts=4, base_delay=0.0, jitter=0.0)
+    start = time.monotonic()
+    assert list(policy.attempts()) == [0, 1, 2, 3]
+    assert time.monotonic() - start < 0.05
+
+
+def test_attempts_loop_shape():
+    policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+    tries = 0
+    for _attempt in policy.attempts():
+        tries += 1
+    assert tries == 3
+
+
+def test_call_retries_then_succeeds():
+    policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+    calls = {'n': 0}
+
+    def flaky():
+        calls['n'] += 1
+        if calls['n'] < 3:
+            raise OSError('transient')
+        return 'ok'
+
+    assert policy.call(flaky, retry_on=(OSError,)) == 'ok'
+    assert calls['n'] == 3
+
+
+def test_call_exhausts_and_reraises():
+    policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+    seen = []
+
+    def always_fails():
+        raise OSError('down')
+
+    with pytest.raises(OSError):
+        policy.call(
+            always_fails,
+            retry_on=(OSError,),
+            on_retry=lambda attempt, err: seen.append(attempt),
+        )
+    assert seen == [0]  # one retry notification before the final failure
+
+
+def test_call_does_not_swallow_unlisted_errors():
+    policy = RetryPolicy(max_attempts=5, base_delay=0.0, jitter=0.0)
+
+    def typerror():
+        raise TypeError('not transient')
+
+    with pytest.raises(TypeError):
+        policy.call(typerror, retry_on=(OSError,))
+
+
+def test_shared_policies_are_frozen():
+    with pytest.raises(AttributeError):
+        DEFAULT_RECONNECT_POLICY.max_attempts = 1  # type: ignore[misc]
+    assert IMMEDIATE_POLICY.base_delay == 0.0

@@ -1,0 +1,217 @@
+"""Broker failover: replicated publish, subscriber failover, coordinator HA.
+
+All in-process (threaded servers, real sockets) — the subprocess version
+with SIGKILL lives in ``test_broker_chaos.py`` under the ``chaos`` marker.
+"""
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro
+from repro.exceptions import ConnectorError
+from repro.exceptions import GroupMembershipError
+from repro.exceptions import NodeUnavailableError
+from repro.exceptions import StreamGroupError
+from repro.kvserver.client import KVClient
+from repro.kvserver.server import KVServer
+from repro.stream import StreamConsumer
+from repro.stream import StreamProducer
+from repro.stream.failover import FailoverSubscription
+from repro.stream.groups import PartitionRouter
+
+_STORE_COUNTER = iter(range(10**6))
+
+
+@pytest.fixture()
+def fleet():
+    """Three live brokers; tests may stop some — teardown tolerates that."""
+    servers = [KVServer() for _ in range(3)]
+    for server in servers:
+        server.start()
+    yield servers
+    for server in servers:
+        try:
+            server.stop()
+        except Exception:  # noqa: BLE001 - already stopped by the test
+            pass
+
+
+@pytest.fixture()
+def store():
+    store = repro.store_from_url(
+        f'local:///failover-store-{next(_STORE_COUNTER)}',
+    )
+    yield store
+    store.close(clear=True)
+
+
+def _urls(servers):
+    return [f'kv://127.0.0.1:{s.port}' for s in servers]
+
+
+def _server_of(servers, node_id):
+    return next(s for s in servers if str(s.port) in node_id)
+
+
+# --------------------------------------------------------------------------- #
+# Typed errors and argument validation
+# --------------------------------------------------------------------------- #
+def test_group_membership_error_is_connector_error():
+    # Dual parentage: group-layer callers catch StreamGroupError, failover
+    # layers catch ConnectorError — the more specific class must come
+    # first in except chains, which subclassing makes possible.
+    assert issubclass(GroupMembershipError, StreamGroupError)
+    assert issubclass(GroupMembershipError, ConnectorError)
+
+
+def test_plain_consumer_rejects_replicas(store):
+    with pytest.raises(ValueError, match='consumer group'):
+        StreamConsumer(store, 'local://b', 'topic', replicas=2)
+
+
+def test_producer_requires_partitions_for_replicas(store):
+    with pytest.raises(ValueError, match='partitioned'):
+        StreamProducer(store, 'local://b', 'topic', replicas=2)
+
+
+def test_router_validates_replicas(fleet):
+    with pytest.raises(ValueError):
+        PartitionRouter('t', 2, _urls(fleet), replicas=0)
+    # Replication factor is clamped to the fleet size.
+    router = PartitionRouter('t', 2, _urls(fleet), replicas=9)
+    assert router.replicas == 3
+    router.close()
+
+
+# --------------------------------------------------------------------------- #
+# Replicated publish
+# --------------------------------------------------------------------------- #
+def test_publish_mirrors_to_replica_brokers(fleet):
+    router = PartitionRouter('mirrored', 2, _urls(fleet), replicas=2)
+    try:
+        topic = router.topics[0]
+        seqs = router.publish_batch(topic, [b'a', b'b', b'c'])
+        assert seqs == [0, 1, 2]
+        owners = router.owners(topic)
+        assert len(owners) == 2
+        for node in owners:
+            client = KVClient('127.0.0.1', int(node.rsplit(':', 1)[1]))
+            fetched = client.fetch_events(topic, since=0)
+            assert [
+                (int(s), bytes(d)) for s, d in fetched['events']
+            ] == [(0, b'a'), (1, b'b'), (2, b'c')]
+            client.close()
+    finally:
+        router.close()
+
+
+def test_publish_fails_over_when_primary_dies(fleet):
+    router = PartitionRouter('po-topic', 2, _urls(fleet), replicas=2)
+    try:
+        topic = router.topics[0]
+        router.publish_batch(topic, [b'before'])
+        primary = router.owners(topic)[0]
+        _server_of(fleet, primary).stop()
+        # The publish walks past the dead primary onto the replica and
+        # continues the primary's numbering (the replica holds the mirror).
+        seqs = router.publish_batch(topic, [b'after'])
+        assert seqs == [1]
+        assert router.membership.state_of(primary) == 'dead'
+    finally:
+        router.close()
+
+
+# --------------------------------------------------------------------------- #
+# Subscriber failover
+# --------------------------------------------------------------------------- #
+@pytest.mark.timeout(120)
+def test_subscription_fails_over_and_resumes_from_cursor(fleet):
+    router = PartitionRouter('sub-topic', 2, _urls(fleet), replicas=2)
+    try:
+        topic = router.topics[0]
+        router.publish_batch(topic, [b'e0', b'e1', b'e2'])
+        subscription = router.subscribe(topic, from_seq=0)
+        assert isinstance(subscription, FailoverSubscription)
+        got = []
+        deadline = time.monotonic() + 30.0
+        while len(got) < 3 and time.monotonic() < deadline:
+            got.extend(subscription.next_batch(timeout=1.0))
+        assert [seq for seq, _ in got] == [0, 1, 2]
+
+        victim = subscription.broker
+        _server_of(fleet, victim).stop()
+        router.publish_batch(topic, [b'e3', b'e4'])
+
+        deadline = time.monotonic() + 30.0
+        while len(got) < 5 and time.monotonic() < deadline:
+            got.extend(subscription.next_batch(timeout=1.0))
+        assert [seq for seq, _ in got] == [0, 1, 2, 3, 4]
+        assert subscription.failovers >= 1
+        assert subscription.broker != victim
+        assert subscription.lost == 0
+        subscription.close()
+    finally:
+        router.close()
+
+
+# --------------------------------------------------------------------------- #
+# Coordinator failover
+# --------------------------------------------------------------------------- #
+@pytest.mark.timeout(180)
+def test_coordinator_failover_preserves_commits_and_coverage(fleet, store):
+    urls = _urls(fleet)
+    producer = StreamProducer(store, urls, 'ha-docs', partitions=4, replicas=2)
+    producer.send_batch(list(range(10)))
+
+    consumer = StreamConsumer(
+        store, urls, 'ha-docs',
+        group='ha-group', partitions=4, replicas=2, timeout=20.0,
+    )
+    backend = consumer.coordinator._backend
+    got = []
+    items = iter(consumer)
+    for _ in range(5):
+        got.append(int(next(items)))
+    consumer.ack()
+    committed_before = consumer.coordinator.fetch(consumer.router.topics)
+
+    # Kill the acting coordinator broker: its replica holds the mirrored
+    # membership and offsets, so the group continues without losing acks.
+    victim = backend.acting_broker
+    _server_of(fleet, victim).stop()
+
+    late = StreamProducer(store, urls, 'ha-docs', partitions=4, replicas=2)
+    late.send_batch(list(range(10, 20)))
+    late.close(end=True)
+    producer.close(end=False)
+
+    for proxy in items:
+        got.append(int(proxy))
+        consumer.ack()
+
+    assert sorted(set(got)) == list(range(20))
+    assert consumer.lost == 0
+    assert consumer.coordinator.failovers >= 1
+    assert backend.acting_broker != victim
+    # Offsets committed before the failover survived onto the replica.
+    after = consumer.coordinator.fetch(consumer.router.topics)
+    for topic, entry in committed_before.items():
+        assert after[topic]['committed'] >= entry['committed']
+    consumer.close()
+
+
+@pytest.mark.timeout(120)
+def test_coordinator_calls_raise_when_every_owner_is_dead(fleet):
+    router = PartitionRouter('dead-topic', 2, _urls(fleet), replicas=2)
+    try:
+        from repro.stream.groups import _ReplicatedKVBackend
+
+        backend = _ReplicatedKVBackend('doomed', router)
+        for server in fleet:
+            server.stop()
+        with pytest.raises(NodeUnavailableError):
+            backend.join('m1', 5.0)
+    finally:
+        router.close()

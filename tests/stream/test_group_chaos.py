@@ -64,6 +64,8 @@ def _member(host, port, member, pace, ack, events_queue):
     store.close()
 
 
+@pytest.mark.chaos
+@pytest.mark.timeout(120)
 def test_sigkill_member_redelivers_with_zero_stranded_keys(kv_setup):
     server, store, bus = kv_setup
     from repro.stream import StreamProducer

@@ -14,7 +14,7 @@ import pathlib
 import pytest
 
 REPO_SRC = pathlib.Path(__file__).resolve().parent.parent / 'src' / 'repro'
-DOCUMENTED_PACKAGES = ('store', 'proxy', 'stream', 'cluster')
+DOCUMENTED_PACKAGES = ('store', 'proxy', 'stream', 'cluster', 'faults')
 
 
 def _documented_modules() -> list[pathlib.Path]:
