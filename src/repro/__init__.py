@@ -43,7 +43,7 @@ from repro.stream import StreamEvent
 from repro.stream import StreamProducer
 from repro.stream import event_bus_from_url
 
-__version__ = '2.1.0'
+__version__ = '2.2.0'
 
 
 def __getattr__(name: str):

@@ -1,0 +1,19 @@
+"""Built-in project-specific lint rules (self-registering on import).
+
+| Rule  | Module | Invariant |
+|-------|--------|-----------|
+| RP001 | :mod:`~repro.analysis.checkers.eventloop` | no blocking calls reachable from the KVServer event loop |
+| RP002 | :mod:`~repro.analysis.checkers.buffers` | stored exceptions must strip ``__traceback__`` (buffer pinning) |
+| RP003 | :mod:`~repro.analysis.checkers.locks` | the static lock-acquisition graph must be acyclic |
+| RP004 | :mod:`~repro.analysis.checkers.excepts` | no silent broad excepts in transport/stream paths |
+| RP005 | :mod:`~repro.analysis.checkers.metricsdoc` | metric literals and the docs/API.md registry must agree |
+| RP006 | :mod:`~repro.analysis.checkers.threads` | daemon threads must be joined on some close/stop path |
+"""
+from __future__ import annotations
+
+from repro.analysis.checkers import buffers  # noqa: F401
+from repro.analysis.checkers import eventloop  # noqa: F401
+from repro.analysis.checkers import excepts  # noqa: F401
+from repro.analysis.checkers import locks  # noqa: F401
+from repro.analysis.checkers import metricsdoc  # noqa: F401
+from repro.analysis.checkers import threads  # noqa: F401

@@ -1,0 +1,157 @@
+"""RP002 — a stored exception must not pin buffer exports via its traceback.
+
+The PR 8 post-mortem (``docs/ARCHITECTURE.md``, failure modes): a
+connection-failure exception stored on ``self`` kept its ``__traceback__``
+alive, the traceback's frames pinned wire-segment ``memoryview``\\ s with
+live pickle-5 buffer exports, and the GC's ``tp_clear`` on the cycle
+raised ``BufferError`` *inside the interpreter* — a hard crash, not a
+Python-level error.  The fix is mechanical: strip the traceback before
+the exception outlives its handler.
+
+This rule flags an ``except ... as e`` handler that assigns ``e`` to a
+long-lived location — an attribute (``self._error = e``), a container
+reachable through an attribute (``self._errors[k] = e``), or a
+``nonlocal``/``global`` variable — unless the stored value is
+``e.with_traceback(None)`` or the handler cleared ``e.__traceback__``
+first.  Locals and plain local containers are not flagged: they die with
+the frame.
+"""
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+from typing import Iterator
+
+from repro.analysis.core import Checker
+from repro.analysis.core import Finding
+from repro.analysis.core import Module
+from repro.analysis.core import register_checker
+
+__all__ = ['ExceptionPinsBuffers']
+
+
+def _is_stripped_value(node: ast.expr, exc_name: str) -> bool:
+    """``e.with_traceback(None)`` (possibly chained) is a safe store."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == 'with_traceback'
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == exc_name
+        and len(node.args) == 1
+        and isinstance(node.args[0], ast.Constant)
+        and node.args[0].value is None
+    )
+
+
+def _clears_traceback(stmt: ast.stmt, exc_name: str) -> bool:
+    """``e.__traceback__ = None`` anywhere in ``stmt``."""
+    for node in ast.walk(stmt):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Attribute)
+            and node.targets[0].attr == '__traceback__'
+            and isinstance(node.targets[0].value, ast.Name)
+            and node.targets[0].value.id == exc_name
+        ):
+            return True
+    return False
+
+
+def _walk_shallow(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``func`` without descending into nested function bodies.
+
+    Each handler must be attributed to its *innermost* function (whose
+    ``nonlocal`` declarations govern escape), and visited exactly once.
+    """
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _escaping_names(func: ast.AST) -> set[str]:
+    """Names declared ``nonlocal``/``global`` in the enclosing function."""
+    names: set[str] = set()
+    for node in _walk_shallow(func):
+        if isinstance(node, (ast.Nonlocal, ast.Global)):
+            names.update(node.names)
+    return names
+
+
+def _target_outlives_frame(target: ast.expr, escaping: set[str]) -> str | None:
+    """Describe the long-lived store target, or ``None`` for frame-locals."""
+    if isinstance(target, ast.Attribute):
+        return f'attribute {ast.unparse(target)}'
+    if isinstance(target, ast.Subscript):
+        base = target.value
+        while isinstance(base, ast.Subscript):
+            base = base.value
+        if isinstance(base, ast.Attribute):
+            return f'container {ast.unparse(target.value)}'
+        if isinstance(base, ast.Name) and base.id in escaping:
+            return f'closure container {base.id}'
+        return None
+    if isinstance(target, ast.Name) and target.id in escaping:
+        return f'closure variable {target.id}'
+    return None
+
+
+@register_checker
+class ExceptionPinsBuffers(Checker):
+    """Flag caught exceptions stored without stripping ``__traceback__``."""
+
+    rule = 'RP002'
+    name = 'exception-pins-buffers'
+    description = (
+        'a caught exception stored on self/closure keeps its traceback, '
+        'pinning frames and live pickle-5 buffer exports (the PR 8 '
+        'segfault class); store e.with_traceback(None) instead'
+    )
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        """Check every ``except ... as e`` handler in ``module``."""
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            escaping = _escaping_names(func)
+            for node in _walk_shallow(func):
+                if isinstance(node, ast.ExceptHandler) and node.name:
+                    yield from self._check_handler(module, node, escaping)
+
+    def _check_handler(
+        self,
+        module: Module,
+        handler: ast.ExceptHandler,
+        escaping: set[str],
+    ) -> Iterator[Finding]:
+        exc = handler.name
+        assert exc is not None
+        cleared = False
+        for stmt in handler.body:
+            if _clears_traceback(stmt, exc):
+                cleared = True
+            if cleared:
+                continue
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Assign):
+                    continue
+                value = node.value
+                if _is_stripped_value(value, exc):
+                    continue  # stored pre-stripped — safe
+                if not (isinstance(value, ast.Name) and value.id == exc):
+                    continue
+                for target in node.targets:
+                    described = _target_outlives_frame(target, escaping)
+                    if described is not None:
+                        yield module.finding(
+                            self.rule,
+                            f'caught exception {exc!r} stored on {described} '
+                            'without stripping its traceback — pins frames '
+                            'and buffer exports; use '
+                            f'{exc}.with_traceback(None)',
+                            node,
+                        )

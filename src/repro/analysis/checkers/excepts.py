@@ -1,0 +1,103 @@
+"""RP004 — transport/stream paths must not swallow exceptions silently.
+
+A ``except Exception: pass`` in a transport retry loop hides real
+failures: the cluster client keeps hedging against a dead node, the
+stream reader drops a record, and nothing in the metrics or logs ever
+says so.  The convention this rule enforces is that a *broad* handler
+(bare ``except``, ``except Exception``, ``except BaseException``, or a
+tuple containing one of those) in a transport path must do at least one
+of:
+
+* re-raise (``raise`` / ``raise ConnectorError(...) from e`` — typed
+  escalation is the preferred form),
+* record a metric (a call to ``record``/``_record``/``count``/
+  ``_count``/``_bump`` anywhere in the handler), or
+* increment a counter (an augmented assignment such as
+  ``self._faults += 1``).
+
+Handlers that intentionally discard (best-effort teardown, error
+already captured elsewhere) carry ``# repro: ignore[RP004] - reason``.
+"""
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Checker
+from repro.analysis.core import Finding
+from repro.analysis.core import Module
+from repro.analysis.core import register_checker
+
+__all__ = ['SilentBroadExcept']
+
+_BROAD = frozenset({'Exception', 'BaseException'})
+_METRIC_CALLS = frozenset({'record', '_record', 'count', '_count', '_bump'})
+
+
+def _is_broad(exc_type: ast.expr | None) -> bool:
+    """Bare except, Exception/BaseException, or a tuple containing one."""
+    if exc_type is None:
+        return True
+    if isinstance(exc_type, ast.Tuple):
+        return any(_is_broad(elt) for elt in exc_type.elts)
+    if isinstance(exc_type, ast.Name):
+        return exc_type.id in _BROAD
+    if isinstance(exc_type, ast.Attribute):  # e.g. builtins.Exception
+        return exc_type.attr in _BROAD
+    return False
+
+
+def _handler_accounts_for_failure(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises, records a metric, or counts."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.AugAssign):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.attr if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else None
+            )
+            if name in _METRIC_CALLS:
+                return True
+    return False
+
+
+@register_checker
+class SilentBroadExcept(Checker):
+    """Flag broad excepts in transport paths that hide the failure."""
+
+    rule = 'RP004'
+    name = 'silent-except'
+    description = (
+        'broad except in a transport/stream path that neither re-raises, '
+        'records a metric, nor increments a counter — failures vanish'
+    )
+    paths = (
+        'src/repro/kvserver',
+        'src/repro/stream',
+        'src/repro/cluster',
+        'src/repro/dim',
+        'src/repro/connectors',
+        'src/repro/endpoint',
+    )
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        """Flag broad handlers in ``module`` that hide the failure."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node.type):
+                continue
+            if _handler_accounts_for_failure(node):
+                continue
+            caught = ast.unparse(node.type) if node.type else 'everything'
+            yield module.finding(
+                self.rule,
+                f'broad except ({caught}) swallows the failure: add a '
+                'typed re-raise, record a metric, or bump a counter '
+                '(or suppress with a reason if discarding is intentional)',
+                node,
+            )

@@ -1,0 +1,310 @@
+"""RP003 — the static lock-acquisition graph must be acyclic.
+
+Builds a lock-order graph from ``with self._lock:``-style acquisitions:
+a lock held lexically when another is acquired adds a directed edge
+*held → acquired*.  Locks are identified per class attribute
+(``Class._lock``) or module-level name, so two methods of the same class
+nesting the same pair in opposite orders — or two classes acquiring each
+other's locks in opposite orders through one level of ``self.*()``
+calls — produce a cycle, which this rule reports.
+
+A self-edge (re-acquiring the *same* non-reentrant lock while holding
+it) is reported too when the lock is statically known to be a plain
+``threading.Lock`` — that is not a race but an instant deadlock.
+
+This is the static half of the lock-order story; the runtime witness
+(:mod:`repro.analysis.witness`) covers acquisition orders the AST cannot
+see (cross-object, cross-module, and data-dependent ones).
+"""
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Iterable
+from typing import Iterator
+
+from repro.analysis.core import Checker
+from repro.analysis.core import Finding
+from repro.analysis.core import Module
+from repro.analysis.core import Project
+from repro.analysis.core import register_checker
+
+__all__ = ['LockOrderCycle']
+
+_LOCKISH = re.compile(r'(?i)(lock|cond|mutex)')
+
+
+@dataclass(frozen=True)
+class _Edge:
+    """One observed *held → acquired* pair with its source location."""
+
+    held: str
+    acquired: str
+    relpath: str
+    line: int
+    context: str
+
+
+def _lock_label(node: ast.expr, class_name: str | None) -> str | None:
+    """Stable label for a lock expression, or ``None`` if not lock-like."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == 'self'
+        and _LOCKISH.search(node.attr)
+    ):
+        owner = class_name or '<module>'
+        return f'{owner}.{node.attr}'
+    if isinstance(node, ast.Name) and _LOCKISH.search(node.id):
+        return node.id
+    return None
+
+
+def _lock_kinds(cls: ast.ClassDef) -> dict[str, str]:
+    """Map ``self.<attr>`` lock names to ``Lock``/``RLock``/``Condition``."""
+    kinds: dict[str, str] = {}
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        func = node.value.func
+        ctor = (
+            func.attr if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else None
+        )
+        if ctor not in ('Lock', 'RLock', 'Condition'):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == 'self'
+            ):
+                kinds[f'{cls.name}.{target.attr}'] = ctor
+    return kinds
+
+
+class _FunctionScanner:
+    """Collect nesting edges and top-level acquisitions for one function."""
+
+    def __init__(self, class_name: str | None, module: Module) -> None:
+        self.class_name = class_name
+        self.module = module
+        self.edges: list[_Edge] = []
+        #: Every lock this function acquires anywhere (for one-hop calls).
+        self.acquires: set[str] = set()
+        #: ``self.<method>()`` calls made while holding each lock.
+        self.calls_under: list[tuple[str, str, int]] = []
+
+    def scan(self, func: ast.FunctionDef) -> None:
+        self._visit_body(func.body, held=())
+
+    def _visit_body(self, body: list[ast.stmt], held: tuple[str, ...]) -> None:
+        for stmt in body:
+            self._visit_stmt(stmt, held)
+
+    def _visit_stmt(self, stmt: ast.stmt, held: tuple[str, ...]) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in stmt.items:
+                label = _lock_label(item.context_expr, self.class_name)
+                if label is not None:
+                    self.acquires.add(label)
+                    for holder in inner:
+                        self._edge(holder, label, item.context_expr)
+                    inner = inner + (label,)
+            self._visit_body(stmt.body, inner)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested function bodies run later, not under the held locks.
+            return
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == 'self'
+                and held
+            ):
+                for holder in held:
+                    self.calls_under.append(
+                        (holder, node.func.attr, node.lineno),
+                    )
+        for child_body in (
+            getattr(stmt, 'body', None),
+            getattr(stmt, 'orelse', None),
+            getattr(stmt, 'finalbody', None),
+        ):
+            if isinstance(child_body, list) and child_body and (
+                isinstance(child_body[0], ast.stmt)
+            ):
+                self._visit_body(child_body, held)
+        for handler in getattr(stmt, 'handlers', ()) or ():
+            self._visit_body(handler.body, held)
+
+    def _edge(self, held: str, acquired: str, node: ast.expr) -> None:
+        self.edges.append(_Edge(
+            held=held,
+            acquired=acquired,
+            relpath=self.module.relpath,
+            line=node.lineno,
+            context=self.module.line_text(node.lineno),
+        ))
+
+
+@register_checker
+class LockOrderCycle(Checker):
+    """Flag cycles in the static lock-acquisition graph."""
+
+    rule = 'RP003'
+    name = 'lock-order'
+    description = (
+        'two code paths acquire the same locks in opposite orders '
+        '(potential deadlock), from with-statement nesting and one-hop '
+        'self.*() calls'
+    )
+
+    def __init__(self) -> None:
+        self._edges: list[_Edge] = []
+        self._kinds: dict[str, str] = {}
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        """Accumulate acquisition edges from ``module`` (reported later)."""
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                self._kinds.update(_lock_kinds(node))
+                self._scan_class(module, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scanner = _FunctionScanner(None, module)
+                scanner.scan(node)
+                self._edges.extend(scanner.edges)
+        return ()
+
+    def _scan_class(self, module: Module, cls: ast.ClassDef) -> None:
+        scanners: dict[str, _FunctionScanner] = {}
+        for node in cls.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scanner = _FunctionScanner(cls.name, module)
+                scanner.scan(node)
+                scanners[node.name] = scanner
+                self._edges.extend(scanner.edges)
+        # One-hop interprocedural edges: a self.m() call made while
+        # holding L adds L -> (every lock m acquires).
+        for scanner in scanners.values():
+            for held, callee, line in scanner.calls_under:
+                target = scanners.get(callee)
+                if target is None:
+                    continue
+                for acquired in sorted(target.acquires):
+                    if acquired != held:
+                        self._edges.append(_Edge(
+                            held=held,
+                            acquired=acquired,
+                            relpath=module.relpath,
+                            line=line,
+                            context=module.line_text(line),
+                        ))
+
+    def finish(self, project: Project) -> Iterable[Finding]:
+        """Report self-deadlocks and cycles over the accumulated graph."""
+        yield from self._self_deadlocks()
+        yield from self._cycles()
+        self._edges = []
+        self._kinds = {}
+
+    def _self_deadlocks(self) -> Iterator[Finding]:
+        for edge in self._edges:
+            if edge.held == edge.acquired and (
+                self._kinds.get(edge.held) == 'Lock'
+            ):
+                yield Finding(
+                    rule=self.rule,
+                    message=(
+                        f'non-reentrant lock {edge.held} re-acquired while '
+                        'already held — instant self-deadlock'
+                    ),
+                    path=edge.relpath,
+                    line=edge.line,
+                    context=edge.context,
+                )
+
+    def _cycles(self) -> Iterator[Finding]:
+        graph: dict[str, set[str]] = {}
+        by_pair: dict[tuple[str, str], _Edge] = {}
+        for edge in self._edges:
+            if edge.held == edge.acquired:
+                continue
+            graph.setdefault(edge.held, set()).add(edge.acquired)
+            by_pair.setdefault((edge.held, edge.acquired), edge)
+        for component in _strongly_connected(graph):
+            if len(component) < 2:
+                continue
+            ordered = sorted(component)
+            cycle = ' -> '.join(ordered + [ordered[0]])
+            # Anchor one finding at each edge inside the cycle so every
+            # participating site is visible (and suppressible) on its line.
+            for (held, acquired), edge in sorted(by_pair.items()):
+                if held in component and acquired in component:
+                    yield Finding(
+                        rule=self.rule,
+                        message=(
+                            f'lock-order cycle {cycle}: this path acquires '
+                            f'{acquired} while holding {held}, another path '
+                            'nests them in the opposite order'
+                        ),
+                        path=edge.relpath,
+                        line=edge.line,
+                        context=edge.context,
+                    )
+
+
+def _strongly_connected(graph: dict[str, set[str]]) -> list[set[str]]:
+    """Tarjan's SCC, iterative (lint input sizes are tiny but unbounded)."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[set[str]] = []
+    counter = [0]
+    nodes = set(graph) | {n for targets in graph.values() for n in targets}
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(graph.get(root, ()))))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+
+    for node in sorted(nodes):
+        if node not in index:
+            strongconnect(node)
+    return components

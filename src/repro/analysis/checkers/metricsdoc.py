@@ -1,0 +1,199 @@
+"""RP005 — code metric names and the docs/API.md registry must agree.
+
+``docs/API.md`` carries the authoritative metric-name table ("Store
+metric names").  Operators build dashboards from that table; a metric
+recorded in code but absent from the table is invisible to them, and a
+documented metric nothing records is a dashboard that silently flatlines.
+This rule checks **both directions**:
+
+* every string literal (or f-string template) passed as the first
+  argument of a ``record``/``_record``/``_bump`` call must match a
+  table row, and
+* every table row must match at least one call site.
+
+Wildcards line up on both sides: a docs placeholder such as
+``cluster.node.<id>.ok`` and an f-string such as
+``f'cluster.{counter}'`` both normalize to ``*`` segments, and two
+names *overlap* when either one's pattern matches the other.
+``_bump(name)`` is the cluster client's counter helper and implies the
+``cluster.`` prefix.  Calls whose first argument is not a string (e.g.
+``OperationStats.record(elapsed, nbytes)``) are not metric names and
+are ignored.
+"""
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analysis.core import Checker
+from repro.analysis.core import Finding
+from repro.analysis.core import Module
+from repro.analysis.core import Project
+from repro.analysis.core import register_checker
+
+__all__ = ['MetricNameRegistry']
+
+_RECORD_CALLS = frozenset({'record', '_record'})
+_BUMP_CALLS = frozenset({'_bump'})
+_DOCS_TABLE_HEADING = '## Store metric names'
+_BACKTICKED = re.compile(r'`([^`]+)`')
+
+
+@dataclass(frozen=True)
+class _MetricUse:
+    """One metric-name literal at a call site (normalized to ``*``)."""
+
+    pattern: str
+    relpath: str
+    line: int
+    context: str
+
+
+def _normalize_fstring(node: ast.JoinedStr) -> str:
+    """``f'cluster.{counter}'`` → ``cluster.*``."""
+    parts: list[str] = []
+    for value in node.values:
+        if isinstance(value, ast.Constant):
+            parts.append(str(value.value))
+        else:
+            parts.append('*')
+    return ''.join(parts)
+
+
+def _overlap(a: str, b: str) -> bool:
+    """True when patterns ``a`` and ``b`` can name the same metric."""
+    def regex(pattern: str) -> re.Pattern[str]:
+        return re.compile(
+            '.+'.join(re.escape(part) for part in pattern.split('*')),
+        )
+
+    def concrete(pattern: str) -> str:
+        return pattern.replace('*', 'x')
+
+    return bool(
+        regex(a).fullmatch(concrete(b)) or regex(b).fullmatch(concrete(a)),
+    )
+
+
+def _documented_names(text: str) -> list[tuple[str, int, str]]:
+    """``(normalized_name, line_number, line_text)`` per docs table entry."""
+    names: list[tuple[str, int, str]] = []
+    in_section = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.startswith('## '):
+            in_section = line.strip() == _DOCS_TABLE_HEADING
+            continue
+        if not in_section or not line.lstrip().startswith('|'):
+            continue
+        first_cell = line.split('|')[1] if line.count('|') >= 2 else ''
+        if set(first_cell.strip()) <= {'-', ':', ' '}:
+            continue  # the |---| separator row
+        for raw in _BACKTICKED.findall(first_cell):
+            normalized = re.sub(r'<[^>]*>', '*', raw.strip())
+            if normalized:
+                names.append((normalized, lineno, line))
+    return names
+
+
+class MetricNameRegistry(Checker):
+    """Cross-check metric literals against the docs/API.md table."""
+
+    rule = 'RP005'
+    name = 'metric-name-registry'
+    description = (
+        'metric names recorded in code and the docs/API.md "Store metric '
+        'names" table must match in both directions'
+    )
+    #: Path (relative to the project root) of the registry document.
+    docs_path = 'docs/API.md'
+
+    def __init__(self) -> None:
+        self._uses: list[_MetricUse] = []
+
+    def applies_to(self, module: Module) -> bool:
+        """Everything except the analyzer itself (its examples aren't metrics)."""
+        return not module.relpath.startswith('src/repro/analysis')
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        """Collect metric-name literals from ``module`` (reported later)."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            name = (
+                func.attr if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else None
+            )
+            if name in _RECORD_CALLS:
+                prefix = ''
+            elif name in _BUMP_CALLS:
+                prefix = 'cluster.'
+            else:
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                pattern = prefix + first.value
+            elif isinstance(first, ast.JoinedStr):
+                pattern = prefix + _normalize_fstring(first)
+            else:
+                continue
+            self._uses.append(_MetricUse(
+                pattern=pattern,
+                relpath=module.relpath,
+                line=node.lineno,
+                context=module.line_text(node.lineno),
+            ))
+        return ()
+
+    def finish(self, project: Project) -> Iterable[Finding]:
+        """Cross-check collected literals against the docs table."""
+        uses, self._uses = self._uses, []
+        docs_file = project.root / self.docs_path
+        if not docs_file.exists():
+            yield Finding(
+                rule=self.rule,
+                message=f'metric registry document {self.docs_path} not found',
+                path=self.docs_path,
+                line=1,
+            )
+            return
+        text = docs_file.read_text()
+        documented = _documented_names(text)
+
+        for use in uses:
+            if not any(_overlap(use.pattern, doc) for doc, _, _ in documented):
+                yield Finding(
+                    rule=self.rule,
+                    message=(
+                        f'metric {use.pattern!r} is recorded here but missing '
+                        f'from the {self.docs_path} metric table'
+                    ),
+                    path=use.relpath,
+                    line=use.line,
+                    context=use.context,
+                )
+        for doc, lineno, line in documented:
+            # A code-side wildcard (an f-string template) only vouches
+            # for docs rows that are themselves templates — otherwise
+            # the `_bump` implementation's f'cluster.{...}' would match
+            # every concrete cluster.* row and dead rows would survive.
+            vouchers = [
+                use for use in uses
+                if '*' not in use.pattern or '*' in doc
+            ]
+            if not any(_overlap(use.pattern, doc) for use in vouchers):
+                yield Finding(
+                    rule=self.rule,
+                    message=(
+                        f'documented metric {doc!r} is never recorded by any '
+                        'code path — remove the row or restore the metric'
+                    ),
+                    path=self.docs_path,
+                    line=lineno,
+                    context=line,
+                )
+
+
+register_checker(MetricNameRegistry)

@@ -1,0 +1,315 @@
+"""RP006 — every daemon thread needs a join on some close/stop path.
+
+``daemon=True`` keeps a stuck background thread from blocking
+interpreter exit — it does **not** license leaking the thread.  An
+unjoined daemon worker keeps running through test teardown, touches
+freed sockets and stores, and turns one test's failure into the next
+test's flake.  The convention: every ``threading.Thread(daemon=True)``
+the project starts must be joined on *some* path — ``stop()``,
+``close()``, or the end of the function that spawned it.
+
+The join does not have to name the attribute directly.  These all count
+(they are the shapes the codebase actually uses)::
+
+    self._thread.join(timeout=5)
+    thread = self._thread; thread.join()                  # alias
+    reader, self._reader = self._reader, None             # swap-then-join
+    thread = getattr(self, '_async_thread', None)         # getattr alias
+    for worker in self._workers: worker.join()            # collection
+
+A thread handed to the caller (``return t``) transfers ownership and is
+not flagged at the creation site.
+"""
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+from typing import Iterator
+
+from repro.analysis.core import Checker
+from repro.analysis.core import Finding
+from repro.analysis.core import Module
+from repro.analysis.core import register_checker
+
+__all__ = ['DaemonThreadJoin']
+
+
+def _is_daemon_thread_call(node: ast.expr) -> bool:
+    """``Thread(..., daemon=True)`` / ``threading.Thread(..., daemon=True)``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = (
+        func.attr if isinstance(func, ast.Attribute)
+        else func.id if isinstance(func, ast.Name) else None
+    )
+    if name != 'Thread':
+        return False
+    return any(
+        kw.arg == 'daemon'
+        and isinstance(kw.value, ast.Constant)
+        and kw.value.value is True
+        for kw in node.keywords
+    )
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``self.<attr>`` → attr name, including ``getattr(self, 'attr', ...)``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == 'self'
+    ):
+        return node.attr
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == 'getattr'
+        and len(node.args) >= 2
+        and isinstance(node.args[0], ast.Name)
+        and node.args[0].id == 'self'
+        and isinstance(node.args[1], ast.Constant)
+        and isinstance(node.args[1].value, str)
+    ):
+        return node.args[1].value
+    return None
+
+
+def _attrs_in(node: ast.expr) -> set[str]:
+    """Every ``self.<attr>`` (or getattr form) mentioned inside ``node``."""
+    found: set[str] = set()
+    for child in ast.walk(node):
+        attr = _self_attr(child)
+        if attr is not None:
+            found.add(attr)
+    return found
+
+
+def _assignment_pairs(stmt: ast.Assign) -> Iterator[tuple[ast.expr, ast.expr]]:
+    """``(target, value)`` pairs, unzipping tuple-to-tuple assignments."""
+    for target in stmt.targets:
+        if (
+            isinstance(target, ast.Tuple)
+            and isinstance(stmt.value, ast.Tuple)
+            and len(target.elts) == len(stmt.value.elts)
+        ):
+            yield from zip(target.elts, stmt.value.elts)
+        else:
+            yield target, stmt.value
+
+
+def _joined_attrs(func: ast.AST) -> set[str]:
+    """Attrs of ``self`` that some alias chain ``.join()``s in ``func``.
+
+    Runs an alias fixpoint: a local name assigned from an expression
+    mentioning ``self.<attr>`` (directly, via ``getattr``, tuple
+    unpacking, ``list(...)`` wrapping) — or iterated from one in a
+    ``for`` loop — carries that attr.  A ``.join()`` on the attr or any
+    carrier marks the attr joined.
+    """
+    aliases: dict[str, set[str]] = {}
+
+    def carried(expr: ast.expr) -> set[str]:
+        attrs = set(_attrs_in(expr))
+        for child in ast.walk(expr):
+            if isinstance(child, ast.Name) and child.id in aliases:
+                attrs |= aliases[child.id]
+        return attrs
+
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(func):
+            pairs: Iterator[tuple[ast.expr, ast.expr]]
+            if isinstance(node, ast.Assign):
+                pairs = _assignment_pairs(node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                pairs = iter([(node.target, node.iter)])
+            else:
+                continue
+            for target, value in pairs:
+                if not isinstance(target, ast.Name):
+                    continue
+                attrs = carried(value)
+                if attrs - aliases.get(target.id, set()):
+                    aliases.setdefault(target.id, set()).update(attrs)
+                    changed = True
+
+    joined: set[str] = set()
+    for node in ast.walk(func):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == 'join'
+        ):
+            continue
+        receiver = node.func.value
+        attr = _self_attr(receiver)
+        if attr is not None:
+            joined.add(attr)
+        elif isinstance(receiver, ast.Name):
+            joined |= aliases.get(receiver.id, set())
+    return joined
+
+
+def _local_joins(func: ast.AST, names: set[str]) -> set[str]:
+    """Local thread names ``.join()``ed (or returned) inside ``func``."""
+    settled: set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == 'join'
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in names
+        ):
+            settled.add(node.func.value.id)
+        if (
+            isinstance(node, ast.Return)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in names
+        ):
+            settled.add(node.value.id)
+    return settled
+
+
+@register_checker
+class DaemonThreadJoin(Checker):
+    """Flag daemon threads no close/stop path ever joins."""
+
+    rule = 'RP006'
+    name = 'daemon-thread-join'
+    description = (
+        'a daemon=True thread is started but never joined on any '
+        'close/stop path — it outlives its owner and races teardown'
+    )
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        """Check daemon-thread creations in every class and function."""
+        top_level_funcs = [
+            node for node in module.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for cls in module.tree.body:
+            if isinstance(cls, ast.ClassDef):
+                yield from self._check_class(module, cls)
+        for func in top_level_funcs:
+            yield from self._check_function(module, func)
+
+    def _check_class(
+        self, module: Module, cls: ast.ClassDef,
+    ) -> Iterator[Finding]:
+        methods = [
+            node for node in cls.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        joined_attrs: set[str] = set()
+        for method in methods:
+            joined_attrs |= _joined_attrs(method)
+
+        for method in methods:
+            # Pass 1: locals holding daemon threads, and the self attrs
+            # they reach (direct assign, append, list-comp, re-assign).
+            locals_holding: set[str] = set()
+            bound_attrs: dict[ast.Assign, set[str]] = {}
+            creations: list[tuple[ast.expr, set[str], str | None]] = []
+            for node in ast.walk(method):
+                if isinstance(node, ast.Assign):
+                    for target, value in _assignment_pairs(node):
+                        if _creates_daemon_thread(value):
+                            attrs: set[str] = set()
+                            local: str | None = None
+                            attr = _self_attr(target)
+                            if attr is not None:
+                                attrs.add(attr)
+                            elif isinstance(target, ast.Name):
+                                local = target.id
+                                locals_holding.add(local)
+                            creations.append((value, attrs, local))
+                            bound_attrs[node] = attrs
+            # Locals escaping into attributes: self.x.append(t) or
+            # self.x = t_list.
+            for node in ast.walk(method):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ('append', 'add')
+                    and node.args
+                    and isinstance(node.args[0], ast.Name)
+                    and node.args[0].id in locals_holding
+                ):
+                    attr = _self_attr(node.func.value)
+                    if attr is not None:
+                        for _, attrs, local in creations:
+                            if local == node.args[0].id:
+                                attrs.add(attr)
+                if isinstance(node, ast.Assign):
+                    for target, value in _assignment_pairs(node):
+                        attr = _self_attr(target)
+                        if attr is None:
+                            continue
+                        value_names = {
+                            n.id for n in ast.walk(value)
+                            if isinstance(n, ast.Name)
+                        }
+                        for _, attrs, local in creations:
+                            if local is not None and local in value_names:
+                                attrs.add(attr)
+
+            settled_locals = _local_joins(method, locals_holding)
+            for call, attrs, local in creations:
+                if attrs & joined_attrs:
+                    continue
+                if local is not None and local in settled_locals:
+                    continue
+                if attrs:
+                    where = ' / '.join(f'self.{a}' for a in sorted(attrs))
+                    detail = f'stored on {where} but never joined'
+                else:
+                    detail = (
+                        'fire-and-forget (no binding reaches a join on any '
+                        'close/stop path)'
+                    )
+                yield module.finding(
+                    self.rule,
+                    f'daemon thread in {cls.name}.{method.name} is {detail} '
+                    '— join it from close()/stop() so teardown is ordered',
+                    call,
+                )
+
+    def _check_function(
+        self, module: Module, func: ast.FunctionDef,
+    ) -> Iterator[Finding]:
+        locals_holding: set[str] = set()
+        creations: list[tuple[ast.expr, str | None]] = []
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                for target, value in _assignment_pairs(node):
+                    if _creates_daemon_thread(value):
+                        local = (
+                            target.id if isinstance(target, ast.Name) else None
+                        )
+                        if local is not None:
+                            locals_holding.add(local)
+                        creations.append((value, local))
+        settled = _local_joins(func, locals_holding)
+        for call, local in creations:
+            if local is not None and local in settled:
+                continue
+            yield module.finding(
+                self.rule,
+                f'daemon thread in {func.name}() is never joined '
+                '(and not handed to a caller) — it outlives the function',
+                call,
+            )
+
+
+def _creates_daemon_thread(value: ast.expr) -> bool:
+    """Direct call, or a list/comprehension of daemon-thread calls."""
+    if _is_daemon_thread_call(value):
+        return True
+    if isinstance(value, (ast.List, ast.Tuple)):
+        return any(_is_daemon_thread_call(elt) for elt in value.elts)
+    if isinstance(value, ast.ListComp):
+        return _is_daemon_thread_call(value.elt)
+    return False

@@ -1,0 +1,276 @@
+"""Runtime lock-order witness: observe acquisitions, catch inversions.
+
+The static rule (RP003) sees only lexical ``with self._lock:`` nesting.
+This module catches what the AST cannot: the *dynamic* lock-acquisition
+order across objects, modules, and threads.  While installed, every
+``threading.Lock()`` / ``threading.RLock()`` the program creates is
+wrapped; the witness records, per thread, which locks are held when
+another is acquired.  Each ordered pair *(held → acquired)* becomes an
+edge in a global order graph.  When a thread is **about to block** on a
+lock B while holding A and some earlier acquisition established the
+edge *B → A*, that is an order inversion — the classic two-thread
+deadlock shape — and the witness raises :class:`WitnessViolation`
+*before* blocking, so the test fails deterministically instead of
+hanging.
+
+Design notes:
+
+* The inversion check runs **before** the real acquire.  Checking after
+  would never fire on an actual deadlock (the thread would already be
+  blocked).
+* Reentrant re-acquisition of a lock already held by this thread is
+  skipped — an RLock re-entry neither blocks nor orders anything new.
+* ``acquire(blocking=False)`` skips the check: a try-lock never blocks,
+  which is precisely the legitimate way to break an ordering cycle.
+  Successful try-acquires still record edges (holding a try-acquired
+  lock while blocking elsewhere *can* deadlock).
+* A thread holding no other lock takes a fast path that never touches
+  the witness's internal mutex.
+* Edges are keyed by ``id()`` of the wrapper; a ``weakref.finalize``
+  purges a lock's edges when it is collected, so id reuse cannot
+  fabricate phantom edges.
+* The witness's own bookkeeping uses a *real* (unwrapped) lock captured
+  at import time, held only for dict operations — never while acquiring
+  a user lock — so the witness cannot introduce deadlocks of its own.
+
+Installed by the test-suite fixture when ``REPRO_WITNESS=1`` (see
+``tests/conftest.py``) and by the dedicated CI witness job.
+"""
+from __future__ import annotations
+
+import threading
+import traceback
+import weakref
+from typing import Any
+
+__all__ = [
+    'WitnessLock',
+    'WitnessViolation',
+    'clear_violations',
+    'install',
+    'installed',
+    'uninstall',
+    'violations',
+]
+
+#: Real constructors, captured before any patching can replace them.
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+
+class WitnessViolation(RuntimeError):
+    """A thread was about to acquire locks in an inverted order."""
+
+
+def _site(skip: int = 0) -> str:
+    """``file:line`` of the interesting caller frame (witness frames cut)."""
+    stack = traceback.extract_stack()
+    # Drop this helper, its caller inside the witness, and `skip` more.
+    trimmed = stack[:-(2 + skip)] if len(stack) > 2 + skip else stack
+    for frame in reversed(trimmed):
+        if 'analysis/witness' not in frame.filename.replace('\\', '/'):
+            return f'{frame.filename}:{frame.lineno}'
+    return '<unknown>'
+
+
+class _Core:
+    """Global order graph + per-thread held stacks + violation log."""
+
+    def __init__(self) -> None:
+        self._mutex = _REAL_LOCK()
+        #: ``(held_id, acquired_id) -> description`` of where the edge
+        #: was first observed.
+        self._edges: dict[tuple[int, int], str] = {}
+        self._names: dict[int, str] = {}
+        self._held = threading.local()
+        self.violations: list[str] = []
+        self.raise_on_violation = True
+
+    # -- held-stack bookkeeping (thread-local, no mutex needed) ---------- #
+    def held_stack(self) -> list[int]:
+        stack = getattr(self._held, 'stack', None)
+        if stack is None:
+            stack = self._held.stack = []
+        return stack
+
+    # -- registration ---------------------------------------------------- #
+    def register(self, lock_id: int, name: str) -> None:
+        with self._mutex:
+            self._names[lock_id] = name
+
+    def purge(self, lock_id: int) -> None:
+        """Forget a collected lock (defends against ``id()`` reuse)."""
+        with self._mutex:
+            self._names.pop(lock_id, None)
+            for pair in [p for p in self._edges if lock_id in p]:
+                del self._edges[pair]
+
+    # -- the witness protocol -------------------------------------------- #
+    def check(self, held: list[int], acquiring: int) -> None:
+        """Raise/record if acquiring now inverts an observed order."""
+        with self._mutex:
+            for held_id in held:
+                reverse = self._edges.get((acquiring, held_id))
+                if reverse is None:
+                    continue
+                name_a = self._names.get(held_id, f'lock-{held_id:#x}')
+                name_b = self._names.get(acquiring, f'lock-{acquiring:#x}')
+                message = (
+                    f'lock-order inversion: thread {threading.current_thread().name!r} '
+                    f'holds {name_a} and is about to block on {name_b} '
+                    f'at {_site(1)}, but the opposite order '
+                    f'({name_b} then {name_a}) was previously observed '
+                    f'at {reverse}'
+                )
+                self.violations.append(message)
+                if self.raise_on_violation:
+                    raise WitnessViolation(message)
+
+    def record(self, held: list[int], acquired: int) -> None:
+        """Add ``held → acquired`` edges after a successful acquire."""
+        if not held:
+            return
+        site = _site(1)
+        with self._mutex:
+            for held_id in held:
+                self._edges.setdefault((held_id, acquired), site)
+
+    def reset(self) -> None:
+        with self._mutex:
+            self._edges.clear()
+            self.violations.clear()
+
+
+_CORE = _Core()
+
+
+class WitnessLock:
+    """Order-tracking wrapper around one real Lock/RLock instance."""
+
+    def __init__(self, inner: Any, name: str | None = None) -> None:
+        self._inner = inner
+        self._name = name or f'lock@{_site()}'
+        _CORE.register(id(self), self._name)
+        weakref.finalize(self, _CORE.purge, id(self))
+
+    # -- core lock protocol ---------------------------------------------- #
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Check order (blocking acquires only), acquire, record edges."""
+        me = id(self)
+        held = _CORE.held_stack()
+        reentrant = me in held
+        if blocking and held and not reentrant:
+            _CORE.check(list(held), me)
+        if timeout == -1:
+            ok = self._inner.acquire(blocking)
+        else:
+            ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            if held and not reentrant:
+                _CORE.record(list(held), me)
+            held.append(me)
+        return ok
+
+    def release(self) -> None:
+        """Pop this lock from the thread's held stack and release it."""
+        held = _CORE.held_stack()
+        me = id(self)
+        if me in held:
+            # Remove the most recent acquisition (RLocks may hold several).
+            for index in range(len(held) - 1, -1, -1):
+                if held[index] == me:
+                    del held[index]
+                    break
+        self._inner.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        """True while the wrapped lock is held (any thread)."""
+        return self._inner.locked()
+
+    # -- Condition integration ------------------------------------------- #
+    # threading.Condition probes these on its lock and uses them to
+    # fully release / restore an RLock around wait().  Delegate, keeping
+    # the held stack honest so edges seen after a wait() are correct.
+    def _release_save(self) -> Any:
+        held = _CORE.held_stack()
+        me = id(self)
+        count = held.count(me)
+        if count:
+            held[:] = [x for x in held if x != me]
+        if hasattr(self._inner, '_release_save'):
+            return (count, self._inner._release_save())
+        self._inner.release()
+        return (count, None)
+
+    def _acquire_restore(self, state: Any) -> None:
+        count, inner_state = state
+        if hasattr(self._inner, '_acquire_restore'):
+            self._inner._acquire_restore(inner_state)
+        else:
+            self._inner.acquire()
+        _CORE.held_stack().extend([id(self)] * max(count, 1))
+
+    def _is_owned(self) -> bool:
+        if hasattr(self._inner, '_is_owned'):
+            return self._inner._is_owned()
+        # Real Locks have no owner notion; mirror Condition's fallback.
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    def __getattr__(self, name: str) -> Any:
+        # Everything not intercepted above (e.g. the stdlib's
+        # RLock._recursion_count, _at_fork_reinit) hits the real lock.
+        return getattr(self._inner, name)
+
+    def __repr__(self) -> str:
+        return f'<WitnessLock {self._name} wrapping {self._inner!r}>'
+
+
+def _make_lock() -> WitnessLock:
+    return WitnessLock(_REAL_LOCK())
+
+
+def _make_rlock() -> WitnessLock:
+    return WitnessLock(_REAL_RLOCK())
+
+
+def install(*, raise_on_violation: bool = True) -> None:
+    """Patch ``threading.Lock``/``threading.RLock`` with witness wrappers.
+
+    Idempotent.  Only locks created *after* installation are tracked.
+    ``raise_on_violation=False`` records violations (see
+    :func:`violations`) without raising, for observe-only runs.
+    """
+    _CORE.reset()
+    _CORE.raise_on_violation = raise_on_violation
+    threading.Lock = _make_lock  # type: ignore[assignment]
+    threading.RLock = _make_rlock  # type: ignore[assignment]
+
+
+def uninstall() -> None:
+    """Restore the real lock constructors (existing wrappers keep working)."""
+    threading.Lock = _REAL_LOCK  # type: ignore[assignment]
+    threading.RLock = _REAL_RLOCK  # type: ignore[assignment]
+
+
+def installed() -> bool:
+    """True while the witness constructors are patched in."""
+    return threading.Lock is _make_lock
+
+
+def violations() -> list[str]:
+    """Messages for every inversion observed since the last reset."""
+    return list(_CORE.violations)
+
+
+def clear_violations() -> None:
+    """Drop recorded violations (the order graph is kept)."""
+    _CORE.violations.clear()

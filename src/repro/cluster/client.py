@@ -110,7 +110,9 @@ class ClusterStats:
     failovers: int = 0
     read_repairs: int = 0
     orphans_evicted: int = 0
+    orphan_evict_failures: int = 0
     put_retries: int = 0
+    repair_failures: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """JSON-friendly snapshot."""
@@ -120,7 +122,9 @@ class ClusterStats:
             'failovers': self.failovers,
             'read_repairs': self.read_repairs,
             'orphans_evicted': self.orphans_evicted,
+            'orphan_evict_failures': self.orphan_evict_failures,
             'put_retries': self.put_retries,
+            'repair_failures': self.repair_failures,
         }
 
 
@@ -266,6 +270,8 @@ class ClusterClient:
             for future, node_id in futures.items():
                 try:
                     future.result()
+                # repro: ignore[RP004] - failures partition the batch and
+                # surface via put_retries / PartialWriteError below
                 except Exception as e:  # noqa: BLE001 - sorted below
                     failed[node_id] = e
             if not failed:
@@ -316,7 +322,9 @@ class ClusterClient:
             try:
                 self._call(node_id, lambda b, ks=keys: b.evict_batch(ks))
                 evicted += len(keys)
-            except Exception:  # noqa: BLE001 - best effort by design
+            except Exception:  # noqa: BLE001 - best effort by design,
+                # but the miss is still visible on dashboards
+                self._bump('orphan_evict_failures', len(keys))
                 continue
         if evicted:
             self._bump('orphans_evicted', evicted)
@@ -394,7 +402,9 @@ class ClusterClient:
         for node_id in targets:
             try:
                 self._call(node_id, lambda b: b.put(key, value))
-            except Exception:  # noqa: BLE001 - repair is best effort
+            except Exception:  # noqa: BLE001 - repair is best effort,
+                # but a node that refuses repairs should not hide
+                self._bump('repair_failures')
                 continue
             self._bump('read_repairs')
 

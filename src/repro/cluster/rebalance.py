@@ -49,6 +49,7 @@ class RebalanceStats:
     keys_migrated: int = 0
     bytes_migrated: int = 0
     keys_dropped: int = 0
+    failed_runs: int = 0
     last_duration_s: float = 0.0
     last_reason: str = ''
 
@@ -60,6 +61,7 @@ class RebalanceStats:
             'keys_migrated': self.keys_migrated,
             'bytes_migrated': self.bytes_migrated,
             'keys_dropped': self.keys_dropped,
+            'failed_runs': self.failed_runs,
             'last_duration_s': round(self.last_duration_s, 4),
             'last_reason': self.last_reason,
         }
@@ -159,8 +161,13 @@ class Rebalancer:
             try:
                 self._migrate(reasons)
             except Exception:  # noqa: BLE001 - a failed pass must not kill
-                # the worker; the next membership change reschedules.
-                pass
+                # the worker; the next membership change reschedules —
+                # but the failure must stay visible on dashboards.
+                with self._cond:
+                    self.stats.failed_runs += 1
+                metrics = self.cluster._metrics
+                if metrics is not None:
+                    metrics.record('cluster.rebalance_failures', 0.0)
             finally:
                 with self._cond:
                     self._busy = False

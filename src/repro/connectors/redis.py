@@ -394,6 +394,8 @@ class RedisConnector(Connector):
                 for node_id in self._cluster.membership.reachable():
                     try:
                         self._cluster.backend(node_id)._client.flush()
+                    # repro: ignore[RP004] - best-effort flush during
+                    # teardown; the node may already be gone
                     except Exception:  # noqa: BLE001 - node may be gone
                         pass
             self._cluster.close()
@@ -404,6 +406,8 @@ class RedisConnector(Connector):
         if clear:
             try:
                 self._client.flush()
+            # repro: ignore[RP004] - best-effort flush during teardown;
+            # the server may already be gone
             except Exception:  # noqa: BLE001 - server may already be gone
                 pass
         self._client.close()

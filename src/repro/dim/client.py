@@ -492,6 +492,8 @@ class DIMClient:
         for future in futures:
             try:
                 results.append(future.result())
+            # repro: ignore[RP004] - every future is awaited before the
+            # first error is re-raised after the loop
             except BaseException as e:  # noqa: BLE001 - re-raised below
                 if first_error is None:
                     first_error = e

@@ -85,6 +85,9 @@ class GlobusTransferService:
         self._lock = threading.Lock()
         self._fail_next = False
         self._rng_state = 12345
+        #: Live transfer worker threads, joined by :meth:`close` so the
+        #: service never leaks workers past its owner's teardown.
+        self._workers: list[threading.Thread] = []
 
     # -- endpoint management ----------------------------------------------- #
     def register_endpoint(self, spec: GlobusEndpointSpec) -> str:
@@ -146,6 +149,11 @@ class GlobusTransferService:
         worker = threading.Thread(
             target=self._execute, args=(task, src, dst, fail), daemon=True,
         )
+        with self._lock:
+            # Opportunistically prune finished workers so a long-lived
+            # service doesn't accumulate dead Thread objects.
+            self._workers = [w for w in self._workers if w.is_alive()]
+            self._workers.append(worker)
         worker.start()
         return task.task_id
 
@@ -174,6 +182,17 @@ class GlobusTransferService:
             task.status = TransferStatus.FAILED
             task.error = str(e)
         task.completed_at = time.time()
+
+    def close(self, *, timeout: float = 5.0) -> None:
+        """Join outstanding transfer workers (bounded per thread).
+
+        Idempotent; after it returns, no worker started by this service
+        is still mutating task state.
+        """
+        with self._lock:
+            workers, self._workers = self._workers, []
+        for worker in workers:
+            worker.join(timeout=timeout)
 
     def get_task(self, task_id: str) -> TransferTask:
         with self._lock:
@@ -215,7 +234,13 @@ def get_transfer_service() -> GlobusTransferService:
 
 
 def reset_transfer_service() -> None:
-    """Discard the process-global service (test isolation)."""
+    """Discard the process-global service (test isolation).
+
+    Joins the outgoing service's transfer workers first, so a test that
+    resets the service cannot leak workers into the next test.
+    """
     global _SERVICE
     with _SERVICE_LOCK:
-        _SERVICE = None
+        service, _SERVICE = _SERVICE, None
+    if service is not None:
+        service.close()

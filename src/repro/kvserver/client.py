@@ -132,6 +132,8 @@ class _Connection:
         while True:
             try:
                 message = decoder.read_message(self.sock, on_bytes=self._touch)
+            # repro: ignore[RP004] - not swallowed: _fail() delivers the
+            # error to every waiter and poisons the connection
             except Exception as e:  # noqa: BLE001 - any failure kills the conn
                 self._fail(e)
                 return
@@ -375,6 +377,8 @@ class KVClient:
         """Best-effort close so dropped clients never leak reader threads."""
         try:
             self.close()
+        # repro: ignore[RP004] - __del__ during interpreter teardown;
+        # nothing is left to report to
         except Exception:  # noqa: BLE001 - interpreter teardown
             pass
 

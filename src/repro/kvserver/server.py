@@ -306,6 +306,10 @@ class KVServer:
         self.subscriber_timeout = subscriber_timeout
         #: Subscriber connections closed by the no-progress reaper.
         self.reaped_subscribers = 0
+        #: Connections closed because servicing them raised (fault
+        #: isolation events — the per-connection failures the event loop
+        #: deliberately survives).
+        self.faulted_connections = 0
         # Values are whatever buffer the protocol layer received into
         # (bytes, bytearray, or a view thereof) — stored without copying.
         self._data: dict[str, Any] = {}
@@ -418,6 +422,7 @@ class KVServer:
                         try:
                             self._service_conn(key.data, _mask)
                         except Exception:  # noqa: BLE001
+                            self.faulted_connections += 1
                             self._close_conn(key.data)
         finally:
             self._running.clear()
@@ -622,6 +627,8 @@ class KVServer:
             return (request_id, 'error', f'malformed request: {request!r}')
         try:
             status, payload = self._execute(str(command).upper(), key, value, conn)
+        # repro: ignore[RP004] - not swallowed: the failure is returned
+        # to the client as an error response
         except Exception as e:  # noqa: BLE001 - one bad request must not
             # take down the connection (let alone the event loop).
             status, payload = 'error', f'internal error: {e!r}'

@@ -70,7 +70,11 @@ class Factory(Generic[T]):
             try:
                 self._async_result = self.resolve()
             except BaseException as e:  # noqa: BLE001 - re-raised on join
-                self._async_error = e
+                # Strip the traceback before the exception outlives this
+                # frame: a stored traceback pins the resolving frames and
+                # any live pickle-5 buffer exports they hold (the PR 8
+                # BufferError-on-GC crash class).
+                self._async_error = e.with_traceback(None)
 
         self._async_thread = threading.Thread(target=_run, daemon=True)
         self._async_thread.start()

@@ -151,6 +151,8 @@ class KVSubscription:
         while True:
             try:
                 message = decoder.read_message(sock)
+            # repro: ignore[RP004] - not swallowed: message=None signals
+            # death below (_dead is set, waiters get ConnectionError)
             except Exception:  # noqa: BLE001 - any failure ends the stream
                 message = None
             if message is None:

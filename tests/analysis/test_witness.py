@@ -1,0 +1,127 @@
+"""Runtime lock-order witness: inversion detection without deadlocking."""
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis import witness
+
+
+@pytest.fixture()
+def witnessed():
+    """Install the witness for one test, restoring real locks after."""
+    already = witness.installed()
+    witness.install(raise_on_violation=True)
+    yield
+    if already:
+        # The session fixture (REPRO_WITNESS=1 runs) owns the patch; put
+        # it back instead of leaving real constructors behind.
+        witness.install(raise_on_violation=True)
+    else:
+        witness.uninstall()
+
+
+def test_ab_ba_inversion_raises_before_blocking(witnessed):
+    lock_a = threading.Lock()
+    lock_b = threading.Lock()
+    with lock_a:
+        with lock_b:
+            pass
+    with lock_b:
+        with pytest.raises(witness.WitnessViolation, match='inversion'):
+            lock_a.acquire()
+    assert len(witness.violations()) == 1
+    witness.clear_violations()
+
+
+def test_consistent_order_never_fires(witnessed):
+    lock_a = threading.Lock()
+    lock_b = threading.Lock()
+    for _ in range(3):
+        with lock_a:
+            with lock_b:
+                pass
+    assert witness.violations() == []
+
+
+def test_record_only_mode_logs_without_raising(witnessed):
+    witness.install(raise_on_violation=False)
+    lock_a = threading.Lock()
+    lock_b = threading.Lock()
+    with lock_a:
+        with lock_b:
+            pass
+    with lock_b:
+        acquired = lock_a.acquire()  # logged, not raised
+        assert acquired
+        lock_a.release()
+    assert len(witness.violations()) == 1
+    witness.clear_violations()
+
+
+def test_try_lock_is_a_legitimate_escape(witnessed):
+    lock_a = threading.Lock()
+    lock_b = threading.Lock()
+    with lock_a:
+        with lock_b:
+            pass
+    with lock_b:
+        assert lock_a.acquire(blocking=False)
+        lock_a.release()
+    assert witness.violations() == []
+
+
+def test_rlock_reentry_is_not_an_order_edge(witnessed):
+    rlock = threading.RLock()
+    with rlock:
+        with rlock:
+            pass
+    assert witness.violations() == []
+
+
+def test_condition_wait_notify_works_under_witness(witnessed):
+    cond = threading.Condition()
+    box: list[str] = []
+
+    def consumer() -> None:
+        with cond:
+            while not box:
+                cond.wait(timeout=5)
+            box.append('consumed')
+
+    thread = threading.Thread(target=consumer)
+    thread.start()
+    with cond:
+        box.append('produced')
+        cond.notify()
+    thread.join(timeout=5)
+    assert not thread.is_alive()
+    assert box == ['produced', 'consumed']
+    assert witness.violations() == []
+
+
+def test_cross_thread_inversion_is_detected(witnessed):
+    lock_a = threading.Lock()
+    lock_b = threading.Lock()
+    # Thread 1 establishes A -> B.
+    def forward() -> None:
+        with lock_a:
+            with lock_b:
+                pass
+
+    thread = threading.Thread(target=forward)
+    thread.start()
+    thread.join(timeout=5)
+    # The main thread then attempts B -> A: caught before it can block.
+    with lock_b:
+        with pytest.raises(witness.WitnessViolation):
+            lock_a.acquire()
+    witness.clear_violations()
+
+
+def test_uninstall_restores_real_constructors(witnessed):
+    witness.uninstall()
+    assert not witness.installed()
+    lock = threading.Lock()
+    assert not isinstance(lock, witness.WitnessLock)

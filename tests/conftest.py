@@ -1,6 +1,7 @@
 """Shared pytest fixtures and chaos/timeout wiring for the test suite."""
 from __future__ import annotations
 
+import os
 import signal
 import threading
 
@@ -74,6 +75,40 @@ def _clean_global_state():
     yield
     unregister_all()
     default_registry.clear()
+
+
+#: The witness wraps every lock the suite creates when this env var is
+#: set — the dedicated CI job runs the cluster/stream/chaos tests with
+#: it to catch dynamic lock-order inversions the static RP003 rule
+#: cannot see.
+_WITNESS_ENABLED = os.environ.get('REPRO_WITNESS') == '1'
+
+
+@pytest.fixture(scope='session', autouse=_WITNESS_ENABLED)
+def _witness_session():
+    """Install the runtime lock-order witness for the whole run."""
+    from repro.analysis import witness
+
+    witness.install(raise_on_violation=True)
+    yield
+    witness.uninstall()
+
+
+@pytest.fixture(autouse=_WITNESS_ENABLED)
+def _witness_check(_witness_session):
+    """Fail any test during which an inversion was recorded.
+
+    A violation normally raises inside the offending thread; if that
+    thread swallowed it (a broad except in a worker), the recorded
+    message still fails the test here.
+    """
+    from repro.analysis import witness
+
+    witness.clear_violations()
+    yield
+    seen = witness.violations()
+    witness.clear_violations()
+    assert not seen, 'lock-order inversion(s) observed:\n' + '\n'.join(seen)
 
 
 @pytest.fixture()

@@ -14,7 +14,7 @@ import pathlib
 import pytest
 
 REPO_SRC = pathlib.Path(__file__).resolve().parent.parent / 'src' / 'repro'
-DOCUMENTED_PACKAGES = ('store', 'proxy', 'stream', 'cluster', 'faults')
+DOCUMENTED_PACKAGES = ('store', 'proxy', 'stream', 'cluster', 'faults', 'analysis')
 
 
 def _documented_modules() -> list[pathlib.Path]:
