@@ -46,6 +46,7 @@ Run directly (also used as a CI step)::
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import multiprocessing
 import os
@@ -88,11 +89,19 @@ SMOKE_SWEEP = [
     ('1MB', 1 << 20, 20, 4, None),
 ]
 
+#: Sweep points at or below this size also run ``policy='auto'`` — the
+#: adaptive route must match the inline baseline in the small regime.
+AUTO_POINT_MAX_BYTES = 1024
+#: ``--gate`` bound: auto must reach this fraction of inline MB/s at 1 KB.
+#: The committed full-run JSON shows >= 1.0x; the margin absorbs runner
+#: noise only.
+AUTO_GATE_MIN_RATIO = 0.9
+
 #: Runs per (mode, size); the fastest is kept.  As in bench_kv_transport,
 #: scheduling interference (emulator pumps, node processes, and the
 #: client share the cores) only ever adds time, so best-of is the
 #: cleanest estimate of each design's capability.
-REPETITIONS = 2
+REPETITIONS = 3
 
 # Consumer-group scenario parameters.  The group fleet uses a *longer*
 # wire (5 ms one-way: a metro-area hop) and sub-shard items: each member
@@ -128,6 +137,7 @@ def _run_stream(
     tag: str,
 ) -> dict[str, Any]:
     """One producer->consumer run; returns wall time and delivered bytes."""
+    gc.collect()  # level the field: no run pays for a prior run's garbage
     connector = ZMQConnector(
         f'bench-client-{tag}',
         peers=peers,
@@ -143,10 +153,11 @@ def _run_stream(
         store, bus, topic,
         from_seq=0,
         timeout=300.0,
-        prefetch=0 if mode == 'inline' else PREFETCH,
+        prefetch=PREFETCH if mode == 'proxy' else 0,
     )
     consumer._ensure_subscribed()
-    producer = StreamProducer(store, bus, topic, inline=(mode == 'inline'))
+    policy = {'proxy': 'proxy', 'inline': 'inline', 'auto': 'auto'}[mode]
+    producer = StreamProducer(store, bus, topic, policy=policy)
     payload = b'\xab' * nbytes
 
     def produce() -> None:
@@ -211,15 +222,29 @@ def bench_throughput(sweep: list) -> list[dict[str, Any]]:
                 ),
                 key=lambda run: run['elapsed_s'],
             )
+            # Interleave inline and auto repetitions so both modes see the
+            # same broker state (topics and rings accumulate over a sweep;
+            # running one mode strictly after the other would bias the
+            # later one).  Small sweep points compare policy='auto' against
+            # the inline baseline: the adaptive policy must route these
+            # items inline and match its throughput (the sub-threshold
+            # fast path), while still being the same producer that proxies
+            # large items.
+            run_auto = nbytes <= AUTO_POINT_MAX_BYTES
+            inline_runs: list[dict[str, Any]] = []
+            auto_runs: list[dict[str, Any]] = []
+            for rep in range(REPETITIONS):
+                modes = ['inline'] + (['auto'] if run_auto else [])
+                if rep % 2:  # alternate order to cancel ordering bias
+                    modes.reverse()
+                for mode in modes:
+                    runs = inline_runs if mode == 'inline' else auto_runs
+                    runs.append(_run_stream(
+                        mode, nbytes, count, inline_batch,
+                        broker_addr, peers, f'{mode}-{label}-{rep}',
+                    ))
             entry['inline'] = min(
-                (
-                    _run_stream(
-                        'inline', nbytes, count, inline_batch,
-                        broker_addr, peers, f'inline-{label}-{rep}',
-                    )
-                    for rep in range(REPETITIONS)
-                ),
-                key=lambda run: run['elapsed_s'],
+                inline_runs, key=lambda run: run['elapsed_s'],
             )
             entry['speedup_MBps'] = round(
                 entry['proxy']['MBps'] / entry['inline']['MBps'], 2,
@@ -227,13 +252,28 @@ def bench_throughput(sweep: list) -> list[dict[str, Any]]:
             entry['passes_2x'] = (
                 nbytes < (1 << 20) or entry['speedup_MBps'] >= 2.0
             )
+            if run_auto:
+                entry['auto'] = min(
+                    auto_runs, key=lambda run: run['elapsed_s'],
+                )
+                entry['auto_vs_inline_MBps'] = round(
+                    entry['auto']['MBps'] / entry['inline']['MBps'], 2,
+                )
+                entry['passes_auto'] = (
+                    entry['auto_vs_inline_MBps'] >= AUTO_GATE_MIN_RATIO
+                )
             results.append(entry)
+            auto_note = (
+                f'   auto {entry["auto"]["MBps"]:>7.1f} MB/s '
+                f'({entry["auto_vs_inline_MBps"]:.2f}x inline)'
+                if 'auto' in entry else ''
+            )
             print(
                 f'{label:>5}: proxy {entry["proxy"]["MBps"]:>7.1f} MB/s '
                 f'({entry["proxy"]["events_per_s"]:>8.1f} ev/s)   '
                 f'inline {entry["inline"]["MBps"]:>7.1f} MB/s '
                 f'({entry["inline"]["events_per_s"]:>8.1f} ev/s)   '
-                f'speedup {entry["speedup_MBps"]:>5.2f}x',
+                f'speedup {entry["speedup_MBps"]:>5.2f}x{auto_note}',
             )
     finally:
         for proc in procs:
@@ -639,6 +679,13 @@ def main(argv: list[str] | None = None) -> int:
         help='quick CI run: 1KB and 1MB points and a smaller group '
              'scaling sweep (the kill-one-consumer scenario runs in full)',
     )
+    parser.add_argument(
+        '--gate',
+        action='store_true',
+        help=f'exit non-zero unless policy=auto reaches '
+             f'{AUTO_GATE_MIN_RATIO}x of inline MB/s on the small sweep '
+             f'points',
+    )
     args = parser.parse_args(argv)
 
     throughput = bench_throughput(SMOKE_SWEEP if args.smoke else SWEEP)
@@ -646,6 +693,9 @@ def main(argv: list[str] | None = None) -> int:
     consumer_group = bench_group(args.smoke)
 
     passes_2x = all(entry['passes_2x'] for entry in throughput)
+    passes_auto = all(
+        entry.get('passes_auto', True) for entry in throughput
+    )
     report = {
         'benchmark': 'stream_channels',
         'python': sys.version.split()[0],
@@ -660,18 +710,27 @@ def main(argv: list[str] | None = None) -> int:
         },
         'throughput': throughput,
         'passes_2x_at_1MB_plus': passes_2x,
+        'passes_auto_at_small': passes_auto,
         'backpressure': backpressure,
         'consumer_group': consumer_group,
     }
     with open(args.out, 'w') as f:
         json.dump(report, f, indent=2)
     print(
-        f'wrote {args.out} (>=2x at >=1MB: {passes_2x}, retention bound '
+        f'wrote {args.out} (>=2x at >=1MB: {passes_2x}, auto at small '
+        f'sizes: {passes_auto}, retention bound '
         f'enforced: {backpressure["retention_bound_enforced"]}, group '
         f'scaling {consumer_group["scaling"]["scaling_MBps_4_over_1"]}x '
         f'at 4 consumers, at-least-once held: '
         f'{consumer_group["kill_one_consumer"]["at_least_once_held"]})',
     )
+    if args.gate and not passes_auto:
+        failing = [
+            f'{e["size"]} auto {e["auto_vs_inline_MBps"]:.2f}x inline'
+            for e in throughput if not e.get('passes_auto', True)
+        ]
+        print(f'GATE FAILED: {failing}')
+        return 1
     return 0
 
 

@@ -173,6 +173,18 @@ class Connector(ABC):
             f'{type(self).__name__} does not support deferred writes',
         )
 
+    def set_batch(self, items: Sequence[tuple[Any, PutData]]) -> None:
+        """Store several ``(key, data)`` pairs under pre-allocated keys.
+
+        The substrate of store-level write coalescing: connectors with a
+        native multi-set (e.g. Redis ``MSET``) override this to turn a batch
+        of tiny deferred writes into one wire operation.  The default loops
+        over :meth:`set`, so any connector with deferred writes coalesces
+        correctly, just without the round-trip savings.
+        """
+        for key, data in items:
+            self.set(key, data)
+
     # -- configuration / lifecycle --------------------------------------- #
     @abstractmethod
     def config(self) -> dict[str, Any]:

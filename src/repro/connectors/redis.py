@@ -286,6 +286,15 @@ class RedisConnector(Connector):
         else:
             self._client.set(key.object_id, data)
 
+    def set_batch(self, items: Sequence[tuple[ConnectorKey, PutData]]) -> None:
+        # One MSET round trip (or one clustered batch put) for the whole
+        # coalesced buffer instead of a wire write per key.
+        pairs = [(key.object_id, data) for key, data in items]
+        if self._cluster is not None:
+            self._cluster.put_batch(pairs)
+        else:
+            self._client.mset(pairs)
+
     # -- cluster ----------------------------------------------------------- #
     def bind_metrics(self, metrics: Any) -> None:
         """Thread per-node health and cluster events into store metrics."""

@@ -38,6 +38,10 @@ class SerializerRegistry:
         self._lock = threading.Lock()
         self._by_name: dict[str, _Entry] = {}
         self._by_type: dict[type, str] = {}
+        #: Monotonic counter bumped on every mutation.  ``serialize`` keys its
+        #: per-type route cache on this so registrations invalidate cached
+        #: dispatch decisions without a registry lookup per call.
+        self.version = 0
 
     def register(
         self,
@@ -69,6 +73,7 @@ class SerializerRegistry:
                 raise ValueError(f'serializer {name!r} is already registered')
             self._by_name[name] = (name, serializer, deserializer)
             self._by_type[kind] = name
+            self.version += 1
 
     def unregister(self, name: str) -> None:
         """Remove the registration named ``name`` (no-op if absent)."""
@@ -77,6 +82,7 @@ class SerializerRegistry:
             stale = [t for t, n in self._by_type.items() if n == name]
             for t in stale:
                 del self._by_type[t]
+            self.version += 1
 
     def get(self, name: str) -> Optional[_Entry]:
         """Return the entry registered under ``name`` or ``None``."""
@@ -103,6 +109,7 @@ class SerializerRegistry:
         with self._lock:
             self._by_name.clear()
             self._by_type.clear()
+            self.version += 1
 
     def __len__(self) -> int:
         with self._lock:

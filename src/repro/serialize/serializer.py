@@ -1,4 +1,4 @@
-"""Default object serialization (zero-copy wire format).
+"""Default object serialization (zero-copy wire format + small-frame path).
 
 The :class:`~repro.store.Store` serializes Python objects before handing them
 to a :class:`~repro.connectors.Connector`.  The default serializer uses cheap
@@ -6,14 +6,32 @@ fast paths for ``bytes``, ``str`` and NumPy arrays and falls back to pickle
 for everything else.  Custom per-type serializers can be registered through
 :mod:`repro.serialize.registry`.
 
-``serialize`` returns a :class:`~repro.serialize.buffers.SerializedObject`:
-a one-byte identifier header plus buffer segments that alias the source
-object's memory wherever possible (raw byte payloads, NumPy array buffers,
-pickle protocol 5 out-of-band buffers).  Joining the segments yields the
-contiguous wire bytes; buffer-aware connectors skip the join entirely.
+``serialize`` returns one of two containers depending on payload size, both
+carrying the *same* wire format:
 
-Wire format (the concatenation of the segments): a one-byte identifier
-followed by the payload.
+* **Small payloads** (below :func:`small_frame_threshold`, default 16 KiB)
+  come back as plain ``bytes``: one header byte plus the payload, already
+  contiguous.  At this scale a single memcpy is cheaper than the segment
+  bookkeeping, so the small path skips :class:`SerializedObject` entirely —
+  this is what makes the 1 KB regime faster than the legacy serializer.
+* **Large payloads** come back as a
+  :class:`~repro.serialize.buffers.SerializedObject`: a one-byte identifier
+  header plus buffer segments that alias the source object's memory wherever
+  possible (raw byte payloads, NumPy array buffers, pickle protocol 5
+  out-of-band buffers).  Joining the segments yields the contiguous wire
+  bytes; buffer-aware connectors skip the join entirely.
+
+Because both containers serialize to identical wire bytes, readers never
+need to know which path the writer took: ``deserialize`` dispatches on the
+identifier byte alone, so small frames, joined segment payloads, and
+pre-buffer legacy payloads all coexist on the wire.
+
+Dispatch itself is cached per exact type (invalidated whenever the custom
+serializer registry changes), so steady-state traffic skips the proxy
+subclass check, the registry lookup, and the isinstance chain.
+
+Wire format (the small frame, or the concatenation of the segments): a
+one-byte identifier followed by the payload.
 
 ====  =======================================================
 byte  payload
@@ -32,10 +50,12 @@ byte  payload
 
 ``deserialize`` accepts ``bytes``, ``bytearray``, ``memoryview`` (and any
 other single contiguous buffer, e.g. an ``mmap``) or a ``SerializedObject``
-and never materializes the input up front: payloads are parsed through
+and never materializes large input up front: payloads are parsed through
 ``memoryview`` slices, NumPy arrays are reconstructed with ``np.frombuffer``
 over the received buffer, and pickle-5 buffers are handed to
-``pickle.loads(..., buffers=...)`` as views.  Deserialized arrays are
+``pickle.loads(..., buffers=...)`` as views.  (Sub-threshold ``bytes`` input
+is instead sliced directly — at that scale the copy is cheaper than the
+``memoryview`` indirection.)  Deserialized arrays on the zero-copy path are
 uniformly **read-only** — they alias storage they do not own (received
 buffers, memory-mapped files, a same-process producer's memory); call
 ``np.copy`` on a fetched array before mutating it.
@@ -44,6 +64,7 @@ from __future__ import annotations
 
 import ast
 import io
+import os
 import pickle
 import struct
 from typing import Any
@@ -56,7 +77,7 @@ from repro.serialize.buffers import SerializedObject
 from repro.serialize.registry import default_registry
 
 # The Proxy class is imported lazily (repro.proxy imports this module) and
-# cached: the isinstance check runs on every serialize call.
+# cached: the subclass check runs whenever a type is first classified.
 _PROXY_CLS: type | None = None
 
 _IDENT_BYTES = b'\x01'
@@ -69,41 +90,184 @@ _IDENT_PICKLE5 = b'\x06'
 _U32 = struct.Struct('>I')
 _U64 = struct.Struct('>Q')
 
-__all__ = ['serialize', 'deserialize', 'BytesLike', 'SerializedObject']
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+_pickle_dumps = pickle.dumps
+_pickle_loads = pickle.loads
+
+__all__ = [
+    'serialize',
+    'deserialize',
+    'small_frame_threshold',
+    'set_small_frame_threshold',
+    'BytesLike',
+    'SerializedObject',
+]
 
 
-def _pickle_segments(obj: Any) -> SerializedObject:
+# --------------------------------------------------------------------------- #
+# Small-frame threshold
+# --------------------------------------------------------------------------- #
+_DEFAULT_SMALL_FRAME_THRESHOLD = 16 * 1024
+
+
+def _initial_threshold() -> int:
+    raw = os.environ.get('REPRO_SMALL_FRAME_THRESHOLD')
+    if raw is None:
+        return _DEFAULT_SMALL_FRAME_THRESHOLD
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return _DEFAULT_SMALL_FRAME_THRESHOLD
+
+
+_small_threshold = _initial_threshold()
+
+
+def small_frame_threshold() -> int:
+    """Return the current small-frame threshold in bytes.
+
+    Payloads strictly smaller than this are serialized as one compact
+    ``bytes`` frame instead of a segmented :class:`SerializedObject`.  The
+    initial value is 16 KiB, overridable through the
+    ``REPRO_SMALL_FRAME_THRESHOLD`` environment variable.
+    """
+    return _small_threshold
+
+
+def set_small_frame_threshold(nbytes: int) -> int:
+    """Set the small-frame threshold; returns the previous value.
+
+    ``0`` disables the small-frame path entirely (every payload becomes a
+    :class:`SerializedObject`, the pre-threshold behaviour).  The threshold
+    only affects which *container* the writer produces — the wire bytes are
+    identical either way, so readers need no coordination.
+    """
+    global _small_threshold
+    previous = _small_threshold
+    _small_threshold = max(0, int(nbytes))
+    return previous
+
+
+# --------------------------------------------------------------------------- #
+# Per-type dispatch routes
+# --------------------------------------------------------------------------- #
+# Route codes cached per exact type.  _R_PICKLE starts optimistic — a plain
+# in-band dumps with no buffer_callback, which is exactly the minimal work
+# the legacy serializer did — and is upgraded (sticky) to _R_PICKLE_SIEVED
+# the first time an instance overflows the threshold, after which the type
+# pays the buffer-sieve callback to keep large buffers out-of-band.
+_R_BYTES = 0
+_R_BYTEVIEW = 1
+_R_STR = 2
+_R_NDARRAY = 3
+_R_PROXY = 4
+_R_PICKLE = 5
+_R_PICKLE_SIEVED = 6
+_R_CUSTOM = 7
+
+_routes: dict[type, int] = {}
+_routes_version = -1
+
+
+def _classify(obj: Any) -> int:
+    """Slow-path route classification for a type not yet in the cache."""
+    global _PROXY_CLS
+    if _PROXY_CLS is None:
+        # Deferred to avoid a circular import at module load time.
+        from repro.proxy.proxy import Proxy
+
+        _PROXY_CLS = Proxy
+
+    tp = type(obj)
+    # Proxies are handled before any isinstance-based dispatch: isinstance
+    # checks would transparently resolve the proxy (and then serialize the
+    # full target), whereas the whole point of communicating a proxy is that
+    # only its factory travels.  Pickling a proxy does exactly that.
+    if issubclass(tp, _PROXY_CLS):
+        return _R_PROXY
+    if default_registry.find(obj) is not None:
+        return _R_CUSTOM
+    if issubclass(tp, bytes):
+        return _R_BYTES
+    if issubclass(tp, (bytearray, memoryview)):
+        return _R_BYTEVIEW
+    if issubclass(tp, str):
+        return _R_STR
+    if issubclass(tp, np.ndarray):
+        return _R_NDARRAY
+    return _R_PICKLE
+
+
+class _NonContiguousBuffer(Exception):
+    """Raised inside the buffer sieve to abort an out-of-band dumps."""
+
+
+class _BufferSieve:
+    """pickle-5 ``buffer_callback`` that routes buffers by size.
+
+    Buffers below the small-frame threshold are kept in-band (returning a
+    truthy value tells the pickler to serialize the buffer inline), so tiny
+    arrays inside an object do not explode into per-buffer segments; buffers
+    at or above the threshold are captured for the out-of-band 0x06 layout.
+    """
+
+    __slots__ = ('threshold', 'oob')
+
+    def __init__(self, threshold: int) -> None:
+        self.threshold = threshold
+        self.oob: list[memoryview] = []
+
+    def __call__(self, buf: pickle.PickleBuffer) -> bool:
+        try:
+            raw = buf.raw()
+        except BufferError:
+            # A contributing buffer is non-contiguous; the caller falls back
+            # to a fully in-band dumps.
+            raise _NonContiguousBuffer from None
+        if raw.nbytes < self.threshold:
+            return True
+        self.oob.append(raw)
+        return False
+
+
+def _pickle_payload(obj: Any, threshold: int) -> 'bytes | SerializedObject':
     """Pickle ``obj``, keeping large buffers out-of-band (wire id 0x06).
 
-    Objects without picklable buffers (the common small-object case) produce
-    the classic in-band 0x05 format with zero extra overhead.
+    Small results (no out-of-band buffers, payload below ``threshold``)
+    produce a compact 0x05 frame; in-band results at or above the threshold
+    keep the classic two-segment 0x05 layout.
     """
-    buffers: list[pickle.PickleBuffer] = []
-    payload = pickle.dumps(
-        obj, protocol=pickle.HIGHEST_PROTOCOL, buffer_callback=buffers.append,
-    )
-    if not buffers:
-        return SerializedObject([_IDENT_PICKLE, payload])
+    sieve = _BufferSieve(threshold if threshold > 0 else 1)
     try:
-        raws = [b.raw() for b in buffers]
-    except BufferError:
-        # A contributing buffer is non-contiguous: fall back to in-band.
-        return SerializedObject(
-            [_IDENT_PICKLE, pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)],
+        payload = _pickle_dumps(
+            obj, protocol=_PICKLE_PROTOCOL, buffer_callback=sieve,
         )
+    except _NonContiguousBuffer:
+        payload = _pickle_dumps(obj, protocol=_PICKLE_PROTOCOL)
+        sieve.oob = []
+    oob = sieve.oob
+    if not oob:
+        if len(payload) < threshold:
+            return _IDENT_PICKLE + payload
+        return SerializedObject([_IDENT_PICKLE, payload])
     header = b''.join(
         [
             _IDENT_PICKLE5,
-            _U32.pack(len(raws)),
+            _U32.pack(len(oob)),
             _U64.pack(len(payload)),
-            *(_U64.pack(r.nbytes) for r in raws),
+            *(_U64.pack(r.nbytes) for r in oob),
         ],
     )
-    return SerializedObject([header, payload, *raws])
+    return SerializedObject([header, payload, *oob])
 
 
-def _numpy_segments(arr: np.ndarray) -> SerializedObject:
-    """Serialize an ndarray as ``.npy`` header + a view of its data buffer."""
+def _numpy_payload(arr: np.ndarray, threshold: int) -> 'bytes | SerializedObject':
+    """Serialize an ndarray as ``.npy`` header + its data buffer.
+
+    Arrays with fewer than ``threshold`` data bytes are joined into one
+    compact frame (the copy is cheaper than segment bookkeeping at that
+    scale); larger arrays keep a zero-copy view of their buffer.
+    """
     if arr.dtype.hasobject:
         raise SerializationError(
             'object-dtype NumPy arrays cannot use the array fast path '
@@ -126,77 +290,121 @@ def _numpy_segments(arr: np.ndarray) -> SerializedObject:
         # fall back to NumPy's own writer — one copy, same wire bytes.
         buffer = io.BytesIO()
         np.save(buffer, arr, allow_pickle=False)
-        return SerializedObject([_IDENT_NUMPY, buffer.getvalue()])
+        payload = buffer.getvalue()
+        if len(payload) < threshold:
+            return _IDENT_NUMPY + payload
+        return SerializedObject([_IDENT_NUMPY, payload])
+    if arr.nbytes < threshold:
+        return b''.join((_IDENT_NUMPY, header_io.getvalue(), raw))
     return SerializedObject([_IDENT_NUMPY, header_io.getvalue(), raw])
 
 
-def serialize(obj: Any) -> SerializedObject:
+def _custom_payload(obj: Any, threshold: int) -> 'bytes | SerializedObject':
+    """Serialize ``obj`` through its registered custom serializer (0x04)."""
+    custom = default_registry.find(obj)
+    if custom is None:
+        # The registration disappeared between classification and use (the
+        # version guard makes this a one-call race at most): re-classify.
+        _routes.pop(type(obj), None)
+        return serialize(obj)
+    name, serializer, _ = custom
+    try:
+        payload = serializer(obj)
+    except Exception as e:  # noqa: BLE001
+        raise SerializationError(
+            f'Registered serializer {name!r} failed for '
+            f'{type(obj).__name__}: {e}',
+        ) from e
+    if not isinstance(payload, (bytes, bytearray, memoryview)):
+        raise SerializationError(
+            f'Registered serializer {name!r} must return bytes, got '
+            f'{type(payload).__name__}',
+        )
+    head = _IDENT_CUSTOM + name.encode('utf-8') + b'\n'
+    if len(payload) < threshold:
+        return head + bytes(payload)
+    return SerializedObject([head, payload])
+
+
+def serialize(obj: Any) -> 'bytes | SerializedObject':
     """Serialize ``obj`` using the default scheme.
 
-    Returns a :class:`SerializedObject` whose segments alias ``obj``'s
-    memory where possible; ``bytes(result)`` yields the contiguous wire
-    bytes for non-buffer-aware consumers.
+    Sub-threshold payloads (see :func:`small_frame_threshold`) return a
+    compact contiguous ``bytes`` frame; everything else returns a
+    :class:`SerializedObject` whose segments alias ``obj``'s memory where
+    possible.  ``bytes(result)`` yields the contiguous wire bytes for
+    non-buffer-aware consumers in either case.
 
     Raises:
         SerializationError: if the object cannot be serialized (e.g. pickling
             fails for an unpicklable object).
     """
-    global _PROXY_CLS
-    if _PROXY_CLS is None:
-        # Deferred to avoid a circular import at module load time.
-        from repro.proxy.proxy import Proxy
+    global _routes_version
+    registry_version = default_registry.version
+    if registry_version != _routes_version:
+        _routes.clear()
+        _routes_version = registry_version
+    tp = type(obj)
+    route = _routes.get(tp)
+    if route is None:
+        route = _classify(obj)
+        _routes[tp] = route
+    threshold = _small_threshold
 
-        _PROXY_CLS = Proxy
-
-    # Proxies are handled before any isinstance-based dispatch: isinstance
-    # checks would transparently resolve the proxy (and then serialize the
-    # full target), whereas the whole point of communicating a proxy is that
-    # only its factory travels.  Pickling a proxy does exactly that.
-    if issubclass(type(obj), _PROXY_CLS):
-        return SerializedObject(
-            [_IDENT_PICKLE, pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)],
-        )
-
-    custom = default_registry.find(obj)
-    if custom is not None:
-        name, serializer, _ = custom
+    if route == _R_PICKLE:
+        # Optimistic: no buffer_callback, matching the minimal legacy work.
         try:
-            payload = serializer(obj)
+            payload = _pickle_dumps(obj, protocol=_PICKLE_PROTOCOL)
         except Exception as e:  # noqa: BLE001
             raise SerializationError(
-                f'Registered serializer {name!r} failed for '
-                f'{type(obj).__name__}: {e}',
+                f'Object of type {tp.__name__} could not be pickled: {e}',
             ) from e
-        if not isinstance(payload, (bytes, bytearray, memoryview)):
+        if len(payload) < threshold:
+            return _IDENT_PICKLE + payload
+        # Overflow: this type carries real data — permanently upgrade it to
+        # the sieved route so large buffers travel out-of-band (zero-copy)
+        # from now on, and re-pickle this instance that way too.
+        _routes[tp] = _R_PICKLE_SIEVED
+        route = _R_PICKLE_SIEVED
+    if route == _R_PICKLE_SIEVED:
+        try:
+            return _pickle_payload(obj, threshold)
+        except SerializationError:
+            raise
+        except Exception as e:  # noqa: BLE001
             raise SerializationError(
-                f'Registered serializer {name!r} must return bytes, got '
-                f'{type(payload).__name__}',
-            )
-        return SerializedObject(
-            [_IDENT_CUSTOM + name.encode('utf-8') + b'\n', payload],
-        )
-
-    if isinstance(obj, bytes):
+                f'Object of type {tp.__name__} could not be pickled: {e}',
+            ) from e
+    if route == _R_BYTES:
+        if len(obj) < threshold:
+            return _IDENT_BYTES + obj
         return SerializedObject([_IDENT_BYTES, obj])
-    if isinstance(obj, (bytearray, memoryview)):
-        # Zero-copy: the segment aliases the caller's buffer until the
-        # connector writes (or freezes) it.  Views that cannot be cast to a
-        # flat byte view (anything not C-contiguous) are materialized here.
+    if route == _R_STR:
+        encoded = obj.encode('utf-8')
+        if len(encoded) < threshold:
+            return _IDENT_STR + encoded
+        return SerializedObject([_IDENT_STR, encoded])
+    if route == _R_NDARRAY:
+        return _numpy_payload(obj, threshold)
+    if route == _R_BYTEVIEW:
+        # Zero-copy on the large path: the segment aliases the caller's
+        # buffer until the connector writes (or freezes) it.  Views that
+        # cannot be cast to a flat byte view (anything not C-contiguous)
+        # are materialized here.
         if isinstance(obj, memoryview) and not obj.c_contiguous:
-            return SerializedObject([_IDENT_BYTES, bytes(obj)])
+            obj = bytes(obj)
+            if len(obj) < threshold:
+                return _IDENT_BYTES + obj
+            return SerializedObject([_IDENT_BYTES, obj])
+        if len(obj) < threshold:
+            return _IDENT_BYTES + bytes(obj)
         return SerializedObject([_IDENT_BYTES, obj])
-    if isinstance(obj, str):
-        return SerializedObject([_IDENT_STR, obj.encode('utf-8')])
-    if isinstance(obj, np.ndarray):
-        return _numpy_segments(obj)
-    try:
-        return _pickle_segments(obj)
-    except SerializationError:
-        raise
-    except Exception as e:  # noqa: BLE001
-        raise SerializationError(
-            f'Object of type {type(obj).__name__} could not be pickled: {e}',
-        ) from e
+    if route == _R_PROXY:
+        payload = _pickle_dumps(obj, protocol=_PICKLE_PROTOCOL)
+        if len(payload) < threshold:
+            return _IDENT_PICKLE + payload
+        return SerializedObject([_IDENT_PICKLE, payload])
+    return _custom_payload(obj, threshold)
 
 
 # --------------------------------------------------------------------------- #
@@ -417,12 +625,30 @@ def deserialize(data: 'BytesLike | SerializedObject') -> Any:
 
     Accepts ``bytes``, ``bytearray``, ``memoryview`` (or any contiguous
     buffer such as an ``mmap``) and :class:`SerializedObject` without
-    materializing the input; large payloads are parsed as views.
+    materializing large input; big payloads are parsed as views while
+    sub-threshold ``bytes`` frames take a slice-based fast path.
 
     Raises:
         SerializationError: if ``data`` is not a payload produced by
             :func:`serialize` or the payload cannot be decoded.
     """
+    if type(data) is bytes:
+        n = len(data)
+        if n == 0:
+            raise SerializationError('cannot deserialize an empty byte string')
+        if n <= _small_threshold + 1:
+            # Small frames: plain slices beat memoryview indirection here.
+            ident = data[0]
+            if ident == 1:
+                return data[1:]
+            if ident == 2:
+                return data[1:].decode('utf-8')
+            if ident == 5:
+                try:
+                    return _pickle_loads(data[1:])
+                except Exception as e:  # noqa: BLE001
+                    raise SerializationError(f'Unpickling failed: {e}') from e
+        return _deserialize_view(_flat_view(data))
     if isinstance(data, SerializedObject):
         return _deserialize_structured(data)
     try:

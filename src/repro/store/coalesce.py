@@ -1,0 +1,231 @@
+"""Opt-in write coalescing: batch many tiny puts into one wire operation.
+
+Small-object traffic pays one connector round trip per ``Store.put`` even
+though the payloads are tiny; a :class:`WriteCoalescer` buffers sub-batch
+writes and flushes them with a single MSET-style ``set_batch`` call.  Keys
+are still handed out immediately (via the connector's deferred-write
+``new_key``), so callers keep the exact ``put -> key`` contract; only the
+wire write is deferred, and it is bounded by three flush triggers:
+
+* **size** — the buffer reaches ``max_bytes`` of pending payload,
+* **count** — the buffer reaches ``max_ops`` pending writes,
+* **deadline** — the *oldest* buffered write has waited ``deadline`` seconds
+  (a background timer thread guarantees this bound even with no further
+  traffic; the thread is joined on :meth:`close`).
+
+Ordering is preserved per key: the buffer holds at most one pending value
+per key (a re-put replaces it), so the flushed batch always writes each
+key's latest value, and readers that consult :meth:`peek` before the
+connector observe the same last-write-wins order.
+
+The coalescer only applies to connectors that support deferred writes
+(``new_key``/``set``); ``Store`` rejects the combination otherwise.
+"""
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+from typing import Callable
+
+from repro.connectors.protocol import Connector
+from repro.serialize.buffers import freeze_payload
+from repro.serialize.buffers import payload_nbytes
+
+__all__ = ['WriteCoalescer']
+
+DEFAULT_MAX_BYTES = 1024 * 1024
+DEFAULT_MAX_OPS = 64
+DEFAULT_DEADLINE_S = 0.01
+
+
+class WriteCoalescer:
+    """Buffers ``(key, payload)`` writes and flushes them in batches.
+
+    Args:
+        connector: the channel flushed into (must support deferred writes).
+        max_bytes: flush when pending payload bytes reach this bound.
+        max_ops: flush when this many writes are pending.
+        deadline: seconds the oldest pending write may wait before a
+            background flush (the visibility bound for remote readers).
+        record: optional metrics hook with the ``Store._record`` signature;
+            receives ``store.coalesced_puts`` per buffered write and
+            ``store.coalesce_flushes`` per flushed batch.
+    """
+
+    def __init__(
+        self,
+        connector: Connector,
+        *,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        max_ops: int = DEFAULT_MAX_OPS,
+        deadline: float = DEFAULT_DEADLINE_S,
+        record: 'Callable[[str, float, int], None] | None' = None,
+    ) -> None:
+        if max_bytes <= 0 or max_ops <= 0:
+            raise ValueError('coalescing bounds must be positive')
+        if deadline <= 0:
+            raise ValueError('coalescing deadline must be positive')
+        self._connector = connector
+        self._max_bytes = max_bytes
+        self._max_ops = max_ops
+        self._deadline = deadline
+        self._record = record
+        # _cond guards every field below; connector calls happen outside it.
+        self._cond = threading.Condition()
+        self._pending: dict[Any, Any] = {}
+        self._pending_bytes = 0
+        self._oldest: float | None = None
+        self._in_flight: dict[Any, Any] = {}
+        self._thread: threading.Thread | None = None
+        self._stopped = False
+        self._flush_error: BaseException | None = None
+
+    # ------------------------------------------------------------------ #
+    # Write path
+    # ------------------------------------------------------------------ #
+    def put(self, data: Any) -> Any:
+        """Buffer one write; returns its (immediately valid) key.
+
+        The payload is frozen on entry so later caller-side mutations of a
+        ``bytearray``/``memoryview`` segment cannot change what gets
+        flushed — the same contract an immediate connector write gives.
+        """
+        self._raise_pending_error()
+        key = self._connector.new_key()
+        data = freeze_payload(data)
+        nbytes = payload_nbytes(data)
+        batch = None
+        with self._cond:
+            previous = self._pending.get(key)
+            if previous is not None:
+                self._pending_bytes -= payload_nbytes(previous)
+            self._pending[key] = data
+            self._pending_bytes += nbytes
+            if self._oldest is None:
+                self._oldest = time.monotonic()
+            if self._thread is None and not self._stopped:
+                self._thread = threading.Thread(
+                    target=self._deadline_loop,
+                    name='store-coalescer',
+                    daemon=True,
+                )
+                self._thread.start()
+            self._cond.notify_all()
+            if (
+                self._pending_bytes >= self._max_bytes
+                or len(self._pending) >= self._max_ops
+            ):
+                batch = self._drain_locked()
+        if self._record is not None:
+            self._record('store.coalesced_puts', 0.0, nbytes)
+        if batch:
+            self._write(batch)
+        return key
+
+    def _drain_locked(self) -> list[tuple[Any, Any]]:
+        """Move the pending buffer to in-flight; caller writes it unlocked."""
+        batch = list(self._pending.items())
+        self._in_flight.update(self._pending)
+        self._pending.clear()
+        self._pending_bytes = 0
+        self._oldest = None
+        return batch
+
+    def _write(self, batch: list[tuple[Any, Any]]) -> None:
+        total = sum(payload_nbytes(d) for _, d in batch)
+        start = time.perf_counter()
+        try:
+            self._connector.set_batch(batch)
+        finally:
+            with self._cond:
+                for key, _ in batch:
+                    self._in_flight.pop(key, None)
+        if self._record is not None:
+            self._record(
+                'store.coalesce_flushes', time.perf_counter() - start, total,
+            )
+
+    def _raise_pending_error(self) -> None:
+        """Surface a background-flush failure on the next foreground call."""
+        with self._cond:
+            error, self._flush_error = self._flush_error, None
+        if error is not None:
+            raise error
+
+    def flush(self) -> None:
+        """Write out everything currently buffered."""
+        self._raise_pending_error()
+        with self._cond:
+            batch = self._drain_locked()
+        if batch:
+            self._write(batch)
+
+    # ------------------------------------------------------------------ #
+    # Read-side visibility
+    # ------------------------------------------------------------------ #
+    def peek(self, key: Any) -> Any | None:
+        """Return the pending (or in-flight) payload for ``key``, if any.
+
+        Local readers see buffered writes immediately through this; remote
+        readers are covered by the deadline bound instead.
+        """
+        with self._cond:
+            data = self._pending.get(key)
+            if data is None:
+                data = self._in_flight.get(key)
+            return data
+
+    def discard(self, key: Any) -> None:
+        """Drop a pending write (an evict of a key that never hit the wire)."""
+        with self._cond:
+            data = self._pending.pop(key, None)
+            if data is not None:
+                self._pending_bytes -= payload_nbytes(data)
+                if not self._pending:
+                    self._oldest = None
+
+    @property
+    def pending_ops(self) -> int:
+        """Number of writes currently buffered (excluding in-flight)."""
+        with self._cond:
+            return len(self._pending)
+
+    # ------------------------------------------------------------------ #
+    # Deadline thread / lifecycle
+    # ------------------------------------------------------------------ #
+    def _deadline_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._stopped and self._oldest is None:
+                    self._cond.wait()
+                if self._stopped:
+                    return
+                assert self._oldest is not None
+                remaining = self._oldest + self._deadline - time.monotonic()
+                if remaining > 0:
+                    self._cond.wait(timeout=remaining)
+                    continue
+                batch = self._drain_locked()
+            if batch:
+                try:
+                    self._write(batch)
+                except Exception as e:  # noqa: BLE001
+                    # The deadline thread must survive a flaky connector;
+                    # the failure is re-raised on the next foreground
+                    # operation instead of silently vanishing with the
+                    # thread.
+                    with self._cond:
+                        self._flush_error = e.with_traceback(None)
+
+    def close(self) -> None:
+        """Stop the deadline thread (joined) and flush remaining writes."""
+        with self._cond:
+            self._stopped = True
+            self._cond.notify_all()
+            thread = self._thread
+            self._thread = None
+        if thread is not None:
+            thread.join()
+        self.flush()
+        self._raise_pending_error()

@@ -68,6 +68,11 @@ class StoreConfig:
         custom_serializer: the originating store used a caller-supplied
             serializer, which cannot travel inside a config.
         custom_deserializer: ditto for the deserializer.
+        coalesce_writes: whether the store batches tiny puts into one
+            MSET-style wire operation (see ``repro.store.coalesce``).
+        coalesce_max_bytes: pending-payload-bytes flush bound.
+        coalesce_max_ops: pending-write-count flush bound.
+        coalesce_deadline: seconds the oldest buffered write may wait.
     """
 
     name: str
@@ -79,6 +84,10 @@ class StoreConfig:
     scheme: str | None = None
     custom_serializer: bool = False
     custom_deserializer: bool = False
+    coalesce_writes: bool = False
+    coalesce_max_bytes: int | None = None
+    coalesce_max_ops: int | None = None
+    coalesce_deadline: float | None = None
 
     @classmethod
     def from_store(cls, store: Any) -> 'StoreConfig':
@@ -93,6 +102,10 @@ class StoreConfig:
             scheme=_scheme_of(store.connector),
             custom_serializer=getattr(store, '_custom_serializer', False),
             custom_deserializer=getattr(store, '_custom_deserializer', False),
+            coalesce_writes=getattr(store, 'coalesce_writes', False),
+            coalesce_max_bytes=getattr(store, 'coalesce_max_bytes', None),
+            coalesce_max_ops=getattr(store, 'coalesce_max_ops', None),
+            coalesce_deadline=getattr(store, 'coalesce_deadline', None),
         )
 
     def make_connector(self) -> Connector:

@@ -53,6 +53,7 @@ from repro.proxy.proxy import Proxy
 from repro.proxy.resolve import resolve_async
 from repro.serialize.buffers import payload_nbytes
 from repro.serialize.buffers import to_bytes
+from repro.serialize.serializer import small_frame_threshold
 from repro.store.factory import StoreFactory
 from repro.store.registry import get_or_create_store
 from repro.stream.bus import EventBus
@@ -69,12 +70,20 @@ __all__ = ['StreamConsumer', 'StreamProducer']
 #: Default seconds a consumer waits for the next event before giving up.
 DEFAULT_CONSUME_TIMEOUT = 30.0
 
+#: Valid per-item routing policies for ``StreamProducer``.
+PRODUCER_POLICIES = ('proxy', 'inline', 'auto')
+
 
 def _resolve_bus(bus: 'EventBus | str') -> EventBus:
     """Accept either an event-bus instance or a bus URL."""
     if isinstance(bus, str):
         return event_bus_from_url(bus)
     return bus
+
+
+def _preserialized(data: Any) -> Any:
+    """Serializer passed to ``Store.put`` for already-serialized payloads."""
+    return data
 
 
 class StreamProducer:
@@ -89,6 +98,19 @@ class StreamProducer:
         inline: embed each item's serialized payload in the event itself
             instead of storing it — the "data rides the message bus"
             baseline.  Per-call ``send(..., inline=...)`` overrides this.
+            Shorthand for ``policy='inline'``.
+        policy: per-item routing policy — ``'proxy'`` (store + key event,
+            the default), ``'inline'`` (payload rides the event), or
+            ``'auto'`` (measure each item's serialized size and inline it
+            when at most ``inline_threshold`` bytes, proxy it otherwise —
+            small items skip the store round trip entirely, large items
+            keep the cheap control plane).  Routes taken are counted in
+            ``inline_sends``/``proxy_sends`` and, when the store records
+            metrics, under ``stream.inline_sends``/``stream.proxy_sends``.
+        inline_threshold: byte bound for the ``'auto'`` decision; defaults
+            to the serializer's small-frame threshold so the streaming
+            fast path and the serializer fast path agree on what "small"
+            means.
         serializer: optional per-producer serializer override.
         partitions: split the topic into this many partition topics placed
             over the broker(s) by consistent hashing.  ``1`` (the default)
@@ -112,10 +134,19 @@ class StreamProducer:
         topic: str,
         *,
         inline: bool = False,
+        policy: str | None = None,
+        inline_threshold: int | None = None,
         serializer: Callable[[Any], bytes] | None = None,
         partitions: int = 1,
         replicas: int = 1,
     ) -> None:
+        if policy is None:
+            policy = 'inline' if inline else 'proxy'
+        elif policy not in PRODUCER_POLICIES:
+            raise ValueError(
+                f'unknown stream policy {policy!r}; '
+                f'expected one of {PRODUCER_POLICIES}',
+            )
         if partitions < 1:
             raise ValueError('partitions must be at least 1')
         if replicas > 1 and partitions < 2:
@@ -135,11 +166,18 @@ class StreamProducer:
             self.bus = _resolve_bus(bus)  # type: ignore[arg-type]
         self.topic = topic
         self.partitions = partitions
-        self.inline = inline
+        self.policy = policy
+        self.inline = policy == 'inline'
+        self.inline_threshold = (
+            inline_threshold if inline_threshold is not None
+            else small_frame_threshold()
+        )
         self._serializer = serializer
         self._closed = False
         self._rr = 0
         self.sent = 0
+        self.inline_sends = 0
+        self.proxy_sends = 0
 
     def __repr__(self) -> str:
         return (
@@ -153,26 +191,88 @@ class StreamProducer:
                 'end-of-stream marker has already been published',
             )
 
+    def _record_route(self, inline: bool, nbytes: int) -> None:
+        """Count one routed send (and mirror it into the store's metrics)."""
+        metrics = self.store.metrics
+        if inline:
+            self.inline_sends += 1
+            if metrics is not None:
+                metrics.record('stream.inline_sends', 0.0, nbytes)
+        else:
+            self.proxy_sends += 1
+            if metrics is not None:
+                metrics.record('stream.proxy_sends', 0.0, nbytes)
+
     def _event_for(
         self,
         obj: Any,
         metadata: dict[str, Any] | None,
-        inline: bool,
+        policy: str,
     ) -> StreamEvent:
-        """Store (or inline-serialize) one item and build its event."""
-        if inline:
+        """Route one item per ``policy`` and build its event."""
+        if policy != 'proxy':
             serializer = (
                 self._serializer if self._serializer is not None
                 else self.store.serializer
             )
             data = serializer(obj)
-            return StreamEvent(
-                metadata=dict(metadata or {}),
-                nbytes=payload_nbytes(data),
-                payload=to_bytes(data),
-            )
+            nbytes = payload_nbytes(data)
+            if policy == 'inline' or nbytes <= self.inline_threshold:
+                self._record_route(True, nbytes)
+                return StreamEvent(
+                    metadata=dict(metadata or {}),
+                    nbytes=nbytes,
+                    payload=to_bytes(data),
+                )
+            # Too large to inline: reuse the bytes already serialized for
+            # the size measurement rather than serializing twice.
+            key = self.store.put(data, serializer=_preserialized)
+            self._record_route(False, nbytes)
+            return StreamEvent(key=key, metadata=dict(metadata or {}))
         key = self.store.put(obj, serializer=self._serializer)
+        self._record_route(False, 0)
         return StreamEvent(key=key, metadata=dict(metadata or {}))
+
+    def _route_batch(
+        self,
+        objs: list[Any],
+        metas: 'list[dict[str, Any] | None]',
+    ) -> list[StreamEvent]:
+        """Auto-route a batch: inline the small items, batch-store the rest.
+
+        All over-threshold items still go through one ``put_batch`` (one
+        connector round trip on batching connectors), with their
+        already-serialized bytes reused.
+        """
+        serializer = (
+            self._serializer if self._serializer is not None
+            else self.store.serializer
+        )
+        events: list[StreamEvent | None] = [None] * len(objs)
+        to_store: list[tuple[int, Any, int]] = []
+        for index, obj in enumerate(objs):
+            data = serializer(obj)
+            nbytes = payload_nbytes(data)
+            if nbytes <= self.inline_threshold:
+                self._record_route(True, nbytes)
+                events[index] = StreamEvent(
+                    metadata=dict(metas[index] or {}),
+                    nbytes=nbytes,
+                    payload=to_bytes(data),
+                )
+            else:
+                to_store.append((index, data, nbytes))
+        if to_store:
+            keys = self.store.put_batch(
+                [data for _, data, _ in to_store],
+                serializer=_preserialized,
+            )
+            for (index, _, nbytes), key in zip(to_store, keys):
+                self._record_route(False, nbytes)
+                events[index] = StreamEvent(
+                    key=key, metadata=dict(metas[index] or {}),
+                )
+        return events  # type: ignore[return-value]
 
     def _partition_of(self, partition_key: 'str | None') -> int:
         """Partition index for one send: keyed hash or round-robin."""
@@ -212,7 +312,11 @@ class StreamProducer:
             StoreError: if the producer is already closed.
         """
         self._check_open()
-        event = self._event_for(obj, metadata, self.inline if inline is None else inline)
+        policy = (
+            self.policy if inline is None
+            else ('inline' if inline else 'proxy')
+        )
+        event = self._event_for(obj, metadata, policy)
         seq = self._publish(self._partition_of(partition_key), event.encode())
         self.sent += 1
         return seq
@@ -232,7 +336,10 @@ class StreamProducer:
         ``publish_batch`` frame per partition touched.
         """
         self._check_open()
-        inline = self.inline if inline is None else inline
+        policy = (
+            self.policy if inline is None
+            else ('inline' if inline else 'proxy')
+        )
         metas = list(metadata) if metadata is not None else [None] * len(objs)
         if len(metas) != len(objs):
             raise ValueError('metadata must match objs in length')
@@ -242,17 +349,21 @@ class StreamProducer:
         )
         if len(pkeys) != len(objs):
             raise ValueError('partition_keys must match objs in length')
-        if inline:
+        if policy == 'inline':
             events = [
-                self._event_for(obj, meta, True)
+                self._event_for(obj, meta, 'inline')
                 for obj, meta in zip(objs, metas)
             ]
+        elif policy == 'auto':
+            events = self._route_batch(list(objs), metas)
         else:
             keys = self.store.put_batch(list(objs), serializer=self._serializer)
             events = [
                 StreamEvent(key=key, metadata=dict(meta or {}))
                 for key, meta in zip(keys, metas)
             ]
+            for _ in keys:
+                self._record_route(False, 0)
         if self._router is None:
             seqs = list(self.bus.publish_batch(
                 self.topic, [event.encode() for event in events],
@@ -317,6 +428,8 @@ class StreamProducer:
             'bus_config': self.bus.config(),
             'topic': self.topic,
             'inline': self.inline,
+            'policy': self.policy,
+            'inline_threshold': self.inline_threshold,
         }
         if self._router is not None:
             state['router_config'] = self._router.config()
@@ -336,11 +449,20 @@ class StreamProducer:
             self.bus = bus_from_config(state['bus_config'])
             self.partitions = 1
         self.topic = state['topic']
-        self.inline = state['inline']
+        # 'policy' may be absent in state pickled by older producers.
+        self.policy = state.get(
+            'policy', 'inline' if state['inline'] else 'proxy',
+        )
+        self.inline = self.policy == 'inline'
+        self.inline_threshold = state.get(
+            'inline_threshold', small_frame_threshold(),
+        )
         self._serializer = None
         self._closed = False
         self._rr = 0
         self.sent = 0
+        self.inline_sends = 0
+        self.proxy_sends = 0
 
 
 class StreamConsumer:

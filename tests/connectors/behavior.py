@@ -26,6 +26,7 @@ from repro.proxy import get_factory
 from repro.serialize import SerializedObject
 from repro.serialize import deserialize
 from repro.serialize import serialize
+from repro.serialize import small_frame_threshold
 from repro.store import ContextLifetime
 from repro.store import Store
 
@@ -136,7 +137,8 @@ class ConnectorBehavior:
         assert deserialize(data) == b''
 
     def test_put_multi_segment_equals_joined(self, connector: Connector):
-        serialized = serialize(np.arange(1000))
+        # Above the small-frame threshold so serialize keeps segments.
+        serialized = serialize(np.arange(32 * 1024))
         assert isinstance(serialized, SerializedObject)
         key_segments = connector.put(serialized)
         key_joined = connector.put(bytes(serialized))
@@ -222,3 +224,63 @@ class ConnectorBehavior:
         # StoreKeyError from a doomed fetch.
         with pytest.raises(UseAfterFreeError):
             view['model']
+
+    # ------------------------------------------------------------------ #
+    # Small-object fast path (same wire contract across every scheme)
+    # ------------------------------------------------------------------ #
+    def test_small_payloads_roundtrip_at_threshold_boundary(
+        self, connector: Connector,
+    ):
+        # One payload per side of the small-frame threshold: the compact
+        # bytes frame and the segmented frame must store and resolve
+        # identically through every connector.
+        store = self._store(connector)
+        threshold = small_frame_threshold()
+        for size in (1024, threshold - 1, threshold, threshold + 1):
+            payload = bytes(range(256)) * (size // 256) + b'x' * (size % 256)
+            key = store.put(payload)
+            assert store.get(key) == payload, f'size={size}'
+            store.evict(key)
+
+    def test_small_proxy_resolves_on_both_routes(self, connector: Connector):
+        store = self._store(connector)
+        threshold = small_frame_threshold()
+        small = 's' * 1024  # compact frame
+        large = 'L' * (threshold * 2)  # segmented frame
+        for obj in (small, large):
+            proxy = store.proxy(obj, cache_local=False)
+            assert extract(proxy) == obj
+            store.evict(get_factory(proxy).key)
+
+    def test_coalesced_puts_match_uncoalesced(self, connector: Connector):
+        # With write coalescing on, the same keys/values must become
+        # visible as without it.  Only meaningful on connectors with
+        # deferred-write (new_key/set) support.
+        supports_deferred = (
+            type(connector).new_key is not Connector.new_key
+            and type(connector).set is not Connector.set
+        )
+        if not supports_deferred:
+            pytest.skip('connector does not support deferred writes')
+        store = Store(
+            f'behavior-coalesce-{new_object_id()[:8]}',
+            connector,
+            cache_size=0,
+            register=True,
+            coalesce_writes=True,
+            coalesce_max_ops=4,
+            coalesce_deadline=5.0,  # only explicit flushes in this test
+        )
+        try:
+            objs = [f'co-{i}'.encode() for i in range(6)]
+            keys = store.put_batch(objs)
+            # Buffered or not, every key reads back its own value...
+            assert store.get_batch(keys) == objs
+            # ...and after an explicit flush the values are on the
+            # connector itself, indistinguishable from uncoalesced puts.
+            store.flush()
+            assert [deserialize(connector.get(k)) for k in keys] == objs
+        finally:
+            # Join the deadline thread without closing the shared
+            # connector fixture.
+            store._coalescer.close()

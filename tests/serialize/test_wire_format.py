@@ -31,11 +31,15 @@ IDENTIFIERS = {
 # --------------------------------------------------------------------------- #
 # Round trips per identifier x input container
 # --------------------------------------------------------------------------- #
-def _input_forms(serialized: SerializedObject):
-    """Every container deserialize must accept: structured, bytes, bytearray,
-    memoryview."""
+def _input_forms(serialized):
+    """Every container deserialize must accept: structured (or small frame),
+    bytes, bytearray, memoryview."""
     joined = bytes(serialized)
     return [serialized, joined, bytearray(joined), memoryview(joined)]
+
+
+THRESHOLD = 16 * 1024  # the default small-frame threshold
+LARGE = 8 * THRESHOLD  # comfortably on the segmented zero-copy path
 
 
 @pytest.mark.parametrize(
@@ -59,15 +63,29 @@ def test_roundtrip_every_input_container(obj, ident):
 
 
 def test_bytearray_and_memoryview_inputs_serialize_zero_copy():
-    backing = bytearray(b'mutable payload')
+    backing = bytearray(b'm' * LARGE)
     serialized = serialize(backing)
     # The segment aliases the caller's buffer (no copy at serialize time).
     assert serialized.pieces[1] is backing
     assert deserialize(serialized) == bytes(backing)
 
-    view = memoryview(b'view payload')
+    view = memoryview(b'v' * LARGE)
     serialized = serialize(view)
     assert serialized.pieces[1] is view
+    assert deserialize(serialized) == bytes(view)
+
+
+def test_small_bytearray_and_memoryview_become_compact_frames():
+    # Sub-threshold mutable buffers are copied into a compact frame, which
+    # also detaches them from later caller mutations for free.
+    backing = bytearray(b'mutable payload')
+    serialized = serialize(backing)
+    assert type(serialized) is bytes
+    backing[:4] = b'XXXX'
+    assert deserialize(serialized) == b'mutable payload'
+    view = memoryview(b'view payload')
+    serialized = serialize(view)
+    assert type(serialized) is bytes
     assert deserialize(serialized) == bytes(view)
 
 
@@ -83,31 +101,58 @@ def test_fortran_contiguous_memoryview_roundtrip():
     view = memoryview(np.asfortranarray(np.arange(6.0).reshape(2, 3)))
     assert view.contiguous and not view.c_contiguous
     serialized = serialize(view)
-    for segment in serialized.segments():  # every segment must be castable
+    for segment in segments_of(serialized):  # every segment must be castable
         assert segment.c_contiguous
     assert deserialize(serialized) == bytes(view)
     assert deserialize(bytes(serialized)) == bytes(view)
+    big = memoryview(
+        np.asfortranarray(np.arange(float(LARGE)).reshape(2, -1)),
+    )
+    assert not big.c_contiguous
+    serialized = serialize(big)
+    for segment in serialized.segments():
+        assert segment.c_contiguous
+    assert deserialize(serialized) == bytes(big)
 
 
 # --------------------------------------------------------------------------- #
 # Zero-copy properties
 # --------------------------------------------------------------------------- #
 def test_serialize_bytes_is_zero_copy():
-    payload = b'z' * 4096
+    payload = b'z' * LARGE
     serialized = serialize(payload)
     assert serialized.pieces[1] is payload
     assert serialized.nbytes == len(payload) + 1
 
 
+def test_small_payloads_serialize_to_compact_frames():
+    # Below the threshold every kind collapses to one contiguous bytes frame
+    # (header byte + payload) — no segment scaffolding.
+    for obj, ident in (
+        (b'z' * 1024, 0x01),
+        ('y' * 1024, 0x02),
+        (np.arange(128, dtype=np.float64), 0x03),
+        ({'k': [1, 2, 3]}, 0x05),
+    ):
+        serialized = serialize(obj)
+        assert type(serialized) is bytes
+        assert serialized[0] == ident
+        restored = deserialize(serialized)
+        if isinstance(obj, np.ndarray):
+            assert np.array_equal(restored, obj)
+        else:
+            assert restored == obj
+
+
 def test_serialize_ndarray_aliases_array_buffer():
-    arr = np.arange(1024, dtype=np.float64)
+    arr = np.arange(LARGE // 8, dtype=np.float64)
     serialized = serialize(arr)
     raw = np.frombuffer(serialized.pieces[2], dtype=np.float64)
     assert np.shares_memory(raw, arr)
 
 
 def test_deserialize_structured_ndarray_aliases_buffer():
-    arr = np.arange(256, dtype=np.float32)
+    arr = np.arange(LARGE // 4, dtype=np.float32)
     restored = deserialize(serialize(arr))
     assert np.array_equal(restored, arr)
     assert np.shares_memory(restored, arr)
@@ -116,7 +161,7 @@ def test_deserialize_structured_ndarray_aliases_buffer():
 def test_deserialized_arrays_are_read_only():
     # Zero-copy arrays alias storage they do not own, so they surface
     # uniformly read-only across every input container and connector.
-    arr = np.arange(64, dtype=np.float64)
+    arr = np.arange(LARGE // 8, dtype=np.float64)
     serialized = serialize(arr)
     for form in _input_forms(serialized) + [bytearray(bytes(serialized))]:
         restored = deserialize(form)
@@ -124,12 +169,18 @@ def test_deserialized_arrays_are_read_only():
         with pytest.raises(ValueError):
             restored[0] = 1.0
     # ... including arrays reconstructed from pickle-5 out-of-band buffers.
-    pair = TwoArrays(a=np.arange(32), b=np.arange(8, dtype=np.float32))
+    pair = TwoArrays(
+        a=np.arange(LARGE // 8), b=np.arange(LARGE // 4, dtype=np.float32),
+    )
     restored_pair = deserialize(serialize(pair))
     assert not restored_pair.a.flags.writeable
     # np.copy is the documented escape hatch.
     writable = np.copy(restored_pair.a)
     writable[0] = 99
+    # Small frames copy the data, so those arrays own fresh memory and may
+    # surface writable through pickle; correctness is the round trip.
+    small = deserialize(serialize(np.arange(64, dtype=np.float64)))
+    assert not small.flags.writeable  # npy frames still parse as views
 
 
 def test_many_segment_payload_exceeding_iov_max():
@@ -137,9 +188,16 @@ def test_many_segment_payload_exceeding_iov_max():
     # writev/sendmsg call; the vectored-write loops must chunk.
     from repro.connectors.file import FileConnector
     from repro.connectors.redis import RedisConnector
+    from repro.serialize import set_small_frame_threshold
 
-    many = [np.full(4, i, dtype=np.int32) for i in range(1200)]
-    serialized = serialize(many)
+    # Threshold 0 forces every pickle-5 buffer out-of-band so the payload
+    # genuinely exceeds IOV_MAX segments.
+    previous = set_small_frame_threshold(0)
+    try:
+        many = [np.full(4, i, dtype=np.int32) for i in range(1200)]
+        serialized = serialize(many)
+    finally:
+        set_small_frame_threshold(previous)
     assert len(serialized.pieces) > 1100
     import tempfile
 
@@ -159,7 +217,7 @@ def test_many_segment_payload_exceeding_iov_max():
 
 
 def test_local_connector_put_of_bytes_is_copy_free():
-    payload = b'p' * 8192
+    payload = b'p' * LARGE
     serialized = serialize(payload)
     with LocalConnector() as connector:
         key = connector.put(serialized)
@@ -227,7 +285,10 @@ class TwoArrays:
 
 
 def test_pickle5_multi_buffer_roundtrip():
-    obj = TwoArrays(a=np.arange(500, dtype=np.int64), b=np.random.rand(20, 20))
+    obj = TwoArrays(
+        a=np.arange(LARGE // 8, dtype=np.int64),
+        b=np.random.rand(256, LARGE // 2048),
+    )
     serialized = serialize(obj)
     assert bytes(serialized)[0] == IDENTIFIERS['pickle5']
     # Header + pickle + one out-of-band buffer per array.
@@ -237,16 +298,30 @@ def test_pickle5_multi_buffer_roundtrip():
 
 
 def test_pickle5_buffers_are_out_of_band_views():
-    obj = TwoArrays(a=np.arange(64), b=np.arange(32, dtype=np.float32))
+    obj = TwoArrays(
+        a=np.arange(LARGE // 8),
+        b=np.arange(LARGE // 4, dtype=np.float32),
+    )
     serialized = serialize(obj)
     raw = np.frombuffer(serialized.pieces[2], dtype=np.int64)
     assert np.shares_memory(raw, obj.a)
 
 
+def test_small_buffers_stay_in_band():
+    # Sub-threshold pickle-5 buffers are kept inline by the buffer sieve, so
+    # a container of tiny arrays yields one compact in-band pickle payload
+    # instead of thousands of out-of-band segments.
+    obj = TwoArrays(a=np.arange(32), b=np.arange(8, dtype=np.float32))
+    serialized = serialize(obj)
+    assert type(serialized) is bytes
+    assert serialized[0] == IDENTIFIERS['pickle']
+    assert deserialize(serialized) == obj
+
+
 def test_small_objects_stay_in_band():
     serialized = serialize({'tiny': True})
-    assert bytes(serialized)[0] == IDENTIFIERS['pickle']
-    assert len(serialized.pieces) == 2
+    assert type(serialized) is bytes
+    assert serialized[0] == IDENTIFIERS['pickle']
 
 
 # --------------------------------------------------------------------------- #
@@ -308,22 +383,30 @@ def test_custom_serializer_roundtrip_all_containers():
 # SerializedObject API
 # --------------------------------------------------------------------------- #
 def test_serialized_object_api():
-    serialized = serialize(b'abcd')
-    assert len(serialized) == 5
-    assert serialized.nbytes == 5
+    payload = b'a' * LARGE
+    serialized = serialize(payload)
+    assert len(serialized) == LARGE + 1
+    assert serialized.nbytes == LARGE + 1
     assert serialized[0] == 0x01
-    assert serialized[1:] == b'abcd'
-    assert serialized.startswith(b'\x01ab')
+    assert serialized[1:] == payload
+    assert serialized.startswith(b'\x01aa')
     assert serialized == bytes(serialized)
-    assert [len(s) for s in serialized.segments()] == [1, 4]
+    assert [len(s) for s in serialized.segments()] == [1, LARGE]
+
+
+def test_small_frame_is_plain_bytes():
+    frame = serialize(b'abcd')
+    assert type(frame) is bytes
+    assert frame == b'\x01abcd'
 
 
 def test_serialized_object_pickles_as_joined_bytes():
-    serialized = serialize(np.arange(100))
+    arr = np.arange(LARGE // 8)
+    serialized = serialize(arr)
     clone = pickle.loads(pickle.dumps(serialized))
     assert isinstance(clone, SerializedObject)
     assert bytes(clone) == bytes(serialized)
-    assert np.array_equal(deserialize(clone), np.arange(100))
+    assert np.array_equal(deserialize(clone), arr)
 
 
 def test_payload_helpers():

@@ -1,0 +1,289 @@
+"""Write-coalescing tests: flush triggers, visibility, lifecycle, errors."""
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.connectors.local import LocalConnector
+from repro.connectors.protocol import Connector
+from repro.exceptions import StoreError
+from repro.store import Store
+from repro.store.coalesce import WriteCoalescer
+
+
+@pytest.fixture()
+def connector():
+    c = LocalConnector()
+    yield c
+    c.close(clear=True)
+
+
+def _store(connector, **kwargs):
+    defaults = dict(
+        cache_size=0,
+        register=False,
+        metrics=True,
+        coalesce_writes=True,
+        coalesce_max_ops=1000,
+        coalesce_max_bytes=1024 * 1024,
+        coalesce_deadline=60.0,  # effectively never, unless a test opts in
+    )
+    defaults.update(kwargs)
+    return Store('coalesce-test', connector, **defaults)
+
+
+class CountingConnector(LocalConnector):
+    """Counts wire-level batch writes so tests can assert coalescing."""
+
+    scheme = None  # do not steal 'local' in the scheme registry
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.set_batch_calls = 0
+        self.set_batch_sizes: list[int] = []
+
+    def set_batch(self, items):
+        self.set_batch_calls += 1
+        self.set_batch_sizes.append(len(items))
+        super().set_batch(items)
+
+
+class FlakyConnector(LocalConnector):
+    """Fails set_batch on demand to exercise error propagation."""
+
+    scheme = None
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.fail_next = False
+
+    def set_batch(self, items):
+        if self.fail_next:
+            self.fail_next = False
+            raise OSError('injected wire failure')
+        super().set_batch(items)
+
+
+# --------------------------------------------------------------------- #
+# Flush triggers
+# --------------------------------------------------------------------- #
+def test_max_ops_triggers_flush(connector):
+    counting = CountingConnector()
+    store = _store(counting, coalesce_max_ops=4)
+    keys = [store.put(i) for i in range(8)]
+    assert counting.set_batch_calls == 2
+    assert counting.set_batch_sizes == [4, 4]
+    assert [store.get(k) for k in keys] == list(range(8))
+    store.close()
+
+
+def test_max_bytes_triggers_flush(connector):
+    counting = CountingConnector()
+    store = _store(counting, coalesce_max_bytes=10_000)
+    store.put(b'x' * 6000)
+    assert counting.set_batch_calls == 0
+    store.put(b'y' * 6000)  # 12 KB pending >= 10 KB bound
+    assert counting.set_batch_calls == 1
+    store.close()
+
+
+def test_deadline_triggers_background_flush(connector):
+    counting = CountingConnector()
+    store = _store(counting, coalesce_deadline=0.05)
+    key = store.put('deadline me')
+    assert counting.set_batch_calls == 0
+    deadline = time.monotonic() + 5.0
+    while counting.set_batch_calls == 0 and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert counting.set_batch_calls == 1
+    assert store.get(key) == 'deadline me'
+    store.close()
+
+
+def test_explicit_flush_and_close_flush(connector):
+    store = _store(connector)
+    k1 = store.put('one')
+    assert connector.get(k1) is None  # still buffered
+    store.flush()
+    assert connector.get(k1) is not None
+    k2 = store.put('two')
+    store.close()  # close flushes the remainder
+    assert connector.get(k2) is not None
+
+
+# --------------------------------------------------------------------- #
+# Read-side visibility
+# --------------------------------------------------------------------- #
+def test_buffered_writes_visible_to_reads(connector):
+    store = _store(connector)
+    key = store.put({'buffered': True})
+    assert store._coalescer.pending_ops == 1
+    assert store.exists(key)
+    assert store.get(key) == {'buffered': True}
+    assert store._coalescer.pending_ops == 1  # get served from the buffer
+    store.close()
+
+
+def test_get_batch_flushes_buffer(connector):
+    store = _store(connector)
+    keys = [store.put(i) for i in range(3)]
+    assert store._coalescer.pending_ops == 3
+    assert store.get_batch(keys) == [0, 1, 2]
+    assert store._coalescer.pending_ops == 0
+    store.close()
+
+
+def test_evict_discards_buffered_write(connector):
+    store = _store(connector)
+    key = store.put('to evict')
+    store.evict(key)
+    assert not store.exists(key)
+    store.flush()
+    assert connector.get(key) is None  # never hit the wire
+    store.close()
+
+
+def test_proxy_creation_writes_through(connector):
+    # A proxy may be resolved remotely right away, so proxy puts must not
+    # sit in the coalescing buffer.
+    store = _store(connector)
+    proxy = store.proxy('resolve me now', cache_local=False)
+    from repro.proxy import get_factory
+
+    assert connector.get(get_factory(proxy).key) is not None
+    store.close()
+
+
+# --------------------------------------------------------------------- #
+# Configuration and guards
+# --------------------------------------------------------------------- #
+def test_requires_deferred_write_support():
+    class NoDeferred(Connector):
+        def put(self, data):
+            raise NotImplementedError
+
+        def get(self, key):
+            return None
+
+        def exists(self, key):
+            return False
+
+        def evict(self, key):
+            pass
+
+        def config(self):
+            return {}
+
+    with pytest.raises(StoreError, match='deferred writes'):
+        Store('no-deferred', NoDeferred(), coalesce_writes=True, register=False)
+
+
+def test_invalid_bounds_rejected(connector):
+    with pytest.raises(ValueError):
+        WriteCoalescer(connector, max_ops=0)
+    with pytest.raises(ValueError):
+        WriteCoalescer(connector, max_bytes=-1)
+    with pytest.raises(ValueError):
+        WriteCoalescer(connector, deadline=0)
+
+
+def test_config_roundtrip_carries_coalescing(connector):
+    store = _store(connector, coalesce_max_ops=7, coalesce_deadline=2.5)
+    config = store.config()
+    assert config.coalesce_writes
+    assert config.coalesce_max_ops == 7
+    assert config.coalesce_deadline == 2.5
+    clone = Store.from_config(config, register=False)
+    assert clone._coalescer is not None
+    key = clone.put('via clone')
+    assert clone.get(key) == 'via clone'
+    clone.close()
+    store.close()
+
+
+def test_from_url_coalescing_params():
+    store = Store.from_url(
+        'local://?coalesce_writes=1&coalesce_max_ops=3&coalesce_deadline=9',
+        register=False,
+    )
+    try:
+        assert store._coalescer is not None
+        assert store.coalesce_max_ops == 3
+        assert store.coalesce_deadline == 9.0
+        k1, k2 = store.put('a'), store.put('b')
+        assert store._coalescer.pending_ops == 2  # max_ops=3 not reached
+        assert store.get(k1) == 'a'
+        assert store.get(k2) == 'b'
+    finally:
+        store.close()
+
+
+# --------------------------------------------------------------------- #
+# Metrics
+# --------------------------------------------------------------------- #
+def test_coalescing_metrics_recorded(connector):
+    store = _store(connector, coalesce_max_ops=2)
+    for i in range(4):
+        store.put(i)
+    store.flush()
+    summary = store.metrics_summary()
+    assert summary['store.coalesced_puts']['count'] == 4
+    assert summary['store.coalesce_flushes']['count'] == 2
+    store.close()
+
+
+# --------------------------------------------------------------------- #
+# Error propagation and concurrency
+# --------------------------------------------------------------------- #
+def test_background_flush_error_surfaces_on_next_op():
+    flaky = FlakyConnector()
+    store = _store(flaky, coalesce_deadline=0.05)
+    flaky.fail_next = True
+    store.put('will fail in background')
+    deadline = time.monotonic() + 5.0
+    while store._coalescer._flush_error is None and time.monotonic() < deadline:
+        time.sleep(0.01)
+    with pytest.raises(OSError, match='injected wire failure'):
+        store.put('next op surfaces the failure')
+    # The deadline thread survived: subsequent writes flush normally.
+    key = store.put('recovered')
+    store.flush()
+    assert store.get(key) == 'recovered'
+    store.close()
+    flaky.close(clear=True)
+
+
+def test_foreground_flush_error_raises(connector):
+    flaky = FlakyConnector()
+    store = _store(flaky)
+    store.put('buffered')
+    flaky.fail_next = True
+    with pytest.raises(OSError, match='injected wire failure'):
+        store.flush()
+    store.close()
+    flaky.close(clear=True)
+
+
+def test_concurrent_puts_all_land(connector):
+    store = _store(connector, coalesce_max_ops=16, coalesce_deadline=0.01)
+    keys: list = []
+    lock = threading.Lock()
+
+    def writer(base: int) -> None:
+        mine = [store.put(f'item-{base}-{i}') for i in range(50)]
+        with lock:
+            keys.extend(mine)
+
+    threads = [threading.Thread(target=writer, args=(t,)) for t in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    store.flush()
+    assert len(keys) == 200
+    assert len({k for k in keys}) == 200  # all keys distinct
+    values = store.get_batch(keys)
+    assert all(v is not None for v in values)
+    store.close()
